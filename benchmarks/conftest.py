@@ -1,0 +1,53 @@
+"""Shared benchmark configuration.
+
+Every figure bench regenerates its paper figure at a reduced but
+meaningful scale (the paper uses 10 placements x 100 failures; benches
+default to 2 x 8 so the whole suite finishes in minutes), renders the
+series to ``results/`` and asserts the figure's qualitative claims.
+
+Scale can be raised via environment variables::
+
+    REPRO_BENCH_PLACEMENTS=10 REPRO_BENCH_FAILURES=100 \
+        pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.figures.base import FigureConfig
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> FigureConfig:
+    return FigureConfig(
+        seed=0,
+        topo_seed=100,
+        placements=int(os.environ.get("REPRO_BENCH_PLACEMENTS", "2")),
+        failures_per_placement=int(os.environ.get("REPRO_BENCH_FAILURES", "8")),
+        n_sensors=int(os.environ.get("REPRO_BENCH_SENSORS", "10")),
+    )
+
+
+@pytest.fixture(scope="session")
+def record_figure():
+    """Write a figure's rendering under results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(result) -> None:
+        text = result.render()
+        (RESULTS_DIR / f"{result.figure_id}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run an expensive figure harness exactly once under the benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 5: sensor placement vs diagnosability."""
+
+from repro.experiments.figures import fig5_placement
+
+from conftest import run_once
+
+
+def test_fig05_placement(benchmark, bench_config, record_figure):
+    result = run_once(
+        benchmark, lambda: fig5_placement.run(bench_config)
+    )
+    record_figure(result)
+    last = {s.name: s.points[-1][1] for s in result.series}
+    # Paper shape: same-AS best; split improves distant; random worst-ish.
+    assert last["same-as"] >= last["distant-as"]
+    assert last["same-as"] >= last["random"]
+    assert last["distant-split"] >= last["distant-as"] - 0.02
+    # D(G) always within [0, 1].
+    for series in result.series:
+        assert all(0.0 <= y <= 1.0 for _x, y in series.points)

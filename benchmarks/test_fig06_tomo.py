@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 6: Tomo sensitivity CDFs per scenario."""
+
+from repro.experiments.figures import fig6_tomo
+
+from conftest import run_once
+
+
+def test_fig06_tomo(benchmark, bench_config, record_figure):
+    result = run_once(benchmark, lambda: fig6_tomo.run(bench_config))
+    record_figure(result)
+    s = result.summaries
+    # Single link failures: sensitivity ~1 almost everywhere.
+    assert s["link-1"]["frac_one"] >= 0.7
+    # Multiple link failures: much lower sensitivity.
+    assert s["link-3"]["mean"] <= s["link-1"]["mean"] - 0.2
+    assert s["link-2"]["mean"] <= s["link-1"]["mean"]
+    # Misconfigurations: sensitivity zero in the vast majority of runs.
+    assert s["misconfig"]["frac_zero"] >= 0.8
+    assert s["misconfig+link"]["mean"] <= 0.6

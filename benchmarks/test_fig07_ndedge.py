@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 7: Tomo vs ND-edge sensitivity."""
+
+from repro.experiments.figures import fig7_ndedge
+
+from conftest import run_once
+
+
+def test_fig07_ndedge(benchmark, bench_config, record_figure):
+    result = run_once(benchmark, lambda: fig7_ndedge.run(bench_config))
+    record_figure(result)
+    s = result.summaries
+    for kind in fig7_ndedge.KINDS:
+        # ND-edge sensitivity ~1; Tomo clearly below.
+        assert s[f"nd-edge/{kind}"]["mean"] >= 0.85
+        assert s[f"nd-edge/{kind}"]["mean"] >= s[f"tomo/{kind}"]["mean"] + 0.2

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 8: specificity of ND-edge."""
+
+from repro.experiments.figures import fig8_specificity
+
+from conftest import run_once
+
+
+def test_fig08_specificity(benchmark, bench_config, record_figure):
+    result = run_once(benchmark, lambda: fig8_specificity.run(bench_config))
+    record_figure(result)
+    s = result.summaries
+    # Specificity > 0.9 for single link failures, misconfigs even better.
+    assert s["link-1"]["mean"] >= 0.9
+    assert s["misconfig"]["mean"] >= s["link-1"]["mean"]
+    # Hypothesis sets stay small (paper: up to ~12 links).
+    assert s["link-1/|H|"]["p90"] <= 15

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 9: diagnosability vs specificity."""
+
+from repro.experiments.figures import fig9_diag_vs_spec
+
+from conftest import run_once
+
+
+def test_fig09_diag_vs_spec(benchmark, bench_config, record_figure):
+    result = run_once(benchmark, lambda: fig9_diag_vs_spec.run(bench_config))
+    record_figure(result)
+    # Specificity stays high across the whole diagnosability range.
+    assert result.summaries["specificity"]["p10"] >= 0.75
+    # Positive relation: the binned trend ends at least where it starts.
+    trend = result.series_by_name("trend").points
+    assert trend[-1][1] >= trend[0][1] - 0.05

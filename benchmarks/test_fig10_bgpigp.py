@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 10: ND-edge vs ND-bgpigp."""
+
+from repro.experiments.figures import fig10_bgpigp
+
+from conftest import run_once
+
+
+def test_fig10_bgpigp(benchmark, bench_config, record_figure):
+    result = run_once(benchmark, lambda: fig10_bgpigp.run(bench_config))
+    record_figure(result)
+    s = result.summaries
+    # Same (near-one) sensitivity...
+    assert abs(
+        s["nd-bgpigp/sensitivity"]["mean"] - s["nd-edge/sensitivity"]["mean"]
+    ) <= 0.1
+    assert s["nd-bgpigp/sensitivity"]["mean"] >= 0.85
+    # ...and control-plane data never hurts specificity.
+    assert (
+        s["nd-bgpigp/specificity"]["mean"]
+        >= s["nd-edge/specificity"]["mean"] - 1e-9
+    )

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 11: the effect of blocked traceroutes."""
+
+from repro.experiments.figures import fig11_blocked
+
+from conftest import run_once
+
+
+def test_fig11_blocked(benchmark, bench_config, record_figure):
+    result = run_once(benchmark, lambda: fig11_blocked.run(bench_config))
+    record_figure(result)
+    lg = dict(result.series_by_name("nd-lg/as-sensitivity").points)
+    plain = dict(result.series_by_name("nd-bgpigp/as-sensitivity").points)
+    # ND-LG stays high across the f_b range...
+    assert min(lg.values()) >= 0.6
+    # ...while ignoring unidentified links decays roughly like 1 - f_b.
+    assert plain[0.8] <= 0.55
+    assert plain[0.8] <= plain[0.0]
+    assert lg[0.8] >= plain[0.8] + 0.2

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 12: the effect of Looking Glass servers."""
+
+from repro.experiments.figures import fig12_lg
+
+from conftest import run_once
+
+
+def test_fig12_lg(benchmark, bench_config, record_figure):
+    result = run_once(benchmark, lambda: fig12_lg.run(bench_config))
+    record_figure(result)
+    for blocked in fig12_lg.DEFAULT_BLOCKED_FRACTIONS:
+        curve = dict(result.series_by_name(f"nd-lg/f_b={blocked}").points)
+        flat = dict(result.series_by_name(f"nd-bgpigp/f_b={blocked}").points)
+        # Full LG coverage beats no-LG baseline...
+        assert curve[1.0] >= max(flat.values()) - 1e-9
+        # ...and more LGs never hurt much (monotone-ish trend).
+        xs = sorted(curve)
+        assert curve[xs[-1]] >= curve[xs[0]] - 0.1

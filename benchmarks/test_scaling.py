@@ -1,0 +1,31 @@
+"""Scaling bench: substrate cost and diagnosis quality vs topology size.
+
+§5.3 speculates about Internet-scale behaviour; this bench records the
+measured trend.  Specificity naturally rises with size (the universe
+grows faster than hypothesis sets), while sensitivity must stay pinned.
+"""
+
+from repro.experiments.scaling import render_scaling, scaling_sweep
+
+from conftest import run_once
+
+
+def test_scaling_sweep(benchmark):
+    points = run_once(
+        benchmark,
+        lambda: scaling_sweep(
+            sizes=((6, 40), (12, 80), (22, 140)), failures=4, seed=0
+        ),
+    )
+    print()
+    print(render_scaling(points))
+    assert [p.n_ases for p in points] == [49, 95, 165]
+    # Sensitivity stays pinned as the topology grows.
+    assert all(p.nd_edge_sensitivity >= 0.9 for p in points)
+    # Specificity does not degrade with size (the universe outgrows H).
+    assert points[-1].nd_edge_specificity >= points[0].nd_edge_specificity - 0.05
+    # Control-plane data never hurts at any size.
+    for p in points:
+        assert p.bgpigp_specificity >= p.nd_edge_specificity - 1e-9
+    # Substrate stays interactive at paper scale.
+    assert points[-1].convergence_seconds < 5.0

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Diagnosing a BGP export-filter misconfiguration (§3.1 of the paper).
+
+Replays the paper's running example: router y1 in AS Y is misconfigured
+and stops announcing the route towards AS C to its peer x2 in AS X.  The
+physical link x2-y1 keeps carrying traffic towards AS B — a *partial*
+failure that plain Boolean tomography cannot express.  The script shows
+
+* the reachability matrix the sensors observe (s1->s3 dies, s1->s2 lives),
+* why Tomo exonerates the guilty link,
+* how the logical-link expansion lets ND-edge pin x2->y1 for the routes
+  learned from C.
+
+Run with::
+
+    python examples/misconfiguration_diagnosis.py
+"""
+
+from repro.core import NetDiagnoser, logicalize
+from repro.measurement import deploy_sensors, take_snapshot
+from repro.netsim import (
+    ExportFilter,
+    MisconfigurationEvent,
+    NetworkState,
+    Simulator,
+    figure2_network,
+)
+
+
+def main() -> None:
+    fig = figure2_network()
+    net = fig.net
+    sim = Simulator(net, [fig.asn("A"), fig.asn("B"), fig.asn("C")])
+    sensors = deploy_sensors(
+        net, [fig.sensor_routers[name] for name in ("s1", "s2", "s3")]
+    )
+
+    # Misconfigure y1's outbound filter towards x2: the route to AS C's
+    # prefix silently disappears from that one session.
+    session = fig.link_between("x2", "y1")
+    prefix_c = net.autonomous_system(fig.asn("C")).prefix
+    event = MisconfigurationEvent(
+        ExportFilter(
+            link_id=session.lid,
+            at_router=fig.router("y1").rid,
+            prefixes=frozenset({prefix_c}),
+        )
+    )
+    before = NetworkState.nominal()
+    after = sim.apply(event)
+    print("injected:", event.describe(net))
+
+    snapshot = take_snapshot(sim, sensors, before, after)
+    print("\nreachability after the event:")
+    for pair in snapshot.before.pairs():
+        status = "up  " if pair in set(snapshot.working_pairs()) else "DOWN"
+        print(f"  {pair[0]} -> {pair[1]}   {status}")
+
+    # The broken path, at both granularities.
+    failed_pair = snapshot.failed_pairs()[0]
+    broken = snapshot.before.get(failed_pair)
+    print("\nthe failed path's links, physical vs logical:")
+    for physical, logical in zip(broken.links(), logicalize(broken, snapshot.asn_of)):
+        marker = "  <-- per-neighbour split" if str(physical) != str(logical) else ""
+        print(f"  {str(physical):46s} {logical}{marker}")
+
+    tomo = NetDiagnoser("tomo").diagnose(snapshot)
+    print(f"\nTomo hypothesis: {sorted(map(str, tomo.hypothesis)) or '(empty)'}")
+    print("  -> the physical link x2-y1 carries the working path s1->s2,")
+    print("     so Tomo exonerates it: sensitivity is zero (§5.1).")
+
+    nd = NetDiagnoser("nd-edge").diagnose(snapshot)
+    print(f"\nND-edge hypothesis: {sorted(map(str, nd.hypothesis))}")
+    print("  -> exactly the logical link x2->y1 tagged with AS C: the")
+    print("     misconfigured (link, neighbour) pair, as in §3.1.")
+
+
+if __name__ == "__main__":
+    main()

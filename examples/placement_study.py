@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Sensor placement vs diagnosability (§4 / Figure 5), in miniature.
+
+For each of the paper's four placements, deploys increasing numbers of
+sensors on the research-Internet topology, probes the full mesh, and
+prints the diagnosability D(G) of the inferred graph along with the
+largest class of mutually indistinguishable links — the *reason* a bad
+placement diagnoses badly.
+
+Run with::
+
+    python examples/placement_study.py
+"""
+
+import random
+
+from repro.core import diagnosability, indistinguishable_classes
+from repro.core.graph import InferredGraph
+from repro.experiments.figures.fig5_placement import (
+    PLACEMENTS,
+    _placement_routers,
+)
+from repro.measurement import deploy_sensors, probe_mesh
+from repro.netsim import NetworkState, Simulator
+from repro.netsim.gen import research_internet
+
+
+def main() -> None:
+    print(f"{'placement':>15s} {'N':>4s} {'D(G)':>7s} {'links':>6s} "
+          f"{'largest confusable class':>25s}")
+    for placement in PLACEMENTS:
+        for n_sensors in (4, 8, 16, 32):
+            topo = research_internet(seed=100)
+            rng = random.Random(f"study/{placement}/{n_sensors}")
+            routers = _placement_routers(placement, topo, n_sensors, rng)
+            sensors = deploy_sensors(topo.net, routers)
+            sim = Simulator(
+                topo.net,
+                {topo.net.asn_of_router(s.router_id) for s in sensors},
+            )
+            store = probe_mesh(sim, sensors, NetworkState.nominal())
+            graph = InferredGraph.from_paths(store.paths())
+            classes = indistinguishable_classes(graph)
+            print(
+                f"{placement:>15s} {n_sensors:>4d} "
+                f"{diagnosability(graph):>7.3f} {len(graph):>6d} "
+                f"{len(classes[0]):>25d}"
+            )
+        print()
+    print("Reading: D(G)=1 means every single-link failure is precisely")
+    print("identifiable; a large confusable class means the same set of")
+    print("probes crosses many links, so their failures look identical.")
+
+
+if __name__ == "__main__":
+    main()

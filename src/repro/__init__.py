@@ -1,0 +1,39 @@
+"""NetDiagnoser (CoNEXT 2007) reproduction.
+
+Troubleshooting network unreachabilities using end-to-end probes and
+routing data: multi-AS Boolean tomography (Tomo), logical links and
+reroute sets (ND-edge), AS-X control-plane integration (ND-bgpigp), and
+Looking-Glass-based AS localisation under blocked traceroutes (ND-LG) —
+plus the complete routing/measurement substrate the evaluation needs.
+
+Quick start::
+
+    from repro import NetDiagnoser
+    from repro.netsim import figure2_network, LinkFailureEvent, Simulator
+    from repro.measurement import deploy_sensors, take_snapshot
+
+See ``examples/quickstart.py`` for the full loop.
+"""
+
+from repro.core import (
+    DiagnosisResult,
+    InferredGraph,
+    MeasurementSnapshot,
+    NetDiagnoser,
+    diagnosability,
+    physical_metrics,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiagnosisResult",
+    "InferredGraph",
+    "MeasurementSnapshot",
+    "NetDiagnoser",
+    "ReproError",
+    "__version__",
+    "diagnosability",
+    "physical_metrics",
+]

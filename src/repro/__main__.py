@@ -1,0 +1,192 @@
+"""Top-level command line: generate topologies, inject failures, diagnose.
+
+Examples::
+
+    # Generate and archive a research-Internet topology
+    python -m repro topology --seed 42 --out topo.json
+
+    # Run one randomised scenario end to end and print the diagnosis
+    python -m repro diagnose --kind link-2 --sensors 10 --seed 7
+
+    # Archive the sampled scenario, then replay it later (e.g. on another
+    # machine, or after changing the algorithms)
+    python -m repro diagnose --kind misconfig --save-scenario case.json
+    python -m repro replay case.json --algorithms nd-edge
+
+    # Regenerate evaluation figures (delegates to repro.experiments)
+    python -m repro.experiments --figure 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from pathlib import Path
+
+from repro.core.diagnoser import VARIANTS, NetDiagnoser
+from repro.experiments.runner import ground_truth_links, make_session, run_scenario
+from repro.experiments.scenarios import SCENARIO_KINDS
+from repro.measurement.collector import collect_control_plane, take_snapshot
+from repro.measurement.sensors import deploy_sensors, random_stub_placement
+from repro.netsim.gen.internet import research_internet
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import NetworkState
+from repro.serialize import (
+    event_from_dict,
+    event_to_dict,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    topo = research_internet(
+        n_tier2=args.tier2, n_stub=args.stubs, seed=args.seed
+    )
+    save_topology(topo.net, args.out)
+    print(
+        f"wrote {args.out}: {topo.net.num_ases} ASes, "
+        f"{topo.net.num_routers} routers, {topo.net.num_links} links "
+        f"(seed {args.seed})"
+    )
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    topo = research_internet(seed=args.topo_seed)
+    session = make_session(
+        topo, random_stub_placement(topo, args.sensors, rng), rng
+    )
+    scenario = session.sampler.sample(args.kind)
+    print(f"scenario: {scenario.event.describe(session.net)}")
+
+    diagnosers = {
+        name: NetDiagnoser(name)
+        for name in args.algorithms
+        if name != "nd-lg"  # needs blocked ASes + LGs; see the figures CLI
+    }
+    record = run_scenario(
+        session, scenario, diagnosers, asx=topo.core_asns[0]
+    )
+    truth = sorted(map(str, ground_truth_links(session.net, scenario.event)))
+    print(f"ground truth: {', '.join(truth)}")
+    print(
+        f"observations: {record.n_failed_pairs} failed pairs, "
+        f"{record.n_rerouted_pairs} rerouted, D(G)={record.diagnosability:.3f}"
+    )
+    for label, score in record.scores.items():
+        print(
+            f"  {label:10s} sensitivity={score.link.sensitivity:.2f} "
+            f"specificity={score.link.specificity:.3f} "
+            f"|H|={score.physical_hypothesis_size} "
+            f"explained={score.fully_explained}"
+        )
+    if args.save_scenario:
+        archive = {
+            "format": "repro-scenario-v1",
+            "topology": topology_to_dict(session.net),
+            "sensor_routers": [s.router_id for s in session.sensors],
+            "event": event_to_dict(scenario.event),
+            "asx": topo.core_asns[0],
+        }
+        Path(args.save_scenario).write_text(json.dumps(archive))
+        print(f"scenario archived to {args.save_scenario}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    archive = json.loads(Path(args.scenario).read_text())
+    if archive.get("format") != "repro-scenario-v1":
+        print(f"unknown scenario format {archive.get('format')!r}")
+        return 2
+    net = topology_from_dict(archive["topology"])
+    event = event_from_dict(archive["event"])
+    sensors = deploy_sensors(net, archive["sensor_routers"])
+    sensor_asns = {net.asn_of_router(s.router_id) for s in sensors}
+    sim = Simulator(net, sensor_asns)
+    before = NetworkState.nominal()
+    after = event.apply_to(before)
+    print(f"replaying: {event.describe(net)}")
+
+    snapshot = take_snapshot(sim, sensors, before, after)
+    if not snapshot.any_failure():
+        print("the archived event no longer breaks any pair")
+        return 1
+    asx = archive.get("asx")
+    control = (
+        collect_control_plane(sim, asx, before, after) if asx is not None else None
+    )
+    truth = ground_truth_links(net, event)
+    for name in args.algorithms:
+        if name == "nd-lg":
+            continue  # needs the blocked/LG configuration, not archived
+        result = NetDiagnoser(name).diagnose(snapshot, control=control)
+        hypothesis = result.physical_hypothesis()
+        hits = len(truth & hypothesis)
+        print(
+            f"  {name:10s} |H|={len(hypothesis)} "
+            f"true-positives={hits}/{len(truth)} "
+            f"explained={result.fully_explained}"
+        )
+        for link in sorted(map(str, hypothesis)):
+            marker = "**" if any(str(t) == link for t in truth) else "  "
+            print(f"    {marker} {link}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="NetDiagnoser reproduction: end-to-end pipeline tools.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    topology = sub.add_parser("topology", help="generate and save a topology")
+    topology.add_argument("--seed", type=int, default=0)
+    topology.add_argument("--tier2", type=int, default=22)
+    topology.add_argument("--stubs", type=int, default=140)
+    topology.add_argument("--out", default="topology.json")
+    topology.set_defaults(func=_cmd_topology)
+
+    diagnose = sub.add_parser(
+        "diagnose", help="sample one failure scenario and diagnose it"
+    )
+    diagnose.add_argument("--kind", choices=SCENARIO_KINDS, default="link-1")
+    diagnose.add_argument("--sensors", type=int, default=10)
+    diagnose.add_argument("--seed", type=int, default=0)
+    diagnose.add_argument("--topo-seed", type=int, default=100)
+    diagnose.add_argument(
+        "--algorithms",
+        nargs="+",
+        choices=VARIANTS,
+        default=["tomo", "nd-edge", "nd-bgpigp"],
+    )
+    diagnose.add_argument(
+        "--save-scenario",
+        default=None,
+        help="archive the sampled scenario (topology + event) to this file",
+    )
+    diagnose.set_defaults(func=_cmd_diagnose)
+
+    replay = sub.add_parser(
+        "replay", help="re-diagnose an archived scenario file"
+    )
+    replay.add_argument("scenario", help="file written by diagnose --save-scenario")
+    replay.add_argument(
+        "--algorithms",
+        nargs="+",
+        choices=VARIANTS,
+        default=["tomo", "nd-edge", "nd-bgpigp"],
+    )
+    replay.set_defaults(func=_cmd_replay)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

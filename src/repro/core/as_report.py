@@ -1,0 +1,71 @@
+"""Operator-facing AS-level report (ranked suspects).
+
+Figures 11-12 score AS-level diagnosis with sensitivity/specificity, but
+an operator wants a *ranked* answer: which AS should I call first?  This
+module turns a diagnosis into that ranking: each hypothesis token votes
+for the AS(es) it maps to (identified endpoints through IP-to-AS; UH
+endpoints through their §3.4 candidate tags, each candidate sharing the
+vote), and ASes are sorted by vote weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.core.linkspace import LogicalLink, UhNode
+from repro.core.result import DiagnosisResult
+
+__all__ = ["AsSuspect", "rank_suspect_ases"]
+
+
+@dataclass(frozen=True)
+class AsSuspect:
+    """One AS in the ranked output."""
+
+    asn: int
+    weight: float
+    name: Optional[str] = None
+
+    def __str__(self) -> str:  # pragma: no cover - display convenience
+        label = self.name or f"AS{self.asn}"
+        return f"{label} (weight {self.weight:.2f})"
+
+
+def rank_suspect_ases(
+    result: DiagnosisResult,
+    asn_of: Callable[[str], Optional[int]],
+    names: Optional[Mapping[int, str]] = None,
+) -> List[AsSuspect]:
+    """Rank ASes by how much of the hypothesis points at them.
+
+    Each hypothesis token contributes one vote, split evenly across the
+    candidate ASes of its endpoints — so an unambiguous intradomain link
+    puts a full vote on one AS, while a dark link with tag {B, D} puts a
+    quarter-vote on each of B and D per endpoint.  Deterministic: ties
+    break on ascending ASN.
+    """
+    tags = result.details.get("uh_tags", {})
+    votes: Dict[int, float] = {}
+    for token in result.hypothesis:
+        if isinstance(token, LogicalLink):
+            endpoints = (token.src, token.dst)
+        else:
+            endpoints = token.endpoints()
+        for endpoint in endpoints:
+            if isinstance(endpoint, UhNode):
+                candidates = tags.get(endpoint, frozenset())
+            else:
+                asn = asn_of(endpoint)
+                candidates = frozenset({asn}) if asn is not None else frozenset()
+            if not candidates:
+                continue
+            share = (1.0 / len(endpoints)) / len(candidates)
+            for asn in candidates:
+                votes[asn] = votes.get(asn, 0.0) + share
+    table = names or {}
+    ranked = sorted(votes.items(), key=lambda item: (-item[1], item[0]))
+    return [
+        AsSuspect(asn=asn, weight=weight, name=table.get(asn))
+        for asn, weight in ranked
+    ]

@@ -1,0 +1,61 @@
+"""Control-plane observations of AS-X, as the diagnosis layer sees them.
+
+The diagnosis algorithms speak addresses, not simulator ids: the
+measurement collector converts the simulator's IGP events and BGP
+withdrawal log into these address-level observations.  A real deployment
+would produce the same records from the ISP's IS-IS listener and BGP route
+monitor, which is why the types live in :mod:`repro.core` rather than the
+simulator package.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["IgpLinkDownObservation", "WithdrawalObservation", "ControlPlaneView"]
+
+
+@dataclass(frozen=True)
+class IgpLinkDownObservation:
+    """An IGP "link down" message for one intradomain link of AS-X.
+
+    Endpoints are the two routers' canonical addresses.
+    """
+
+    address_a: str
+    address_b: str
+
+
+@dataclass(frozen=True)
+class WithdrawalObservation:
+    """A BGP withdrawal received by one of AS-X's border routers.
+
+    ``at_address`` is AS-X's router on the eBGP session, ``from_address``
+    the neighbour router that sent the withdrawal, ``prefix`` the withdrawn
+    destination block.  §3.3 only uses withdrawals "for the most specific
+    prefix known for a destination"; the collector guarantees that.
+    """
+
+    prefix: str
+    at_address: str
+    from_address: str
+    from_asn: int
+
+    def covers(self, address: str) -> bool:
+        """True when ``address`` falls inside the withdrawn prefix."""
+        return ipaddress.ip_address(address) in ipaddress.ip_network(self.prefix)
+
+
+@dataclass(frozen=True)
+class ControlPlaneView:
+    """Everything AS-X's control plane contributed for one event."""
+
+    asx_asn: int
+    igp_link_down: Tuple[IgpLinkDownObservation, ...] = ()
+    withdrawals: Tuple[WithdrawalObservation, ...] = ()
+
+    def is_empty(self) -> bool:
+        """True when the control plane saw nothing useful."""
+        return not (self.igp_link_down or self.withdrawals)

@@ -1,0 +1,212 @@
+"""Minimum Hitting Set machinery shared by every NetDiagnoser variant.
+
+§2.3 reduces fault localisation to Minimum Hitting Set: find the smallest
+link set H intersecting every failure set while avoiding every
+working-path link.  The optimisation problem is NP-hard (dual of Min Set
+Cover); :func:`greedy_hitting_set` implements the paper's greedy heuristic
+(Algorithm 1) generalised with the extensions later sections bolt on:
+
+* **reroute sets** (§3.2) scored with weight ``b`` against the failure
+  sets' weight ``a`` (paper uses a = b = 1);
+* **preseeded links** (§3.3): IGP link-down messages put links into H
+  before the greedy loop starts;
+* **exclusions** (§2.4 working paths, §3.3 withdrawal exoneration): links
+  that may never enter the candidate set;
+* **link clusters** (§3.4): an unidentified link scores — and explains —
+  the failure sets of every cluster member.
+
+:func:`exact_hitting_set` is a branch-and-bound exact solver used by the
+optimality-gap ablation; it is exponential and guarded by an expansion
+budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.linkspace import LinkToken, sort_key
+from repro.errors import DiagnosisError
+
+__all__ = ["GreedyResult", "greedy_hitting_set", "exact_hitting_set"]
+
+TokenSet = FrozenSet[LinkToken]
+
+
+@dataclass
+class GreedyResult:
+    """Outcome of one greedy hitting-set run.
+
+    ``unexplained_failures`` / ``unexplained_reroutes`` are the input sets
+    the hypothesis could not intersect (their candidates were all excluded
+    or exhausted) — non-empty values mean the observations are mutually
+    inconsistent with the exclusion constraints, which the diagnosis report
+    surfaces rather than hides.
+    """
+
+    hypothesis: TokenSet
+    unexplained_failures: Tuple[TokenSet, ...]
+    unexplained_reroutes: Tuple[TokenSet, ...]
+    iterations: int
+    preseeded: TokenSet = frozenset()
+
+    @property
+    def fully_explained(self) -> bool:
+        """True when every failure and reroute set is hit."""
+        return not (self.unexplained_failures or self.unexplained_reroutes)
+
+
+def greedy_hitting_set(
+    failure_sets: Sequence[Iterable[LinkToken]],
+    reroute_sets: Sequence[Iterable[LinkToken]] = (),
+    excluded: Iterable[LinkToken] = (),
+    preseed: Iterable[LinkToken] = (),
+    failure_weight: int = 1,
+    reroute_weight: int = 1,
+    cluster_of: Optional[Callable[[LinkToken], TokenSet]] = None,
+) -> GreedyResult:
+    """Run the paper's greedy Minimum Hitting Set heuristic.
+
+    Parameters mirror Algorithm 1 plus the NetDiagnoser extensions; see the
+    module docstring.  ``cluster_of`` maps a candidate link to the set of
+    links clustered with it (§3.4); links absent from any cluster should
+    map to an empty set.
+    """
+    failures: List[TokenSet] = [frozenset(s) for s in failure_sets]
+    reroutes: List[TokenSet] = [frozenset(s) for s in reroute_sets]
+    if any(not s for s in failures) or any(not s for s in reroutes):
+        raise DiagnosisError("empty failure/reroute set: a failed path with no links")
+    excluded_set: TokenSet = frozenset(excluded)
+    preseed_set: TokenSet = frozenset(preseed)
+
+    # Inverted index: token -> ids of the sets containing it.  Reroute set
+    # ids are offset past the failure ids so one id space covers both.
+    index: Dict[LinkToken, Set[int]] = {}
+    for set_id, s in enumerate(failures + reroutes):
+        for token in s:
+            index.setdefault(token, set()).add(set_id)
+    n_failures = len(failures)
+
+    def ids_hit_by(token: LinkToken) -> Set[int]:
+        """Set ids hit by the token or anything clustered with it."""
+        hit = set(index.get(token, ()))
+        if cluster_of is not None:
+            cluster = cluster_of(token)
+            if cluster:
+                cached = cluster_hits.get(cluster)
+                if cached is None:
+                    cached = set()
+                    for member in cluster:
+                        cached |= index.get(member, set())
+                    cluster_hits[cluster] = cached
+                hit |= cached
+        return hit
+
+    cluster_hits: Dict[TokenSet, Set[int]] = {}
+    hypothesis: Set[LinkToken] = set(preseed_set)
+    unexplained: Set[int] = set(range(len(failures) + len(reroutes)))
+    for token in preseed_set:
+        unexplained -= ids_hit_by(token)
+
+    candidates: Set[LinkToken] = set(index)
+    candidates -= excluded_set
+    candidates -= hypothesis
+
+    iterations = 0
+    while unexplained and candidates:
+        iterations += 1
+        best_score = 0
+        scores: Dict[LinkToken, int] = {}
+        for token in candidates:
+            hit = ids_hit_by(token) & unexplained
+            if not hit:
+                continue
+            score = 0
+            for set_id in hit:
+                score += failure_weight if set_id < n_failures else reroute_weight
+            scores[token] = score
+            if score > best_score:
+                best_score = score
+        if best_score <= 0:
+            break  # remaining sets have no admissible candidate
+        # Algorithm 1 lines 13-17: add *every* maximum-score link.
+        winners = sorted(
+            (t for t, score in scores.items() if score == best_score),
+            key=sort_key,
+        )
+        for token in winners:
+            hypothesis.add(token)
+            candidates.discard(token)
+            unexplained -= ids_hit_by(token)
+
+    all_sets = failures + reroutes
+    leftover_f = [
+        all_sets[set_id] for set_id in sorted(unexplained) if set_id < n_failures
+    ]
+    leftover_r = [
+        all_sets[set_id] for set_id in sorted(unexplained) if set_id >= n_failures
+    ]
+    return GreedyResult(
+        hypothesis=frozenset(hypothesis),
+        unexplained_failures=tuple(leftover_f),
+        unexplained_reroutes=tuple(leftover_r),
+        iterations=iterations,
+        preseeded=preseed_set,
+    )
+
+
+def exact_hitting_set(
+    failure_sets: Sequence[Iterable[LinkToken]],
+    excluded: Iterable[LinkToken] = (),
+    max_expansions: int = 200_000,
+) -> Optional[TokenSet]:
+    """Exact minimum hitting set via branch and bound.
+
+    Returns ``None`` when no admissible hitting set exists (every candidate
+    of some set is excluded) or when the expansion budget runs out —
+    callers treat both as "fall back to greedy".  Deterministic: branches
+    explore candidates in :func:`~repro.core.linkspace.sort_key` order.
+    """
+    excluded_set = frozenset(excluded)
+    sets: List[TokenSet] = []
+    for s in failure_sets:
+        pruned = frozenset(s) - excluded_set
+        if not pruned:
+            return None
+        sets.append(pruned)
+    if not sets:
+        return frozenset()
+
+    best: List[Optional[FrozenSet[LinkToken]]] = [None]
+    budget = [max_expansions]
+
+    def search(chosen: Set[LinkToken], remaining: List[TokenSet]) -> None:
+        if budget[0] <= 0:
+            return
+        budget[0] -= 1
+        if best[0] is not None and len(chosen) >= len(best[0]):
+            return
+        if not remaining:
+            best[0] = frozenset(chosen)
+            return
+        # Branch on the smallest uncovered set (most constrained first).
+        target = min(remaining, key=lambda s: (len(s), sorted(map(sort_key, s))))
+        for token in sorted(target, key=sort_key):
+            chosen.add(token)
+            search(chosen, [s for s in remaining if token not in s])
+            chosen.discard(token)
+
+    search(set(), sets)
+    if budget[0] <= 0 and best[0] is None:
+        return None
+    return best[0]

@@ -1,0 +1,121 @@
+"""Evaluation metrics: sensitivity and specificity (§4, "Metrics").
+
+Link granularity::
+
+    sensitivity = |F ∩ H| / |F|            (1 - false-negative rate)
+    specificity = |(E\\F) ∩ (E\\H)| / |E\\F|  (1 - false-positive rate)
+
+Comparisons across algorithms are made at *undirected physical*
+granularity: hypotheses are projected through
+:func:`~repro.core.linkspace.undirected_projection` so Tomo's directed
+physical tokens and ND-edge's logical tokens land in the same space as the
+simulator's ground-truth links (``DESIGN.md`` §5).  "Sensitivity and specificity can also be defined at the granularity
+of ASes": :func:`as_projection` maps tokens to AS sets (UH endpoints via
+their §3.4 candidate tags), feeding the same two formulas for Figures
+11-12.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterable, Mapping, Optional, Set
+
+from repro.core.linkspace import (
+    LinkToken,
+    LogicalLink,
+    PhysicalLink,
+    UhNode,
+    undirected_projection,
+)
+from repro.errors import DiagnosisError
+
+__all__ = [
+    "sensitivity",
+    "specificity",
+    "as_projection",
+    "physical_metrics",
+    "MetricPair",
+]
+
+
+def sensitivity(truth: FrozenSet, hypothesis: FrozenSet) -> float:
+    """|F ∩ H| / |F|.  Raises when there is no ground truth to detect."""
+    if not truth:
+        raise DiagnosisError("sensitivity undefined for an empty ground truth")
+    return len(truth & hypothesis) / len(truth)
+
+
+def specificity(universe: FrozenSet, truth: FrozenSet, hypothesis: FrozenSet) -> float:
+    """|(E\\F) ∩ (E\\H)| / |E\\F| over universe E.
+
+    By convention 1.0 when every universe element is failed (no negatives
+    to get right or wrong).
+    """
+    negatives = universe - truth
+    if not negatives:
+        return 1.0
+    true_negatives = negatives - hypothesis
+    return len(true_negatives) / len(negatives)
+
+
+class MetricPair(tuple):
+    """(sensitivity, specificity) with named access."""
+
+    def __new__(cls, sens: float, spec: float) -> "MetricPair":
+        return super().__new__(cls, (sens, spec))
+
+    @property
+    def sensitivity(self) -> float:
+        return self[0]
+
+    @property
+    def specificity(self) -> float:
+        return self[1]
+
+
+def physical_metrics(
+    universe: FrozenSet[PhysicalLink],
+    truth: FrozenSet[PhysicalLink],
+    hypothesis_tokens: Iterable[LinkToken],
+) -> MetricPair:
+    """Sensitivity/specificity after undirected physical projection.
+
+    Ground truth is physical (a fibre cut kills both directions), so the
+    directed hypothesis tokens are collapsed onto undirected
+    :class:`~repro.core.linkspace.PhysicalLink` pairs before comparison;
+    ``universe`` and ``truth`` are already physical (the experiment runner
+    produces them from the simulator's ground truth).
+    """
+    hypothesis = undirected_projection(hypothesis_tokens)
+    return MetricPair(
+        sensitivity(truth, hypothesis),
+        specificity(universe, truth, hypothesis),
+    )
+
+
+def as_projection(
+    tokens: Iterable[LinkToken],
+    asn_of: Callable[[str], Optional[int]],
+    uh_tags: Optional[Mapping[UhNode, FrozenSet[int]]] = None,
+) -> FrozenSet[int]:
+    """Project link tokens onto the ASes they (may) belong to.
+
+    Identified endpoints map through ``asn_of``; UH endpoints contribute
+    their candidate-AS tags (ambiguous tags contribute every candidate —
+    which is precisely how ND-LG accumulates its AS-level false positives
+    in Figure 11).
+    """
+    tags = uh_tags or {}
+    ases: Set[int] = set()
+    for token in tokens:
+        if isinstance(token, LogicalLink):
+            endpoints = (token.src, token.dst)
+        else:
+            endpoints = token.endpoints()
+        for endpoint in endpoints:
+            if isinstance(endpoint, str):
+                asn = asn_of(endpoint)
+                if asn is not None:
+                    ases.add(asn)
+            else:
+                ases.update(tags.get(endpoint, frozenset()))
+    return frozenset(ases)

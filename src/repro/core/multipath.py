@@ -1,0 +1,113 @@
+"""Multipath-aware diagnosis (the Paris-traceroute extension).
+
+With single-path probing, ND-edge treats any path change of a working
+pair as a reroute — under load balancing that plants false evidence
+(footnote 2 of the paper: "rerouted paths can be distinguished from path
+changes due to load balancing by using a tool such as Paris traceroute").
+Given the *full path sets* before and after an event, the evidence
+sharpens in both directions:
+
+* a pair is unreachable only when **every** old path is broken: each old
+  path contributes its *own* failure set (a conjunction of hitting-set
+  constraints, strictly stronger than the single union set);
+* a working pair exonerates the union of its current paths' links;
+* reroute evidence arises only from old paths that **vanished** from the
+  pair's current path set — a flip between surviving equal-cost paths is
+  load balancing, not evidence.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.graph import InferredGraph
+from repro.core.hitting_set import greedy_hitting_set
+from repro.core.linkspace import LinkToken, is_unidentified, undirected_projection
+from repro.core.logical import logicalize
+from repro.core.nd_edge import physical_clusters
+from repro.core.pathset import Pair, ProbePath
+from repro.core.result import DiagnosisResult
+from repro.errors import DiagnosisError
+
+__all__ = ["nd_edge_multipath"]
+
+MultipathStore = Dict[Pair, Tuple[ProbePath, ...]]
+
+
+def nd_edge_multipath(
+    before: MultipathStore,
+    after: MultipathStore,
+    asn_of: Callable[[str], Optional[int]],
+    failure_weight: int = 1,
+    reroute_weight: int = 1,
+) -> DiagnosisResult:
+    """ND-edge over Paris-traceroute path sets.
+
+    ``before``/``after`` map each probe pair to its discovered paths (an
+    empty tuple means unreachable).  Pairs must match between the rounds;
+    every pair must have been reachable before the event.
+    """
+    if set(before) != set(after):
+        raise DiagnosisError("before/after multipath rounds cover different pairs")
+    for pair, paths in before.items():
+        if not paths:
+            raise DiagnosisError(
+                f"pair {pair} was already unreachable before the event"
+            )
+
+    failure_sets: List[FrozenSet[LinkToken]] = []
+    working: Set[LinkToken] = set()
+    reroute_sets: List[FrozenSet[LinkToken]] = []
+    graph = InferredGraph()
+
+    for pair in sorted(before):
+        old_paths = before[pair]
+        new_paths = after[pair]
+        for path in old_paths + new_paths:
+            graph.add_path(pair, logicalize(path, asn_of))
+        if not new_paths:
+            # Unreachable: every old path is broken -> one set per path.
+            for path in old_paths:
+                failure_sets.append(frozenset(logicalize(path, asn_of)))
+            continue
+        new_tokens: Set[LinkToken] = set()
+        for path in new_paths:
+            new_tokens.update(logicalize(path, asn_of))
+        working.update(new_tokens)
+        # Reroute evidence: old paths absent from the current set.
+        surviving = {tuple(p.hops[1:-1]) for p in new_paths}
+        new_physical = undirected_projection(new_tokens)
+        for path in old_paths:
+            if tuple(path.hops[1:-1]) in surviving:
+                continue  # still an active equal-cost alternative
+            candidates = frozenset(
+                token
+                for token in logicalize(path, asn_of)
+                if not (undirected_projection([token]) & new_physical)
+                and not is_unidentified(token)
+            )
+            if candidates:
+                reroute_sets.append(candidates)
+
+    clusters = physical_clusters(failure_sets + reroute_sets)
+    outcome = greedy_hitting_set(
+        failure_sets,
+        reroute_sets=reroute_sets,
+        excluded=working,
+        failure_weight=failure_weight,
+        reroute_weight=reroute_weight,
+        cluster_of=lambda t: clusters.get(t, frozenset()),
+    )
+    return DiagnosisResult(
+        algorithm="nd-edge-multipath",
+        hypothesis=outcome.hypothesis,
+        graph=graph,
+        excluded=frozenset(working),
+        unexplained_failures=outcome.unexplained_failures,
+        unexplained_reroutes=outcome.unexplained_reroutes,
+        details={
+            "failure_sets": len(failure_sets),
+            "reroute_sets": len(reroute_sets),
+            "iterations": outcome.iterations,
+        },
+    )

@@ -1,0 +1,117 @@
+"""ND-LG: NetDiagnoser with Looking Glass data under blocked traceroutes
+(§3.4).
+
+When ASes block traceroute, the inferred graph contains unidentified hops
+and the goal degrades gracefully from "find the link" to "find the AS".
+ND-LG is ND-bgpigp plus two steps:
+
+1. every UH is tagged with candidate ASes via Looking Glasses
+   (:mod:`repro.core.uh`);
+2. unidentified links that could be the same hidden link are clustered
+   (:mod:`repro.core.clustering`), and a candidate's greedy score counts
+   the failure sets of its whole cluster.
+
+The result's ``details["uh_tags"]`` carries the tag map so the AS-level
+metrics (:mod:`repro.core.metrics`) can project UH hypothesis links onto
+ASes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
+
+from repro.core.clustering import build_clusters
+from repro.core.control_plane import ControlPlaneView
+from repro.core.hitting_set import greedy_hitting_set
+from repro.core.linkspace import LinkToken, UhNode
+from repro.core.nd_bgpigp import igp_preseed, withdrawal_exonerations
+from repro.core.nd_edge import build_edge_inputs
+from repro.core.pathset import MeasurementSnapshot
+from repro.core.result import DiagnosisResult
+
+__all__ = ["LgLookup", "nd_lg"]
+
+#: (asn, destination sensor address, epoch) -> AS path or None.  Bound by
+#: the measurement layer to the Looking Glass service and the routing state
+#: of the matching epoch.
+LgLookup = Callable[[int, str, str], Optional[Tuple[int, ...]]]
+
+
+def nd_lg(
+    snapshot: MeasurementSnapshot,
+    control: Optional[ControlPlaneView],
+    lg_lookup: LgLookup,
+    failure_weight: int = 1,
+    reroute_weight: int = 1,
+) -> DiagnosisResult:
+    """Run ND-LG on a snapshot with blocked-traceroute paths."""
+    from repro.core.uh import uh_tags  # local import to avoid cycle in docs
+
+    inputs = build_edge_inputs(snapshot)
+
+    # Step 1: tag every UH node of every probe path.
+    tags: Dict[UhNode, FrozenSet[int]] = {}
+    for store, epoch in ((snapshot.before, "pre"), (snapshot.after, "post")):
+        for path in store.paths():
+            if not path.has_unidentified_hops():
+                continue
+            tags.update(
+                uh_tags(
+                    path,
+                    snapshot.asn_of,
+                    lambda asn, _dst=path.dst, _ep=epoch: lg_lookup(asn, _dst, _ep),
+                )
+            )
+
+    # Apply AS-X's control-plane knowledge first: preseed from IGP and
+    # per-pair withdrawal pruning (same semantics as ND-bgpigp).
+    preseed = igp_preseed(control, inputs) if control else frozenset()
+    removals = (
+        withdrawal_exonerations(control, snapshot, inputs.failure_sets)
+        if control
+        else {}
+    )
+    excluded = inputs.excluded() - preseed
+
+    pruned_tokens = 0
+    failure_sets = []
+    for pair, failure_set in inputs.failure_sets.items():
+        removed = removals.get(pair, frozenset()) - preseed
+        pruned = failure_set - removed
+        pruned_tokens += len(failure_set) - len(pruned)
+        failure_sets.append(pruned if pruned else failure_set)
+
+    # Step 2: cluster unidentified links over the probed graph, counting
+    # membership against the pruned failure sets (rule iii).
+    clusters = build_clusters(inputs.graph.tokens(), failure_sets, tags)
+
+    def cluster_of(token: LinkToken) -> FrozenSet[LinkToken]:
+        # UH clusters (§3.4) and same-physical logical siblings compose.
+        return clusters.get(token, frozenset()) | inputs.cluster_of(token)
+
+    outcome = greedy_hitting_set(
+        failure_sets,
+        reroute_sets=list(inputs.reroute_map.values()),
+        excluded=excluded,
+        preseed=preseed,
+        failure_weight=failure_weight,
+        reroute_weight=reroute_weight,
+        cluster_of=cluster_of,
+    )
+    return DiagnosisResult(
+        algorithm="nd-lg",
+        hypothesis=outcome.hypothesis,
+        graph=inputs.graph,
+        excluded=excluded,
+        unexplained_failures=outcome.unexplained_failures,
+        unexplained_reroutes=outcome.unexplained_reroutes,
+        details={
+            "failure_sets": len(failure_sets),
+            "reroute_sets": len(inputs.reroute_map),
+            "uh_tags": dict(tags),
+            "clusters": {k: v for k, v in clusters.items() if v},
+            "igp_preseeded": len(preseed),
+            "withdrawal_exonerated": pruned_tokens,
+            "iterations": outcome.iterations,
+        },
+    )

@@ -1,0 +1,183 @@
+"""Probe paths and the stores the troubleshooter receives them in.
+
+A :class:`ProbePath` is one traceroute as the troubleshooter sees it:
+endpoint sensor addresses, the hop sequence (identified addresses and
+:class:`~repro.core.linkspace.UhNode` stars) and whether the destination
+answered.  A :class:`PathStore` holds one full-mesh measurement round; a
+:class:`MeasurementSnapshot` pairs the round taken before a failure event
+(``T-``) with the one taken after (``T+``) plus the IP-to-AS mapping
+callable — the complete edge-data input of every NetDiagnoser variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.core.linkspace import Endpoint, IpLink, ip_link
+from repro.errors import DiagnosisError
+
+__all__ = [
+    "EPOCH_PRE",
+    "EPOCH_POST",
+    "ProbePath",
+    "PathStore",
+    "MeasurementSnapshot",
+]
+
+EPOCH_PRE = "pre"
+EPOCH_POST = "post"
+
+#: A probe pair: (source sensor address, destination sensor address).
+Pair = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class ProbePath:
+    """One traceroute between two sensors.
+
+    ``hops`` starts at the source sensor's own address and, when the probe
+    reached, ends at the destination sensor's address.  A failed probe's
+    hops stop at the last responding position before the blackhole.
+    """
+
+    src: str
+    dst: str
+    hops: Tuple[Endpoint, ...]
+    reached: bool
+    epoch: str = EPOCH_PRE
+
+    def __post_init__(self) -> None:
+        if not self.hops:
+            raise DiagnosisError(f"probe {self.src}->{self.dst} has no hops")
+        if self.hops[0] != self.src:
+            raise DiagnosisError(
+                f"probe {self.src}->{self.dst}: first hop must be the source sensor"
+            )
+        if self.reached and self.hops[-1] != self.dst:
+            raise DiagnosisError(
+                f"probe {self.src}->{self.dst} reached but does not end at "
+                "the destination sensor"
+            )
+
+    @property
+    def pair(self) -> Pair:
+        return (self.src, self.dst)
+
+    def links(self) -> Tuple[IpLink, ...]:
+        """The directed physical-level link tokens along this path."""
+        return tuple(
+            ip_link(a, b) for a, b in zip(self.hops, self.hops[1:])
+        )
+
+    def has_unidentified_hops(self) -> bool:
+        """True when at least one hop is a star."""
+        return any(not isinstance(hop, str) for hop in self.hops)
+
+
+class PathStore:
+    """One full-mesh measurement round, indexed by probe pair."""
+
+    def __init__(self, paths: Optional[Dict[Pair, ProbePath]] = None) -> None:
+        self._paths: Dict[Pair, ProbePath] = {}
+        for path in (paths or {}).values():
+            self.add(path)
+
+    def add(self, path: ProbePath) -> None:
+        """Insert one probe path (pairs must be unique)."""
+        if path.pair in self._paths:
+            raise DiagnosisError(f"duplicate probe for pair {path.pair}")
+        self._paths[path.pair] = path
+
+    def get(self, pair: Pair) -> ProbePath:
+        try:
+            return self._paths[pair]
+        except KeyError:
+            raise DiagnosisError(f"no probe recorded for pair {pair}") from None
+
+    def __contains__(self, pair: Pair) -> bool:
+        return pair in self._paths
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def pairs(self) -> Tuple[Pair, ...]:
+        """All probe pairs, sorted for determinism."""
+        return tuple(sorted(self._paths))
+
+    def paths(self) -> Iterator[ProbePath]:
+        """All paths in pair order."""
+        for pair in self.pairs():
+            yield self._paths[pair]
+
+    def working_pairs(self) -> Tuple[Pair, ...]:
+        """Pairs whose probe reached the destination."""
+        return tuple(p for p in self.pairs() if self._paths[p].reached)
+
+    def failed_pairs(self) -> Tuple[Pair, ...]:
+        """Pairs whose probe did not reach the destination."""
+        return tuple(p for p in self.pairs() if not self._paths[p].reached)
+
+
+@dataclass
+class MeasurementSnapshot:
+    """Everything the edge gives the troubleshooter about one event.
+
+    ``asn_of`` maps an identified hop address to its AS number (or ``None``)
+    — the IP-to-AS technique of the paper.  The reachability matrix R of
+    §2.3 is the ``reached`` flag of the *after* store
+    (:meth:`failed_pairs` / :meth:`working_pairs`).
+    """
+
+    before: PathStore
+    after: PathStore
+    asn_of: Callable[[str], Optional[int]] = field(default=lambda _a: None)
+
+    def __post_init__(self) -> None:
+        if set(self.before.pairs()) != set(self.after.pairs()):
+            raise DiagnosisError(
+                "before/after measurement rounds cover different probe pairs"
+            )
+        for pair in self.before.pairs():
+            if not self.before.get(pair).reached:
+                raise DiagnosisError(
+                    f"pre-failure probe for pair {pair} did not reach; the "
+                    "troubleshooter is only invoked on previously-working pairs"
+                )
+
+    def failed_pairs(self) -> Tuple[Pair, ...]:
+        """Pairs that became unreachable (R_ij = 0)."""
+        return self.after.failed_pairs()
+
+    def working_pairs(self) -> Tuple[Pair, ...]:
+        """Pairs still reachable after the event (R_ij = 1)."""
+        return self.after.working_pairs()
+
+    def rerouted_pairs(self) -> Tuple[Pair, ...]:
+        """Working pairs whose T+ path differs from their T- path (§3.2).
+
+        UH hops are compared by position only (a star at hop 4 before and
+        after is assumed to be the same hidden router — the troubleshooter
+        cannot tell otherwise, and the paper’s blocked-traceroute scenarios
+        only use single link failures where this is exact).
+        """
+        rerouted = []
+        for pair in self.working_pairs():
+            old = _normalised_hops(self.before.get(pair))
+            new = _normalised_hops(self.after.get(pair))
+            if old != new:
+                rerouted.append(pair)
+        return tuple(rerouted)
+
+    def any_failure(self) -> bool:
+        """True when the troubleshooter has something to diagnose."""
+        return bool(self.failed_pairs())
+
+
+def _normalised_hops(path: ProbePath) -> Tuple:
+    """Hop sequence with UH identity reduced to position (see
+    :meth:`MeasurementSnapshot.rerouted_pairs`)."""
+    return tuple(
+        hop if isinstance(hop, str) else ("*", index)
+        for index, hop in enumerate(path.hops)
+    )

@@ -1,0 +1,95 @@
+"""Duffield's SCFS algorithm — the single-source baseline (§2.1).
+
+"Smallest Common Failure Set" (Duffield 2006) works on a *tree* of paths
+from one source to many destinations with known leaf status: it blames,
+for every maximal subtree whose leaves are all bad, the link entering the
+subtree's root — the links *nearest the source* consistent with the
+observations.  The paper uses it as the starting point that cannot handle
+the multi-source multi-destination, multi-AS setting; we keep it as a
+baseline and for regression tests against the Figure 1 example.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Set, Tuple
+
+from repro.errors import DiagnosisError
+
+__all__ = ["scfs"]
+
+Node = Hashable
+Edge = Tuple[Node, Node]  # (parent, child)
+
+
+def scfs(
+    parent: Mapping[Node, Node],
+    root: Node,
+    leaf_status: Mapping[Node, bool],
+) -> FrozenSet[Edge]:
+    """Run SCFS on a tree.
+
+    Parameters
+    ----------
+    parent:
+        Child -> parent map describing the tree (the root has no entry).
+    root:
+        The probing source.
+    leaf_status:
+        Leaf node -> True (reachable) / False (unreachable).  Every leaf of
+        the tree must be present.
+
+    Returns
+    -------
+    The set of (parent, child) edges blamed: for each maximal all-bad
+    subtree, the edge entering its root.
+    """
+    children: Dict[Node, List[Node]] = {}
+    for child, par in parent.items():
+        children.setdefault(par, []).append(child)
+    for node in children:
+        children[node].sort(key=repr)
+    if root in parent:
+        raise DiagnosisError("the root cannot have a parent")
+
+    all_nodes: Set[Node] = {root} | set(parent) | set(children)
+    leaves = [n for n in all_nodes if n not in children]
+    for leaf in leaves:
+        if leaf not in leaf_status:
+            raise DiagnosisError(f"leaf {leaf!r} has no observed status")
+
+    # A node is "bad" when every leaf under it is bad.
+    bad: Dict[Node, bool] = {}
+
+    def compute(node: Node) -> bool:
+        if node in bad:
+            return bad[node]
+        if node not in children:  # leaf
+            bad[node] = not leaf_status[node]
+            return bad[node]
+        # Evaluate every child (no short-circuit: walk() needs bad[] filled
+        # for the whole tree).
+        child_bad = [compute(child) for child in children[node]]
+        bad[node] = all(child_bad)
+        return bad[node]
+
+    compute(root)
+
+    blamed: Set[Edge] = set()
+
+    def walk(node: Node) -> None:
+        # Called only on non-bad nodes: blame edges into maximal all-bad
+        # subtrees, recurse into the rest.
+        for child in children.get(node, ()):
+            if bad[child]:
+                blamed.add((node, child))
+            else:
+                walk(child)
+
+    if bad[root]:
+        # Every destination is unreachable: the most parsimonious culprit
+        # is the root's own access link(s); blame every edge out of root.
+        for child in children.get(root, ()):
+            blamed.add((root, child))
+    else:
+        walk(root)
+    return frozenset(blamed)

@@ -1,0 +1,129 @@
+"""Mapping unidentified hops to ASes via Looking Glasses (§3.4, step 1).
+
+A traceroute through blocking ASes contains runs of stars.  To reason at
+AS granularity, each star must be attributed to a candidate set of ASes:
+
+1. obtain the AS path for the probe's destination from a Looking Glass —
+   the source AS's LG if available, otherwise "the first available Looking
+   Glass on the path" (only LGs at or before the dark run can see it);
+2. locate the identified ASes bracketing the run inside that AS path; the
+   ASes strictly between them are the run's candidate set (a single AS
+   gives an unambiguous tag, several give a combined tag like {B, D});
+3. runs that cannot be bracketed (no LG answered, or the LG path disagrees
+   with the traceroute) get the empty tag — "unknown".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.linkspace import UhNode
+from repro.core.pathset import ProbePath
+
+__all__ = ["LgPathLookup", "uh_tags"]
+
+#: Callable answering "AS path from this AS towards this path's destination"
+#: (bound to an epoch and a destination by the caller); ``None`` when the
+#: AS has no Looking Glass or no route.
+LgPathLookup = Callable[[int], Optional[Tuple[int, ...]]]
+
+
+def uh_tags(
+    path: ProbePath,
+    asn_of: Callable[[str], Optional[int]],
+    lg_as_path: LgPathLookup,
+) -> Dict[UhNode, FrozenSet[int]]:
+    """Candidate-AS tags for every UH node of one probe path."""
+    hops = path.hops
+    hop_asns: List[Optional[int]] = [
+        asn_of(hop) if isinstance(hop, str) else None for hop in hops
+    ]
+    tags: Dict[UhNode, FrozenSet[int]] = {}
+    for start, end in _uh_runs(hops):
+        prev_asn = _last_identified_asn(hop_asns, before=start)
+        next_asn = _first_identified_asn(hop_asns, at_or_after=end + 1)
+        as_path = _pick_lg_path(hop_asns, start, lg_as_path)
+        candidates = _bracket(as_path, prev_asn, next_asn)
+        for index in range(start, end + 1):
+            node = hops[index]
+            assert isinstance(node, UhNode)
+            tags[node] = candidates
+    return tags
+
+
+def _uh_runs(hops: Sequence) -> List[Tuple[int, int]]:
+    """Maximal runs of UH hops as (first index, last index) pairs."""
+    runs: List[Tuple[int, int]] = []
+    start: Optional[int] = None
+    for index, hop in enumerate(hops):
+        if not isinstance(hop, str):
+            if start is None:
+                start = index
+        elif start is not None:
+            runs.append((start, index - 1))
+            start = None
+    if start is not None:
+        runs.append((start, len(hops) - 1))
+    return runs
+
+
+def _last_identified_asn(
+    hop_asns: Sequence[Optional[int]], before: int
+) -> Optional[int]:
+    for index in range(before - 1, -1, -1):
+        if hop_asns[index] is not None:
+            return hop_asns[index]
+    return None
+
+
+def _first_identified_asn(
+    hop_asns: Sequence[Optional[int]], at_or_after: int
+) -> Optional[int]:
+    for index in range(at_or_after, len(hop_asns)):
+        if hop_asns[index] is not None:
+            return hop_asns[index]
+    return None
+
+
+def _pick_lg_path(
+    hop_asns: Sequence[Optional[int]],
+    run_start: int,
+    lg_as_path: LgPathLookup,
+) -> Optional[Tuple[int, ...]]:
+    """The AS path from the first available LG at or before the dark run.
+
+    An LG located after the run reports a path that never traverses the
+    dark region, so only ASes of identified hops *before* the run are
+    useful (the source AS first, per the paper).
+    """
+    tried = set()
+    for index in range(run_start):
+        asn = hop_asns[index]
+        if asn is None or asn in tried:
+            continue
+        tried.add(asn)
+        as_path = lg_as_path(asn)
+        if as_path is not None:
+            return as_path
+    return None
+
+
+def _bracket(
+    as_path: Optional[Tuple[int, ...]],
+    prev_asn: Optional[int],
+    next_asn: Optional[int],
+) -> FrozenSet[int]:
+    """ASes strictly between the bracketing ASes on the LG-reported path."""
+    if as_path is None or prev_asn is None:
+        return frozenset()
+    try:
+        prev_index = as_path.index(prev_asn)
+    except ValueError:
+        return frozenset()  # the LG path disagrees with the traceroute
+    if next_asn is None:
+        return frozenset(as_path[prev_index + 1 :])
+    try:
+        next_index = as_path.index(next_asn, prev_index + 1)
+    except ValueError:
+        return frozenset()
+    return frozenset(as_path[prev_index + 1 : next_index])

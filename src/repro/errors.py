@@ -1,0 +1,62 @@
+"""Exception hierarchy for the NetDiagnoser reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate the failure domain (topology construction,
+routing, measurement, diagnosis).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "AddressingError",
+    "RoutingError",
+    "ConvergenceError",
+    "MeasurementError",
+    "DiagnosisError",
+    "ScenarioError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class TopologyError(ReproError):
+    """Invalid topology construction or lookup (unknown router, duplicate
+    link, inter-AS link without a declared relationship, ...)."""
+
+
+class AddressingError(ReproError):
+    """Prefix or interface address allocation failed, or an address could
+    not be mapped back to an autonomous system."""
+
+
+class RoutingError(ReproError):
+    """A routing computation was asked something inconsistent (unknown
+    prefix, query against a state the engine never converged, ...)."""
+
+
+class ConvergenceError(RoutingError):
+    """The path-vector fixpoint failed to stabilise within the iteration
+    budget.  With valley-free (Gao-Rexford) policies this indicates a bug
+    or a deliberately adversarial configuration."""
+
+
+class MeasurementError(ReproError):
+    """Sensor placement or probing was misconfigured (sensor on a failed
+    router, duplicate sensor ids, probing an empty overlay, ...)."""
+
+
+class DiagnosisError(ReproError):
+    """A diagnosis algorithm received inconsistent inputs (failure set with
+    no candidate links, reachability matrix that disagrees with the path
+    store, ...)."""
+
+
+class ScenarioError(ReproError):
+    """A failure-scenario sampler could not produce an admissible scenario
+    (e.g. no sampled failure combination causes an unreachability within
+    the attempt budget)."""

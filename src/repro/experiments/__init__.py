@@ -1,0 +1,23 @@
+"""Experiment harnesses reproducing the paper's evaluation (§4-5)."""
+
+from repro.experiments.runner import (
+    AlgorithmScore,
+    RunRecord,
+    Session,
+    make_session,
+    run_kind_batch,
+    run_scenario,
+)
+from repro.experiments.scenarios import SCENARIO_KINDS, Scenario, ScenarioSampler
+
+__all__ = [
+    "AlgorithmScore",
+    "RunRecord",
+    "SCENARIO_KINDS",
+    "Scenario",
+    "ScenarioSampler",
+    "Session",
+    "make_session",
+    "run_kind_batch",
+    "run_scenario",
+]

@@ -1,0 +1,74 @@
+"""Figure 9: diagnosability vs specificity (§5.2).
+
+The number of probing sources is swept so the inferred graphs span a wide
+diagnosability range; each (placement, failure) pair contributes one
+scatter point (D(G), ND-edge specificity).  Expected shape: a positive
+relation — higher diagnosability yields higher specificity — with
+specificity staying above ~0.75 throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core.diagnoser import NetDiagnoser
+from repro.experiments.figures.base import FigureConfig, FigureResult, Series
+from repro.experiments.runner import run_kind_batch
+from repro.experiments.stats import binned_means, summarize
+from repro.measurement.sensors import random_stub_placement
+from repro.netsim.gen.internet import research_internet
+
+__all__ = ["run", "DEFAULT_SENSOR_COUNTS"]
+
+DEFAULT_SENSOR_COUNTS: Tuple[int, ...] = (5, 10, 20, 40)
+
+
+def run(
+    config: FigureConfig = FigureConfig(),
+    sensor_counts: Sequence[int] = DEFAULT_SENSOR_COUNTS,
+) -> FigureResult:
+    """Regenerate Figure 9: (diagnosability, specificity) scatter."""
+    points = []
+    for n_sensors in sensor_counts:
+        records = run_kind_batch(
+            topo_factory=lambda i: research_internet(seed=config.topo_seed + i),
+            placement_fn=lambda topo, rng: random_stub_placement(
+                topo, n_sensors, rng
+            ),
+            kinds=("link-1",),
+            diagnosers={"nd-edge": NetDiagnoser("nd-edge")},
+            placements=config.placements,
+            failures_per_placement=config.failures_per_placement,
+            seed=config.seed + n_sensors,
+        )
+        for record in records["link-1"]:
+            points.append(
+                (record.diagnosability, record.scores["nd-edge"].link.specificity)
+            )
+    result = FigureResult(
+        figure_id="fig9",
+        title="Diagnosability vs specificity (ND-edge, single link failures)",
+        notes=[
+            "specificity grows with diagnosability",
+            "specificity stays above ~0.75 across the whole range",
+        ],
+    )
+    result.series.append(
+        Series(
+            name="scatter",
+            points=sorted(points),
+            x_label="diagnosability",
+            y_label="specificity",
+        )
+    )
+    result.series.append(
+        Series(
+            name="trend",
+            points=binned_means(points, bins=6),
+            x_label="diagnosability",
+            y_label="mean specificity",
+        )
+    )
+    result.summaries["specificity"] = summarize([y for _x, y in points])
+    result.summaries["diagnosability"] = summarize([x for x, _y in points])
+    return result

@@ -1,0 +1,90 @@
+"""Text rendering of figure results.
+
+The paper's figures are plots; our harness regenerates the underlying
+series and prints them as aligned text tables (one per series) — plus an
+optional ASCII chart overlaying all series — followed by per-series
+summary statistics and the notes stating which qualitative claims the
+series should exhibit.  ``EXPERIMENTS.md`` records these renderings next
+to the paper's claims.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.experiments.figures.base import FigureResult, Series
+
+__all__ = ["render_figure", "render_ascii_chart"]
+
+#: Marker characters assigned to series in order.
+_MARKERS = "ox+*#@%&"
+
+
+def render_ascii_chart(
+    series_list: Sequence["Series"], width: int = 60, height: int = 16
+) -> str:
+    """Overlay every series on one character grid (terminal plot).
+
+    Each series gets a marker from ``o x + * ...``; axes are annotated
+    with the data ranges.  Intended for quick visual inspection of the
+    regenerated figures — the tables remain the authoritative record.
+    """
+    points = [p for series in series_list for p in series.points]
+    if not points:
+        return "(no data points)"
+    xs = [x for x, _y in points]
+    ys = [y for _x, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(series_list):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in series.points:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = (height - 1) - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = [f"{y_hi:8.2f} |" + "".join(grid[0])]
+    lines += ["         |" + "".join(row) for row in grid[1:-1]]
+    lines.append(f"{y_lo:8.2f} |" + "".join(grid[-1]))
+    lines.append("         +" + "-" * width)
+    lines.append(f"          {x_lo:<10.3g}{'':>{max(0, width - 20)}}{x_hi:>10.3g}")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={series.name}"
+        for i, series in enumerate(series_list)
+    )
+    lines.append(f"          {legend}")
+    return "\n".join(lines)
+
+
+def render_figure(result: "FigureResult", chart: bool = True) -> str:
+    """Render one figure's series, summaries and notes as text."""
+    lines: List[str] = []
+    lines.append(f"=== {result.figure_id}: {result.title} ===")
+    if chart and result.series:
+        lines.append("")
+        lines.append(render_ascii_chart(result.series))
+    for series in result.series:
+        lines.append("")
+        lines.append(f"-- {series.name}")
+        lines.append(f"   {series.x_label:>14s}  {series.y_label:>12s}")
+        for x, y in series.points:
+            lines.append(f"   {x:14.4f}  {y:12.4f}")
+    if result.summaries:
+        lines.append("")
+        lines.append("-- summaries")
+        for name, summary in result.summaries.items():
+            parts = ", ".join(
+                f"{key}={value:.3f}" for key, value in summary.items() if key != "n"
+            )
+            lines.append(f"   {name} (n={int(summary.get('n', 0))}): {parts}")
+    if result.notes:
+        lines.append("")
+        lines.append("-- expected shape (from the paper)")
+        for note in result.notes:
+            lines.append(f"   * {note}")
+    return "\n".join(lines)

@@ -1,0 +1,329 @@
+"""Experiment runner: the converge → inject → measure → diagnose → score loop.
+
+One :class:`Session` is a sensor deployment over a topology (the paper's
+"sensor placement"); :func:`run_scenario` executes a sampled failure
+against it with a set of configured diagnosers and scores every diagnosis
+at link and AS granularity.  Figure modules drive batches of these runs.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set
+
+from repro.core.diagnosability import diagnosability
+from repro.core.diagnoser import NetDiagnoser
+from repro.core.graph import InferredGraph
+from repro.core.linkspace import PhysicalLink, physical_link
+from repro.core.metrics import MetricPair, as_projection, sensitivity, specificity
+from repro.core.result import DiagnosisResult
+from repro.errors import ScenarioError
+from repro.measurement.collector import (
+    collect_control_plane,
+    make_lg_lookup,
+    take_snapshot,
+)
+from repro.measurement.sensors import Sensor, deploy_sensors
+from repro.netsim.events import Event
+from repro.netsim.gen.internet import ResearchInternet
+from repro.netsim.lookingglass import LookingGlassService
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import Internetwork, NetworkState
+from repro.experiments.scenarios import Scenario, ScenarioSampler
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "Session",
+    "AlgorithmScore",
+    "RunRecord",
+    "make_session",
+    "choose_blocked_ases",
+    "ground_truth_links",
+    "covered_ases",
+    "run_scenario",
+    "run_kind_batch",
+]
+
+
+@dataclass
+class Session:
+    """One sensor deployment ready to take failures."""
+
+    topo: ResearchInternet
+    sim: Simulator
+    sensors: List[Sensor]
+    base_state: NetworkState
+    sampler: ScenarioSampler
+
+    @property
+    def net(self) -> Internetwork:
+        return self.sim.net
+
+
+@dataclass
+class AlgorithmScore:
+    """Scores of one diagnoser on one scenario."""
+
+    algorithm: str
+    link: MetricPair
+    as_level: MetricPair
+    hypothesis_size: int
+    physical_hypothesis_size: int
+    fully_explained: bool
+
+
+@dataclass
+class RunRecord:
+    """Everything recorded about one (placement, failure) run."""
+
+    kind: str
+    description: str
+    diagnosability: float
+    n_failed_pairs: int
+    n_rerouted_pairs: int
+    scores: Dict[str, AlgorithmScore] = field(default_factory=dict)
+
+
+def make_session(
+    topo: ResearchInternet,
+    router_ids: Sequence[int],
+    rng: random.Random,
+    intra_failures_only: bool = False,
+) -> Session:
+    """Deploy sensors on the given gateways and prepare a sampler."""
+    sensors = deploy_sensors(topo.net, list(router_ids))
+    sensor_asns = {topo.net.asn_of_router(s.router_id) for s in sensors}
+    sim = Simulator(topo.net, sensor_asns)
+    base = NetworkState.nominal()
+    sampler = ScenarioSampler(
+        sim, sensors, rng, base_state=base, intra_failures_only=intra_failures_only
+    )
+    return Session(
+        topo=topo, sim=sim, sensors=sensors, base_state=base, sampler=sampler
+    )
+
+
+def choose_blocked_ases(
+    session: Session,
+    fraction: float,
+    rng: random.Random,
+    protected: FrozenSet[int] = frozenset(),
+) -> FrozenSet[int]:
+    """Pick the ASes that block traceroutes (§5.4).
+
+    Blocking is sampled among the ASes the probes actually cover ("the
+    ASes on the paths"), excluding sensor host ASes (their single gateway
+    is an identified probe endpoint anyway) and anything in ``protected``
+    (AS-X never hides from itself).
+    """
+    sensor_asns = {
+        session.net.asn_of_router(s.router_id) for s in session.sensors
+    }
+    pool = sorted(
+        covered_ases(session, session.base_state)
+        - sensor_asns
+        - set(protected)
+    )
+    count = round(fraction * len(pool))
+    return frozenset(rng.sample(pool, count)) if count else frozenset()
+
+
+def ground_truth_links(
+    net: Internetwork, event: Event
+) -> FrozenSet[PhysicalLink]:
+    """The failed/misconfigured links as metric-space physical tokens."""
+    truth = set()
+    for lid in event.physical_ground_truth(net):
+        link = net.link(lid)
+        truth.add(
+            physical_link(net.router(link.a).address, net.router(link.b).address)
+        )
+    return frozenset(truth)
+
+
+def ground_truth_ases(net: Internetwork, event: Event) -> FrozenSet[int]:
+    """The ASes containing the failed/misconfigured links."""
+    ases: Set[int] = set()
+    for lid in event.physical_ground_truth(net):
+        ases.update(net.link_asns(lid))
+    return frozenset(ases)
+
+
+def covered_ases(session: Session, state: NetworkState) -> FrozenSet[int]:
+    """Ground-truth ASes the probe mesh traverses under ``state``."""
+    ases: Set[int] = set()
+    for src in session.sensors:
+        for dst in session.sensors:
+            if src.sensor_id == dst.sensor_id:
+                continue
+            trace = session.sim.trace(state, src.router_id, dst.router_id)
+            for rid in trace.router_path():
+                ases.add(session.net.asn_of_router(rid))
+    return frozenset(ases)
+
+
+def run_scenario(
+    session: Session,
+    scenario: Scenario,
+    diagnosers: Mapping[str, NetDiagnoser],
+    asx: Optional[int] = None,
+    blocked_ases: FrozenSet[int] = frozenset(),
+    lg_service: Optional[LookingGlassService] = None,
+) -> RunRecord:
+    """Measure, diagnose with every configured diagnoser, and score."""
+    sim, sensors = session.sim, session.sensors
+    before, after = session.base_state, scenario.after_state
+
+    snapshot = take_snapshot(sim, sensors, before, after, blocked_ases)
+    control = (
+        collect_control_plane(sim, asx, before, after) if asx is not None else None
+    )
+    lg_lookup = (
+        make_lg_lookup(sim, lg_service, before, after, asx=asx)
+        if lg_service is not None
+        else None
+    )
+
+    truth_links = ground_truth_links(session.net, scenario.event)
+    truth_ases = ground_truth_ases(session.net, scenario.event)
+    universe_ases = covered_ases(session, before) | truth_ases
+    before_graph = InferredGraph.from_paths(snapshot.before.paths())
+    # Ground-truth probed links: under blocked traceroutes a probed link may
+    # be invisible in the *measured* universe (it shows up as UH tokens),
+    # yet it still belongs to the sensitivity denominator — the algorithm
+    # is rightly penalised for being unable to name it.
+    probed_physical = frozenset(
+        physical_link(
+            session.net.router(session.net.link(lid).a).address,
+            session.net.router(session.net.link(lid).b).address,
+        )
+        for lid in session.sampler.probed_links
+    )
+    visible_truth = truth_links & probed_physical
+    if not visible_truth:
+        raise ScenarioError(
+            "scenario admitted but none of its failed links were probed"
+        )
+
+    record = RunRecord(
+        kind=scenario.kind,
+        description=scenario.event.describe(session.net),
+        diagnosability=diagnosability(before_graph),
+        n_failed_pairs=len(snapshot.failed_pairs()),
+        n_rerouted_pairs=len(snapshot.rerouted_pairs()),
+    )
+    for label, diagnoser in diagnosers.items():
+        result = diagnoser.diagnose(snapshot, control=control, lg_lookup=lg_lookup)
+        record.scores[label] = _score(
+            result, snapshot.asn_of, visible_truth, truth_ases, universe_ases
+        )
+        logger.debug(
+            "%s on '%s': sens=%.2f spec=%.3f |H|=%d",
+            label,
+            record.description,
+            record.scores[label].link.sensitivity,
+            record.scores[label].link.specificity,
+            record.scores[label].hypothesis_size,
+        )
+    return record
+
+
+def _score(
+    result: DiagnosisResult,
+    asn_of,
+    visible_truth: FrozenSet[PhysicalLink],
+    truth_ases: FrozenSet[int],
+    universe_ases: FrozenSet[int],
+) -> AlgorithmScore:
+    universe = result.physical_universe()
+    hypothesis = result.physical_hypothesis()
+    uh_tags = result.details.get("uh_tags", {})
+    hypothesis_ases = as_projection(result.hypothesis, asn_of, uh_tags)
+    return AlgorithmScore(
+        algorithm=result.algorithm,
+        link=MetricPair(
+            sensitivity(visible_truth, hypothesis),
+            specificity(universe, visible_truth, hypothesis),
+        ),
+        as_level=MetricPair(
+            sensitivity(truth_ases, hypothesis_ases),
+            specificity(universe_ases, truth_ases, hypothesis_ases),
+        ),
+        hypothesis_size=len(result.hypothesis),
+        physical_hypothesis_size=len(hypothesis),
+        fully_explained=result.fully_explained,
+    )
+
+
+def run_kind_batch(
+    topo_factory,
+    placement_fn,
+    kinds: Sequence[str],
+    diagnosers: Mapping[str, NetDiagnoser],
+    placements: int,
+    failures_per_placement: int,
+    seed: int,
+    asx_selector=None,
+    blocked_fraction: float = 0.0,
+    lg_fraction: Optional[float] = None,
+    intra_failures_only: bool = False,
+) -> Dict[str, List[RunRecord]]:
+    """Run the paper's standard batch: placements × failures per kind.
+
+    ``topo_factory(placement_index)`` builds a fresh topology per placement
+    (keeps sensor address pools and caches bounded);
+    ``placement_fn(topo, rng)`` returns gateway router ids;
+    ``asx_selector(topo, rng)`` optionally returns AS-X's ASN;
+    ``lg_fraction`` (when not None) equips that fraction of ASes with
+    Looking Glasses and enables ND-LG inputs.
+    """
+    records: Dict[str, List[RunRecord]] = {kind: [] for kind in kinds}
+    for placement_index in range(placements):
+        rng = random.Random(f"{seed}/{placement_index}")
+        topo = topo_factory(placement_index)
+        session = make_session(
+            topo,
+            placement_fn(topo, rng),
+            rng,
+            intra_failures_only=intra_failures_only,
+        )
+        asx = asx_selector(topo, rng) if asx_selector is not None else None
+        blocked = choose_blocked_ases(
+            session,
+            blocked_fraction,
+            rng,
+            protected=frozenset() if asx is None else frozenset({asx}),
+        )
+        lg_service = None
+        if lg_fraction is not None:
+            all_asns = [a.asn for a in session.net.ases()]
+            count = round(lg_fraction * len(all_asns))
+            lg_service = LookingGlassService(
+                session.net, rng.sample(all_asns, count)
+            )
+        for kind in kinds:
+            produced = 0
+            resample_budget = 5 * failures_per_placement
+            while produced < failures_per_placement and resample_budget > 0:
+                resample_budget -= 1
+                try:
+                    scenario = session.sampler.sample(kind)
+                except ScenarioError:
+                    break  # this placement cannot produce this kind at all
+                try:
+                    record = run_scenario(
+                        session,
+                        scenario,
+                        diagnosers,
+                        asx=asx,
+                        blocked_ases=blocked,
+                        lg_service=lg_service,
+                    )
+                except ScenarioError:
+                    continue  # e.g. no failed link was probed: resample
+                records[kind].append(record)
+                produced += 1
+    return records

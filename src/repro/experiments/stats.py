@@ -1,0 +1,85 @@
+"""Small statistics helpers for the figure harnesses.
+
+The paper reports cumulative distributions (Figures 6-8, 10), averages
+(Figures 11-12) and scatters (Figure 9); these helpers turn lists of
+per-run metric values into those shapes deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["cdf", "mean", "summarize", "binned_means"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input (a silent 0 would read as a
+    terrible experiment result instead of a missing one)."""
+    if not values:
+        raise ReproError("mean of an empty value list")
+    return sum(values) / len(values)
+
+
+def cdf(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF points: (x, P[value <= x]) at each distinct value."""
+    if not values:
+        raise ReproError("cdf of an empty value list")
+    ordered = sorted(values)
+    n = len(ordered)
+    points: List[Tuple[float, float]] = []
+    for index, value in enumerate(ordered, start=1):
+        if index == n or ordered[index] != value:
+            points.append((value, index / n))
+    return points
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean, quartile-ish percentiles, and mass at the 0/1 extremes.
+
+    ``frac_zero``/``frac_one`` matter because the paper phrases several
+    results that way ("sensitivity is zero in almost 90% of instances").
+    """
+    if not values:
+        raise ReproError("summary of an empty value list")
+    ordered = sorted(values)
+    n = len(ordered)
+
+    def pct(q: float) -> float:
+        return ordered[min(n - 1, int(q * n))]
+
+    return {
+        "n": float(n),
+        "mean": mean(values),
+        "p10": pct(0.10),
+        "p50": pct(0.50),
+        "p90": pct(0.90),
+        "frac_zero": sum(1 for v in values if v == 0.0) / n,
+        "frac_one": sum(1 for v in values if v == 1.0) / n,
+    }
+
+
+def binned_means(
+    points: Sequence[Tuple[float, float]], bins: int = 8
+) -> List[Tuple[float, float]]:
+    """Average y per equal-width x bin — the trend line of a scatter."""
+    if not points:
+        raise ReproError("binned means of an empty point list")
+    xs = [x for x, _y in points]
+    lo, hi = min(xs), max(xs)
+    if hi == lo:
+        return [(lo, mean([y for _x, y in points]))]
+    width = (hi - lo) / bins
+    out: List[Tuple[float, float]] = []
+    for b in range(bins):
+        left = lo + b * width
+        right = hi if b == bins - 1 else left + width
+        ys = [
+            y
+            for x, y in points
+            if left <= x <= right and (b == 0 or x > left)
+        ]
+        if ys:
+            out.append(((left + right) / 2, mean(ys)))
+    return out

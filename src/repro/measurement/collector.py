@@ -1,0 +1,107 @@
+"""The troubleshooter-side collector: snapshots, control feeds, LG access.
+
+This is the glue the paper places at AS-X's Network Operation Center: it
+gathers the sensors' before/after meshes into a
+:class:`~repro.core.pathset.MeasurementSnapshot`, converts AS-X's routing
+messages into a :class:`~repro.core.control_plane.ControlPlaneView`, and
+binds Looking Glass queries into the callback signature ND-LG expects.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from repro.core.control_plane import (
+    ControlPlaneView,
+    IgpLinkDownObservation,
+    WithdrawalObservation,
+)
+from repro.core.nd_lg import LgLookup
+from repro.core.pathset import EPOCH_POST, EPOCH_PRE, MeasurementSnapshot
+from repro.errors import MeasurementError
+from repro.measurement.probing import probe_mesh
+from repro.measurement.sensors import Sensor
+from repro.netsim.lookingglass import LookingGlassService
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import NetworkState
+
+__all__ = ["take_snapshot", "collect_control_plane", "make_lg_lookup"]
+
+
+def take_snapshot(
+    sim: Simulator,
+    sensors: Sequence[Sensor],
+    before_state: NetworkState,
+    after_state: NetworkState,
+    blocked_ases: FrozenSet[int] = frozenset(),
+) -> MeasurementSnapshot:
+    """Probe the mesh at T- and T+ and assemble the snapshot."""
+    mapper = sim.mapper
+    return MeasurementSnapshot(
+        before=probe_mesh(sim, sensors, before_state, blocked_ases, EPOCH_PRE),
+        after=probe_mesh(sim, sensors, after_state, blocked_ases, EPOCH_POST),
+        asn_of=mapper.asn_of,
+    )
+
+
+def collect_control_plane(
+    sim: Simulator,
+    asx: int,
+    before_state: NetworkState,
+    after_state: NetworkState,
+) -> ControlPlaneView:
+    """AS-X's IGP link-down messages and BGP withdrawal log for one event."""
+    net = sim.net
+    igp_down = tuple(
+        IgpLinkDownObservation(
+            address_a=net.router(link.a).address,
+            address_b=net.router(link.b).address,
+        )
+        for link in sim.igp_link_down(asx, after_state)
+    )
+    withdrawals = tuple(
+        WithdrawalObservation(
+            prefix=w.prefix,
+            at_address=net.router(w.at_router).address,
+            from_address=net.router(w.from_router).address,
+            from_asn=w.from_asn,
+        )
+        for w in sim.withdrawals(asx, before_state, after_state)
+    )
+    return ControlPlaneView(
+        asx_asn=asx, igp_link_down=igp_down, withdrawals=withdrawals
+    )
+
+
+def make_lg_lookup(
+    sim: Simulator,
+    lg_service: LookingGlassService,
+    before_state: NetworkState,
+    after_state: NetworkState,
+    asx: Optional[int] = None,
+) -> LgLookup:
+    """Bind Looking Glass queries into ND-LG's callback signature.
+
+    The callback receives (asn, destination sensor address, epoch) and
+    returns the AS path that AS would report towards the destination's
+    prefix under the matching routing state.  AS-X itself needs no public
+    LG — it reads its own BGP table — so queries for ``asx`` bypass the
+    availability check.
+    """
+    mapper = sim.mapper
+    states = {EPOCH_PRE: before_state, EPOCH_POST: after_state}
+
+    def lookup(asn: int, dst_address: str, epoch: str) -> Optional[Tuple[int, ...]]:
+        if epoch not in states:
+            raise MeasurementError(f"unknown measurement epoch {epoch!r}")
+        prefix = mapper.prefix_containing(dst_address)
+        if prefix is None:
+            return None
+        routing = sim.routing(states[epoch])
+        if prefix not in routing.prefixes:
+            return None
+        if asx is not None and asn == asx:
+            return routing.as_path(asn, prefix)
+        return lg_service.query(asn, prefix, routing)
+
+    return lookup

@@ -1,0 +1,92 @@
+"""Paris-traceroute-style multipath probing (footnote 2 of the paper).
+
+Classic traceroute sees one path per pair; under load balancing the path
+it reports may flip without any failure, and a genuine reroute may hide
+behind an apparent flip.  Paris traceroute enumerates *all* paths between
+a pair, which is what this module simulates: each probe returns the full
+set of equal-cost forwarding paths as
+:class:`~repro.core.pathset.ProbePath` objects sharing the pair key.
+
+Blocked-AS handling is deliberately unsupported here: UH identity is per
+(pair, epoch, position), and two ECMP siblings of one pair could alias.
+The paper's blocked-traceroute experiments use single-path probing, so
+the combination never arises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.pathset import EPOCH_PRE, Pair, ProbePath
+from repro.errors import MeasurementError
+from repro.measurement.sensors import Sensor
+from repro.netsim.multipath import enumerate_data_paths
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import NetworkState
+
+__all__ = ["MultipathStore", "paris_probe_pair", "paris_mesh"]
+
+#: One multipath measurement round: pair -> every discovered path.
+MultipathStore = Dict[Pair, Tuple[ProbePath, ...]]
+
+
+def paris_probe_pair(
+    sim: Simulator,
+    src: Sensor,
+    dst: Sensor,
+    state: NetworkState,
+    epoch: str = EPOCH_PRE,
+    max_paths: int = 32,
+) -> Tuple[ProbePath, ...]:
+    """All equal-cost paths between two sensors (empty = unreachable)."""
+    router_paths = enumerate_data_paths(
+        sim.net,
+        sim.routing(state),
+        state,
+        src.router_id,
+        dst.router_id,
+        igp_cache=sim.igp_cache,
+        max_paths=max_paths,
+    )
+    probes: List[ProbePath] = []
+    for router_path in router_paths:
+        hops = (
+            (src.address,)
+            + tuple(sim.net.router(rid).address for rid in router_path)
+            + (dst.address,)
+        )
+        probes.append(
+            ProbePath(
+                src=src.address,
+                dst=dst.address,
+                hops=hops,
+                reached=True,
+                epoch=epoch,
+            )
+        )
+    return tuple(probes)
+
+
+def paris_mesh(
+    sim: Simulator,
+    sensors: Sequence[Sensor],
+    state: NetworkState,
+    epoch: str = EPOCH_PRE,
+    max_paths: int = 32,
+) -> MultipathStore:
+    """The full multipath mesh: every ordered pair's path set.
+
+    Pairs that are unreachable map to an empty tuple (the reachability
+    matrix of a multipath round: R_ij = 0 iff *every* path is broken).
+    """
+    if not sensors:
+        raise MeasurementError("cannot probe an empty sensor overlay")
+    mesh: MultipathStore = {}
+    for src in sensors:
+        for dst in sensors:
+            if src.sensor_id == dst.sensor_id:
+                continue
+            mesh[(src.address, dst.address)] = paris_probe_pair(
+                sim, src, dst, state, epoch=epoch, max_paths=max_paths
+            )
+    return mesh

@@ -1,0 +1,70 @@
+"""Full-mesh probing: turning simulator traceroutes into probe paths.
+
+"Every sensor uses traceroute to examine the reachability from itself to
+every other sensor, and sends the results to AS-X" (§2.2).  This module
+runs that mesh against the simulator and assembles the
+:class:`~repro.core.pathset.PathStore` the troubleshooter receives: hop
+addresses with sensor endpoints attached, stars materialised as
+:class:`~repro.core.linkspace.UhNode` tokens carrying (pair, epoch,
+position) identity.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence
+
+from repro.core.linkspace import Endpoint, UhNode
+from repro.core.pathset import EPOCH_PRE, PathStore, ProbePath
+from repro.measurement.sensors import Sensor
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import NetworkState
+
+__all__ = ["probe_mesh", "probe_pair"]
+
+
+def probe_pair(
+    sim: Simulator,
+    src: Sensor,
+    dst: Sensor,
+    state: NetworkState,
+    blocked_ases: FrozenSet[int] = frozenset(),
+    epoch: str = EPOCH_PRE,
+) -> ProbePath:
+    """One traceroute from sensor ``src`` to sensor ``dst``."""
+    trace = sim.trace(state, src.router_id, dst.router_id, blocked_ases)
+    raw: List[Endpoint] = [src.address]
+    raw.extend(hop.address for hop in trace.hops)  # type: ignore[arg-type]
+    if trace.reached:
+        raw.append(dst.address)
+    hops: List[Endpoint] = []
+    for index, endpoint in enumerate(raw):
+        if endpoint is None:
+            hops.append(
+                UhNode(src=src.address, dst=dst.address, epoch=epoch, index=index)
+            )
+        else:
+            hops.append(endpoint)
+    return ProbePath(
+        src=src.address,
+        dst=dst.address,
+        hops=tuple(hops),
+        reached=trace.reached,
+        epoch=epoch,
+    )
+
+
+def probe_mesh(
+    sim: Simulator,
+    sensors: Sequence[Sensor],
+    state: NetworkState,
+    blocked_ases: FrozenSet[int] = frozenset(),
+    epoch: str = EPOCH_PRE,
+) -> PathStore:
+    """The full measurement mesh: one probe per ordered sensor pair."""
+    store = PathStore()
+    for src in sensors:
+        for dst in sensors:
+            if src.sensor_id == dst.sensor_id:
+                continue
+            store.add(probe_pair(sim, src, dst, state, blocked_ases, epoch))
+    return store

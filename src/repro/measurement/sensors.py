@@ -1,0 +1,143 @@
+"""Troubleshooting sensors and placement strategies (§2.2, §4).
+
+A sensor is an end host co-located with a router (the paper's DSL-gateway
+or third-party-software deployment): it has its own address inside the
+hosting AS's prefix and probes every other sensor.
+
+Placement strategies reproduce the §4 case study (Figure 5):
+
+* ``same_as`` — all N sensors inside one (multi-router) AS;
+* ``distant_as`` — N/2 sensors in each of two ASes;
+* ``distant_split`` — distant-AS plus some sensors at the border routers
+  on the sequence of links between the two ASes;
+* ``random_stub`` — sensors at randomly chosen stub ASes (the worst case,
+  used for every other experiment with N = 10).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import MeasurementError
+from repro.netsim.gen.internet import ResearchInternet
+from repro.netsim.topology import Internetwork
+
+__all__ = [
+    "Sensor",
+    "deploy_sensors",
+    "random_stub_placement",
+    "same_as_placement",
+    "distant_as_placement",
+    "distant_split_placement",
+]
+
+
+@dataclass(frozen=True)
+class Sensor:
+    """One troubleshooting sensor: an end host behind a gateway router."""
+
+    sensor_id: int
+    name: str
+    router_id: int
+    address: str
+
+
+def deploy_sensors(net: Internetwork, router_ids: Sequence[int]) -> List[Sensor]:
+    """Attach one sensor to each router in ``router_ids`` (repeats allowed:
+    several sensors can share a gateway, each with its own address)."""
+    if not router_ids:
+        raise MeasurementError("cannot deploy an empty sensor overlay")
+    sensors = []
+    for index, rid in enumerate(router_ids):
+        router = net.router(rid)
+        address = net.allocator.next_sensor_address(router.asn)
+        sensors.append(
+            Sensor(
+                sensor_id=index,
+                name=f"s{index + 1}",
+                router_id=rid,
+                address=address,
+            )
+        )
+    return sensors
+
+
+def random_stub_placement(
+    topo: ResearchInternet, n: int, rng: random.Random
+) -> List[int]:
+    """Gateway routers of ``n`` distinct randomly chosen stub ASes."""
+    if n > len(topo.stub_asns):
+        raise MeasurementError(
+            f"cannot place {n} sensors across {len(topo.stub_asns)} stub ASes"
+        )
+    return [topo.stub_router(asn) for asn in rng.sample(topo.stub_asns, n)]
+
+
+def same_as_placement(
+    net: Internetwork, asn: int, n: int, rng: random.Random
+) -> List[int]:
+    """``n`` sensors on routers of one AS (distinct routers while they
+    last, then sharing)."""
+    routers = list(net.autonomous_system(asn).router_ids)
+    if not routers:
+        raise MeasurementError(f"AS {asn} has no routers")
+    if n <= len(routers):
+        return rng.sample(routers, n)
+    placement = list(routers)
+    placement += [rng.choice(routers) for _ in range(n - len(routers))]
+    return placement
+
+
+def distant_as_placement(
+    net: Internetwork, asn_a: int, asn_b: int, n: int, rng: random.Random
+) -> List[int]:
+    """N/2 sensors in each of two ASes."""
+    half = n // 2
+    return same_as_placement(net, asn_a, half, rng) + same_as_placement(
+        net, asn_b, n - half, rng
+    )
+
+
+def distant_split_placement(
+    net: Internetwork,
+    asn_a: int,
+    asn_b: int,
+    n: int,
+    rng: random.Random,
+    intermediate_routers: Sequence[int] = (),
+    split: int = 2,
+) -> List[int]:
+    """Distant-AS placement with ``split`` sensors moved onto routers along
+    the sequence of links between the two ASes — "sensors placed at
+    intermediate nodes between the networks" (§4).
+
+    ``intermediate_routers`` are the candidates for the split sensors:
+    normally the routers of the inter-AS path between the two networks
+    (the Figure 5 harness computes them from the data plane).  When empty,
+    the border routers of direct links between the two ASes are used.
+    """
+    split = min(split, n)
+    candidates = list(intermediate_routers)
+    if not candidates:
+        for link in net.inter_links():
+            asns = set(net.link_asns(link.lid))
+            if asns == {asn_a, asn_b}:
+                candidates.extend(link.endpoints())
+    if not candidates:
+        raise MeasurementError(
+            f"no intermediate routers between AS {asn_a} and AS {asn_b}: "
+            "pass intermediate_routers or pick directly-connected ASes"
+        )
+    placement = distant_as_placement(net, asn_a, asn_b, n - split, rng)
+    # Spread the split sensors evenly along the sequence for maximum
+    # coverage of the shared links.
+    unique = sorted(set(candidates), key=candidates.index)
+    if split >= len(unique):
+        chosen = unique + [rng.choice(unique) for _ in range(split - len(unique))]
+    else:
+        step = len(unique) / split
+        chosen = [unique[int(i * step + step / 2)] for i in range(split)]
+    placement += chosen
+    return placement

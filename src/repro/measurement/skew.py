@@ -1,0 +1,99 @@
+"""Measurement-timing skew: the §6 clock-synchronisation hazard, simulated.
+
+"We have assumed that the sensors perform measurements at approximately
+the same time, which requires some form of clock synchronization" (§6).
+When a sensor's measurement schedule lags the failure event, the round it
+reports to AS-X was actually taken *before* the event: its paths look
+intact, its reachability bits say "up".  Mixed-epoch rounds are poison for
+diagnosis — a stale "working" path can exonerate the very link that
+failed.
+
+:func:`take_skewed_snapshot` reproduces the hazard faithfully: stale
+sensors contribute their pre-failure measurements to the T+ round
+(relabelled, exactly as a real collector would mistakenly ingest them).
+The ablation bench quantifies the sensitivity degradation as a function of
+the stale fraction, and :func:`remeasure` models the §6 mitigation — wait
+one more round (NTP-synchronised, all sensors caught up) and diagnose
+again.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Iterable, Sequence
+
+from repro.core.pathset import EPOCH_POST, EPOCH_PRE, MeasurementSnapshot, PathStore
+from repro.errors import MeasurementError
+from repro.measurement.probing import probe_pair
+from repro.measurement.sensors import Sensor
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import NetworkState
+
+__all__ = ["take_skewed_snapshot", "pick_stale_sensors", "remeasure"]
+
+
+def pick_stale_sensors(
+    sensors: Sequence[Sensor], fraction: float, rng: random.Random
+) -> FrozenSet[int]:
+    """Choose which sensors lag the event (by ``sensor_id``)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise MeasurementError("stale fraction must be within [0, 1]")
+    count = round(fraction * len(sensors))
+    chosen = rng.sample([s.sensor_id for s in sensors], count)
+    return frozenset(chosen)
+
+
+def take_skewed_snapshot(
+    sim: Simulator,
+    sensors: Sequence[Sensor],
+    before_state: NetworkState,
+    after_state: NetworkState,
+    stale_sensor_ids: Iterable[int],
+    blocked_ases: FrozenSet[int] = frozenset(),
+) -> MeasurementSnapshot:
+    """A snapshot whose T+ round mixes fresh and stale measurements.
+
+    Probes *sourced* at a stale sensor ran before the event: they are
+    taken against ``before_state`` but labelled (and ingested) as T+ —
+    precisely the §6 failure mode.  Probes from synchronised sensors see
+    ``after_state`` as usual.
+    """
+    stale = frozenset(stale_sensor_ids)
+    known = {s.sensor_id for s in sensors}
+    if not stale <= known:
+        raise MeasurementError(f"unknown stale sensor ids: {sorted(stale - known)}")
+
+    before = PathStore()
+    after = PathStore()
+    for src in sensors:
+        src_state = before_state if src.sensor_id in stale else after_state
+        for dst in sensors:
+            if src.sensor_id == dst.sensor_id:
+                continue
+            before.add(
+                probe_pair(sim, src, dst, before_state, blocked_ases, EPOCH_PRE)
+            )
+            after.add(
+                probe_pair(sim, src, dst, src_state, blocked_ases, EPOCH_POST)
+            )
+    return MeasurementSnapshot(
+        before=before, after=after, asn_of=sim.mapper.asn_of
+    )
+
+
+def remeasure(
+    sim: Simulator,
+    sensors: Sequence[Sensor],
+    before_state: NetworkState,
+    after_state: NetworkState,
+    blocked_ases: FrozenSet[int] = frozenset(),
+) -> MeasurementSnapshot:
+    """The §6 mitigation: one more (synchronised) round after the skew.
+
+    By the next round every sensor's schedule has passed the event, so
+    this is simply a clean snapshot — named to make the experiment read
+    like the operational procedure it models.
+    """
+    from repro.measurement.collector import take_snapshot
+
+    return take_snapshot(sim, sensors, before_state, after_state, blocked_ases)

@@ -1,0 +1,178 @@
+"""Prefix and address allocation for the simulated internetwork.
+
+The paper's troubleshooter relies on a "well-known IP-to-AS mapping
+technique" (Mao et al., SIGCOMM 2003) to decide which AS owns each
+traceroute hop.  In the simulator we control the address plan, so the
+mapping technique reduces to longest-prefix lookup over the allocation
+table — which is exactly what the real technique converges to when the
+registry data is accurate.
+
+Address plan
+------------
+Every autonomous system ``asn`` receives one /20 IPv4 prefix carved out of
+``10.0.0.0/8`` (4096 addresses: enough routers for the largest core AS and
+enough sensor hosts for the densest Figure 5 placement).  Within an AS
+block:
+
+* router ``k`` of the AS gets the *router address* ``base + k + 1``
+  (traceroute hops answer with this canonical address — see
+  ``DESIGN.md`` §5 on router-granularity hops),
+* sensors get host addresses allocated downwards from the top of the
+  block.
+
+The allocator is deliberately deterministic: the same construction order
+always yields the same addresses, which keeps every simulation seed
+reproducible.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import AddressingError
+
+__all__ = ["PrefixAllocator", "IpToAsMapper"]
+
+#: Prefix length of each AS block.
+_AS_PREFIX_LEN = 20
+#: Addresses per AS block.
+_BLOCK_SIZE = 1 << (32 - _AS_PREFIX_LEN)
+#: Number of host addresses reserved at the top of each AS block for sensors.
+_SENSOR_POOL = 1024
+#: Maximum routers per AS (the rest of the block, minus network/broadcast).
+_ROUTER_POOL = _BLOCK_SIZE - _SENSOR_POOL - 2
+
+
+class PrefixAllocator:
+    """Allocates one /20 per AS and deterministic addresses inside it.
+
+    Parameters
+    ----------
+    base:
+        Network the AS blocks are carved from.  The default uses
+        ``10.0.0.0/8`` (4096 possible AS blocks).
+    """
+
+    def __init__(self, base: str = "10.0.0.0/8") -> None:
+        self._base = ipaddress.ip_network(base)
+        self._as_prefix: Dict[int, ipaddress.IPv4Network] = {}
+        self._router_counter: Dict[int, int] = {}
+        self._sensor_counter: Dict[int, int] = {}
+        self._max_asn = 1 << (_AS_PREFIX_LEN - self._base.prefixlen)
+
+    def allocate_as(self, asn: int) -> str:
+        """Reserve the /20 block for ``asn`` and return it as a string."""
+        if asn in self._as_prefix:
+            raise AddressingError(f"AS {asn} already has a prefix allocated")
+        if not 0 < asn < self._max_asn:
+            raise AddressingError(
+                f"AS number {asn} outside supported range 1..{self._max_asn - 1}"
+            )
+        net = ipaddress.ip_network(
+            f"{self._base.network_address + asn * _BLOCK_SIZE}/{_AS_PREFIX_LEN}"
+        )
+        self._as_prefix[asn] = net
+        self._router_counter[asn] = 0
+        self._sensor_counter[asn] = 0
+        return str(net)
+
+    def prefix_of(self, asn: int) -> str:
+        """Return the prefix string previously allocated to ``asn``."""
+        try:
+            return str(self._as_prefix[asn])
+        except KeyError:
+            raise AddressingError(f"AS {asn} has no allocated prefix") from None
+
+    def next_router_address(self, asn: int) -> str:
+        """Return the canonical address for the next router created in ``asn``."""
+        net = self._need(asn)
+        index = self._router_counter[asn]
+        if index >= _ROUTER_POOL:
+            raise AddressingError(f"AS {asn} exhausted its router address pool")
+        self._router_counter[asn] = index + 1
+        return str(net.network_address + index + 1)
+
+    def next_sensor_address(self, asn: int) -> str:
+        """Return the address for the next sensor attached inside ``asn``."""
+        net = self._need(asn)
+        index = self._sensor_counter[asn]
+        if index >= _SENSOR_POOL:
+            raise AddressingError(f"AS {asn} exhausted its sensor address pool")
+        self._sensor_counter[asn] = index + 1
+        return str(net.broadcast_address - 1 - index)
+
+    def allocations(self) -> Iterator[Tuple[int, str]]:
+        """Yield ``(asn, prefix_string)`` pairs in allocation order."""
+        for asn, net in self._as_prefix.items():
+            yield asn, str(net)
+
+    def _need(self, asn: int) -> ipaddress.IPv4Network:
+        try:
+            return self._as_prefix[asn]
+        except KeyError:
+            raise AddressingError(f"AS {asn} has no allocated prefix") from None
+
+
+class IpToAsMapper:
+    """Longest-prefix IP-to-AS mapping over an allocation table.
+
+    This plays the role of the IP-to-AS mapping technique [Mao et al. 2003]
+    the paper assumes: given any hop address observed in a traceroute, return
+    the owning AS number, or ``None`` for addresses outside every allocation
+    (the simulated analogue of private/unroutable space).
+    """
+
+    def __init__(self) -> None:
+        self._table: Dict[ipaddress.IPv4Network, int] = {}
+        self._memo: Dict[str, Optional[int]] = {}
+
+    @classmethod
+    def from_allocator(cls, allocator: PrefixAllocator) -> "IpToAsMapper":
+        """Build a mapper that knows every prefix in ``allocator``."""
+        mapper = cls()
+        for asn, prefix in allocator.allocations():
+            mapper.register(prefix, asn)
+        return mapper
+
+    def register(self, prefix: str, asn: int) -> None:
+        """Register that ``prefix`` belongs to ``asn``."""
+        net = ipaddress.ip_network(prefix)
+        if net in self._table and self._table[net] != asn:
+            raise AddressingError(
+                f"prefix {prefix} registered to both AS {self._table[net]} and AS {asn}"
+            )
+        self._table[net] = asn
+        self._memo.clear()
+
+    def asn_of(self, address: str) -> Optional[int]:
+        """Map ``address`` to its owning AS number (``None`` if unknown).
+
+        Memoised: traceroute meshes look the same addresses up thousands of
+        times per diagnosis.
+        """
+        if address in self._memo:
+            return self._memo[address]
+        try:
+            ip = ipaddress.ip_address(address)
+        except ValueError:
+            raise AddressingError(f"not an IP address: {address!r}") from None
+        best: Optional[ipaddress.IPv4Network] = None
+        for net in self._table:
+            if ip in net and (best is None or net.prefixlen > best.prefixlen):
+                best = net
+        result = self._table[best] if best is not None else None
+        self._memo[address] = result
+        return result
+
+    def prefix_containing(self, address: str) -> Optional[str]:
+        """Return the most specific registered prefix containing ``address``."""
+        ip = ipaddress.ip_address(address)
+        best: Optional[ipaddress.IPv4Network] = None
+        for net in self._table:
+            if ip in net and (best is None or net.prefixlen > best.prefixlen):
+                best = net
+        return str(best) if best is not None else None
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,267 @@
+"""Event-driven (message-level) BGP simulation.
+
+The production engine (:mod:`repro.netsim.bgp.engine`) computes converged
+states directly with a Gauss-Seidel fixpoint — fast, but an abstraction.
+This module is the *validator*: a C-BGP-style discrete-event simulator
+that exchanges individual UPDATE messages (announcements and withdrawals)
+over per-session FIFO channels until the network quiesces.
+
+For Gao-Rexford-compliant policies the stable state is unique (Gao &
+Rexford 2001), so the event-driven outcome must match the fixpoint
+exactly — for *any* message timing.  The property tests drive both
+engines over randomized topologies and delay schedules and require
+identical RIBs; this is the strongest evidence the substitution of C-BGP
+by a fixpoint preserves every observable the paper's evaluation consumes.
+
+The simulator also exposes what the fixpoint cannot: the *message log*,
+used by tests to sanity-check the withdrawal semantics of
+:mod:`repro.netsim.bgp.messages` (e.g. "an explicit withdrawal is only
+ever received over a session that is still up").
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConvergenceError, RoutingError
+from repro.netsim.bgp import policy
+from repro.netsim.bgp.rib import RoutingState
+from repro.netsim.bgp.route import BgpRoute
+from repro.netsim.topology import Internetwork, NetworkState
+
+__all__ = ["BgpMessage", "EventDrivenBgp"]
+
+#: Safety valve: no sane simulation of our topologies needs more.
+_MAX_MESSAGES = 2_000_000
+
+
+@dataclass(frozen=True)
+class BgpMessage:
+    """One UPDATE on the wire.
+
+    ``route`` is ``None`` for a withdrawal.  ``link_id``/``from_asn``/
+    ``to_asn`` identify the directed session.
+    """
+
+    prefix: str
+    link_id: int
+    from_asn: int
+    to_asn: int
+    route: Optional[Tuple[int, ...]]  # the announced AS path, None = withdraw
+
+
+@dataclass
+class _Speaker:
+    """Per-AS BGP state for one prefix."""
+
+    asn: int
+    #: (link_id, neighbour asn) -> last announced AS path from there.
+    rib_in: Dict[Tuple[int, int], Tuple[int, ...]] = field(default_factory=dict)
+    #: (link_id, neighbour asn) -> AS path we last advertised to them.
+    adj_out: Dict[Tuple[int, int], Optional[Tuple[int, ...]]] = field(
+        default_factory=dict
+    )
+    best: Optional[BgpRoute] = None
+
+
+class EventDrivenBgp:
+    """Message-level convergence for a fixed topology and prefix set.
+
+    Parameters mirror :class:`~repro.netsim.bgp.engine.BgpEngine`; the
+    extra ``rng`` randomises per-message propagation delays (per-session
+    FIFO order is always preserved, like TCP) so callers can probe
+    timing-independence.
+    """
+
+    def __init__(
+        self,
+        net: Internetwork,
+        prefixes: Dict[str, int],
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.net = net
+        self._prefixes = dict(prefixes)
+        self._rng = rng
+        for prefix, asn in self._prefixes.items():
+            if net.autonomous_system(asn).prefix != prefix:
+                raise RoutingError(
+                    f"prefix {prefix} is not the allocated prefix of AS {asn}"
+                )
+        self._sessions = self._enumerate_sessions()
+        self.message_log: List[BgpMessage] = []
+
+    def _enumerate_sessions(self) -> Dict[int, List[Tuple[int, int, int]]]:
+        sessions: Dict[int, List[Tuple[int, int, int]]] = {
+            autsys.asn: [] for autsys in self.net.ases()
+        }
+        for link in self.net.inter_links():
+            asn_a = self.net.asn_of_router(link.a)
+            asn_b = self.net.asn_of_router(link.b)
+            sessions[asn_a].append((link.lid, asn_b, link.a))
+            sessions[asn_b].append((link.lid, asn_a, link.b))
+        for asn in sessions:
+            sessions[asn].sort()
+        return sessions
+
+    # ----------------------------------------------------------------- run
+
+    def converge(self, state: NetworkState) -> RoutingState:
+        """Run the event simulation to quiescence and extract the state."""
+        self.message_log = []
+        ribs: Dict[str, Dict[int, BgpRoute]] = {}
+        adj_out: Dict[Tuple[int, int], set] = {}
+        for prefix in sorted(self._prefixes):
+            speakers = self._converge_prefix(prefix, state)
+            ribs[prefix] = {
+                asn: speaker.best
+                for asn, speaker in speakers.items()
+                if speaker.best is not None
+            }
+            for asn, speaker in speakers.items():
+                for (link_id, _nbr), path in speaker.adj_out.items():
+                    if path is not None:
+                        adj_out.setdefault((link_id, asn), set()).add(prefix)
+        return RoutingState(
+            ribs,
+            {key: frozenset(v) for key, v in adj_out.items()},
+            dict(self._prefixes),
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _converge_prefix(
+        self, prefix: str, state: NetworkState
+    ) -> Dict[int, _Speaker]:
+        origin = self._prefixes[prefix]
+        speakers = {
+            autsys.asn: _Speaker(asn=autsys.asn) for autsys in self.net.ases()
+        }
+        origin_alive = any(
+            rid not in state.failed_routers
+            for rid in self.net.autonomous_system(origin).router_ids
+        )
+
+        # Event queue: (deliver_time, seq, message).  Per-session FIFO is
+        # guaranteed by making each session's next delivery strictly later
+        # than its previous one.
+        queue: List[Tuple[int, int, BgpMessage]] = []
+        session_clock: Dict[Tuple[int, int, int], int] = {}
+        seq = [0]
+
+        def send(message: BgpMessage, now: int) -> None:
+            jitter = self._rng.randint(1, 16) if self._rng else 1
+            key = (message.link_id, message.from_asn, message.to_asn)
+            deliver = max(now + jitter, session_clock.get(key, 0) + 1)
+            session_clock[key] = deliver
+            seq[0] += 1
+            heapq.heappush(queue, (deliver, seq[0], message))
+            self.message_log.append(message)
+
+        def alive(link_id: int) -> bool:
+            return self.net.link_up(link_id, state)
+
+        def exports_of(speaker: _Speaker) -> None:
+            """Send updates wherever our advertisement must change."""
+            for link_id, nbr_asn, _own_router in self._sessions[speaker.asn]:
+                if not alive(link_id):
+                    continue
+                wanted = self._export_path(speaker, prefix, link_id, nbr_asn, state)
+                key = (link_id, nbr_asn)
+                if speaker.adj_out.get(key) == wanted:
+                    continue
+                speaker.adj_out[key] = wanted
+                send(
+                    BgpMessage(
+                        prefix=prefix,
+                        link_id=link_id,
+                        from_asn=speaker.asn,
+                        to_asn=nbr_asn,
+                        route=wanted,
+                    ),
+                    now=clock[0],
+                )
+
+        clock = [0]
+        if origin_alive:
+            speakers[origin].best = BgpRoute(
+                prefix=prefix,
+                as_path=(),
+                local_pref=policy.LOCAL_PREF_CUSTOMER,
+                ingress_link=None,
+                egress_router=None,
+            )
+            exports_of(speakers[origin])
+
+        processed = 0
+        while queue:
+            processed += 1
+            if processed > _MAX_MESSAGES:
+                raise ConvergenceError(
+                    f"event simulation for {prefix} exceeded {_MAX_MESSAGES} "
+                    "messages; the configuration oscillates"
+                )
+            deliver, _seq, message = heapq.heappop(queue)
+            clock[0] = deliver
+            receiver = speakers[message.to_asn]
+            key = (message.link_id, message.from_asn)
+            if message.route is None:
+                receiver.rib_in.pop(key, None)
+            else:
+                receiver.rib_in[key] = message.route
+            receiver.best = self._select(receiver, prefix)
+            # Recompute exports unconditionally: adj_out diffing suppresses
+            # the no-op messages, so this stays cheap and obviously right.
+            exports_of(receiver)
+        return speakers
+
+    def _select(self, speaker: _Speaker, prefix: str) -> Optional[BgpRoute]:
+        if speaker.asn == self._prefixes[prefix]:
+            return speaker.best  # the origin never changes its mind
+        best: Optional[BgpRoute] = None
+        for (link_id, nbr_asn), as_path in sorted(speaker.rib_in.items()):
+            if speaker.asn in as_path:
+                continue  # receiver-side loop prevention
+            rel = self.net.relationship(speaker.asn, nbr_asn)
+            assert rel is not None
+            candidate = BgpRoute(
+                prefix=prefix,
+                as_path=as_path,
+                local_pref=policy.local_pref(rel),
+                ingress_link=link_id,
+                egress_router=self.net.endpoint_in_as(link_id, speaker.asn),
+            )
+            if best is None or candidate.preference_key() > best.preference_key():
+                best = candidate
+        return best
+
+    def _export_path(
+        self,
+        speaker: _Speaker,
+        prefix: str,
+        link_id: int,
+        nbr_asn: int,
+        state: NetworkState,
+    ) -> Optional[Tuple[int, ...]]:
+        """What we should currently advertise over one session (None = nothing)."""
+        route = speaker.best
+        if route is None:
+            return None
+        # Sender-side loop prevention.
+        if nbr_asn == speaker.asn or route.traverses(nbr_asn):
+            return None
+        learned_from = (
+            None
+            if route.is_origin
+            else self.net.relationship(speaker.asn, route.neighbor_asn)
+        )
+        to_rel = self.net.relationship(speaker.asn, nbr_asn)
+        assert to_rel is not None
+        if not policy.may_export(learned_from, to_rel):
+            return None
+        exporting_router = self.net.endpoint_in_as(link_id, speaker.asn)
+        if policy.filtered(state.filters, link_id, exporting_router, prefix):
+            return None
+        return (speaker.asn,) + route.as_path

@@ -1,0 +1,80 @@
+"""Gao-Rexford routing policies and export filters.
+
+The paper's topology is a customer-provider hierarchy with a full mesh of
+peering core ASes, so we implement the standard policy model:
+
+* **import**: routes learned from customers get the highest local-pref,
+  peers the middle, providers the lowest (prefer revenue, then free, then
+  paid transit);
+* **export** (valley-free): self-originated routes and routes learned from
+  customers are exported to everyone; routes learned from peers or
+  providers are exported to customers only.
+
+Router misconfigurations (§3.1 of the paper) are modelled as
+:class:`~repro.netsim.topology.ExportFilter` objects carried by the
+:class:`~repro.netsim.topology.NetworkState`; :func:`filtered` checks them
+for one directed session.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import RoutingError
+from repro.netsim.topology import ExportFilter, Relationship
+
+__all__ = [
+    "LOCAL_PREF_CUSTOMER",
+    "LOCAL_PREF_PEER",
+    "LOCAL_PREF_PROVIDER",
+    "local_pref",
+    "may_export",
+    "filtered",
+]
+
+LOCAL_PREF_CUSTOMER = 100
+LOCAL_PREF_PEER = 80
+LOCAL_PREF_PROVIDER = 60
+
+
+def local_pref(rel_to_neighbor: Relationship) -> int:
+    """Local-pref assigned to a route learned from a neighbour.
+
+    ``rel_to_neighbor`` is the relationship *of the importing AS towards the
+    neighbour*: ``PROVIDER_CUSTOMER`` means the neighbour is a customer.
+    """
+    if rel_to_neighbor is Relationship.PROVIDER_CUSTOMER:
+        return LOCAL_PREF_CUSTOMER
+    if rel_to_neighbor is Relationship.PEER:
+        return LOCAL_PREF_PEER
+    if rel_to_neighbor is Relationship.CUSTOMER_PROVIDER:
+        return LOCAL_PREF_PROVIDER
+    raise RoutingError(f"unknown relationship {rel_to_neighbor!r}")
+
+
+def may_export(
+    learned_from: Optional[Relationship], to_neighbor: Relationship
+) -> bool:
+    """Valley-free export rule.
+
+    ``learned_from`` is the exporter's relationship towards the AS the route
+    was learned from (``None`` for self-originated routes); ``to_neighbor``
+    is the exporter's relationship towards the AS being exported to.
+    """
+    if learned_from is None:
+        return True  # own prefix: advertise to the whole world
+    if learned_from is Relationship.PROVIDER_CUSTOMER:
+        return True  # customer route: advertise to everyone
+    # Peer or provider route: only customers may hear about it.
+    return to_neighbor is Relationship.PROVIDER_CUSTOMER
+
+
+def filtered(
+    filters: Iterable[ExportFilter],
+    link_id: int,
+    exporting_router: int,
+    prefix: str,
+) -> bool:
+    """True if any active export filter suppresses ``prefix`` on the directed
+    session identified by (``link_id``, ``exporting_router``)."""
+    return any(f.blocks(link_id, exporting_router, prefix) for f in filters)

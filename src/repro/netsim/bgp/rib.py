@@ -1,0 +1,90 @@
+"""Converged routing state: per-AS RIBs and per-session Adj-RIB-Out.
+
+A :class:`RoutingState` is the output of one
+:class:`~repro.netsim.bgp.engine.BgpEngine` convergence for one
+:class:`~repro.netsim.topology.NetworkState`.  It answers the three
+questions the rest of the system asks of BGP:
+
+* ``best(asn, prefix)`` — which route does this AS use (drives the data
+  plane and therefore traceroute)?
+* ``as_path(asn, prefix)`` — what AS path would this AS's Looking Glass
+  report (drives §3.4's UH mapping)?
+* ``advertised(link_id, exporter_asn)`` — which prefixes flow over this
+  eBGP session (diffing two states yields the withdrawal messages of §3.3)?
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.netsim.bgp.route import BgpRoute
+
+__all__ = ["RoutingState"]
+
+
+class RoutingState:
+    """Immutable snapshot of converged BGP routing.
+
+    Built by the engine; user code should treat it as read-only.
+    """
+
+    def __init__(
+        self,
+        ribs: Dict[str, Dict[int, BgpRoute]],
+        adj_out: Dict[Tuple[int, int], FrozenSet[str]],
+        prefixes: Dict[str, int],
+    ) -> None:
+        # prefix -> asn -> selected route
+        self._ribs = ribs
+        # (link id, exporter asn) -> prefixes advertised over that session
+        self._adj_out = adj_out
+        # prefix -> origin asn
+        self._prefixes = prefixes
+
+    def best(self, asn: int, prefix: str) -> Optional[BgpRoute]:
+        """Selected route of ``asn`` for ``prefix`` (``None`` = no route)."""
+        if prefix not in self._ribs:
+            raise RoutingError(f"prefix {prefix} was not part of this convergence")
+        return self._ribs[prefix].get(asn)
+
+    def has_route(self, asn: int, prefix: str) -> bool:
+        """True when ``asn`` holds any route towards ``prefix``."""
+        return self.best(asn, prefix) is not None
+
+    def as_path(self, asn: int, prefix: str) -> Optional[Tuple[int, ...]]:
+        """Full AS path from ``asn`` to the origin, own AS included first.
+
+        This is exactly what a Looking Glass located in ``asn`` reports for
+        a query on ``prefix``.  ``None`` when the AS has no route.
+        """
+        route = self.best(asn, prefix)
+        if route is None:
+            return None
+        return (asn,) + route.as_path
+
+    def advertised(self, link_id: int, exporter_asn: int) -> FrozenSet[str]:
+        """Prefixes the exporter announces over the given session.
+
+        Empty when the session does not exist or is down in the state this
+        routing was converged for.
+        """
+        return self._adj_out.get((link_id, exporter_asn), frozenset())
+
+    def origin_of(self, prefix: str) -> int:
+        """The AS that originates ``prefix``."""
+        try:
+            return self._prefixes[prefix]
+        except KeyError:
+            raise RoutingError(
+                f"prefix {prefix} was not part of this convergence"
+            ) from None
+
+    @property
+    def prefixes(self) -> Tuple[str, ...]:
+        """All prefixes this state was converged for, sorted."""
+        return tuple(sorted(self._prefixes))
+
+    def reachable_ases(self, prefix: str) -> FrozenSet[int]:
+        """ASes holding at least one route towards ``prefix``."""
+        return frozenset(self._ribs[prefix])

@@ -1,0 +1,84 @@
+"""BGP route representation.
+
+A :class:`BgpRoute` is the AS-level view of one path towards one prefix, as
+held in the RIB of a single AS.  The AS path convention follows real BGP:
+``as_path`` lists the ASes the route traverses starting at the neighbour the
+route was learned from and ending at the origin AS; the holding AS itself is
+*not* included.  Self-originated routes therefore have an empty AS path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["BgpRoute"]
+
+
+@dataclass(frozen=True)
+class BgpRoute:
+    """One candidate (or selected) route of an AS towards ``prefix``.
+
+    Attributes
+    ----------
+    prefix:
+        Destination prefix in CIDR notation.
+    as_path:
+        ASes towards the origin, neighbour first, origin last.  Empty for a
+        self-originated route.
+    local_pref:
+        Policy preference derived from the business relationship with the
+        neighbour the route was learned from (customer > peer > provider).
+    ingress_link:
+        Link id of the eBGP session the route was learned over; ``None``
+        for self-originated routes.
+    egress_router:
+        Router id of the holding AS's border router on ``ingress_link``
+        (where traffic towards the prefix leaves the AS); ``None`` for
+        self-originated routes.
+    """
+
+    prefix: str
+    as_path: Tuple[int, ...]
+    local_pref: int
+    ingress_link: Optional[int]
+    egress_router: Optional[int]
+
+    @property
+    def neighbor_asn(self) -> Optional[int]:
+        """The AS the route was learned from (``None`` if self-originated)."""
+        return self.as_path[0] if self.as_path else None
+
+    @property
+    def origin_asn(self) -> Optional[int]:
+        """The AS that originated the prefix (``None`` if self-originated —
+        the holder *is* the origin in that case)."""
+        return self.as_path[-1] if self.as_path else None
+
+    @property
+    def is_origin(self) -> bool:
+        """True when the holding AS originates the prefix itself."""
+        return not self.as_path
+
+    def preference_key(self) -> Tuple[int, int, int, int]:
+        """Total order used by the decision process (max wins).
+
+        Mirrors the standard BGP decision steps we model: highest
+        local-pref, then shortest AS path, then lowest neighbour ASN, then
+        lowest ingress link id (a deterministic stand-in for the
+        router-id/oldest-route tie-breakers).
+        """
+        return (
+            self.local_pref,
+            -len(self.as_path),
+            -(self.neighbor_asn if self.neighbor_asn is not None else 0),
+            -(self.ingress_link if self.ingress_link is not None else 0),
+        )
+
+    def traverses(self, asn: int) -> bool:
+        """True if ``asn`` appears in the AS path (loop prevention)."""
+        return asn in self.as_path
+
+    def __str__(self) -> str:  # pragma: no cover - debug convenience
+        path = " ".join(str(a) for a in self.as_path) or "(origin)"
+        return f"{self.prefix} via [{path}] pref={self.local_pref}"

@@ -1,0 +1,198 @@
+"""Programmatic topology construction helpers and paper-figure fixtures.
+
+:class:`TopologyBuilder` wraps :class:`~repro.netsim.topology.Internetwork`
+with a fluent, name-based API that keeps hand-built test topologies short.
+Two fixtures reproduce the paper's illustrative figures:
+
+* :func:`figure2_network` — the multi-AS example of Figure 2/3 (ASes A, X,
+  Y, B, C) used to demonstrate Tomo, logical links, and withdrawal
+  exoneration;
+* :func:`chain_network` — a linear chain of single-router ASes, the shape
+  of Figure 4's UH-mapping example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TopologyError
+from repro.netsim.topology import (
+    Internetwork,
+    Link,
+    Relationship,
+    Router,
+    Tier,
+)
+
+__all__ = ["TopologyBuilder", "Figure2Network", "figure2_network", "chain_network"]
+
+
+class TopologyBuilder:
+    """Fluent construction of an :class:`Internetwork` with named elements."""
+
+    def __init__(self) -> None:
+        self.net = Internetwork()
+        self._routers: Dict[str, Router] = {}
+        self._asn_by_name: Dict[str, int] = {}
+        self._next_asn = 1
+
+    # ----------------------------------------------------------------- adds
+
+    def autonomous_system(
+        self,
+        name: str,
+        tier: Tier = Tier.STUB,
+        routers: int = 1,
+        asn: Optional[int] = None,
+    ) -> int:
+        """Create an AS called ``name`` with ``routers`` routers named
+        ``<name>1 .. <name>N`` (lower-cased), returning its ASN."""
+        if name in self._asn_by_name:
+            raise TopologyError(f"AS name {name!r} already used")
+        if asn is None:
+            asn = self._next_asn
+        self._next_asn = max(self._next_asn, asn + 1)
+        self.net.add_as(asn, name, tier)
+        self._asn_by_name[name] = asn
+        for index in range(routers):
+            rname = f"{name.lower()}{index + 1}"
+            self._routers[rname] = self.net.add_router(asn, rname)
+        return asn
+
+    def router(self, name: str) -> Router:
+        """Look a router up by its builder name."""
+        try:
+            return self._routers[name]
+        except KeyError:
+            raise TopologyError(f"unknown router name {name!r}") from None
+
+    def asn(self, name: str) -> int:
+        """Look an AS number up by its builder name."""
+        try:
+            return self._asn_by_name[name]
+        except KeyError:
+            raise TopologyError(f"unknown AS name {name!r}") from None
+
+    def link(self, a: str, b: str, weight: int = 1) -> Link:
+        """Connect two named routers (relationship must exist if inter-AS)."""
+        return self.net.add_link(self.router(a).rid, self.router(b).rid, weight)
+
+    def relationship(self, a: str, b: str, rel: Relationship) -> None:
+        """Declare the relationship of AS ``a`` towards AS ``b``."""
+        self.net.set_relationship(self.asn(a), self.asn(b), rel)
+
+    def customer_of(self, customer: str, provider: str) -> None:
+        """Declare ``customer`` buys transit from ``provider``."""
+        self.relationship(customer, provider, Relationship.CUSTOMER_PROVIDER)
+
+    def peers(self, a: str, b: str) -> None:
+        """Declare a settlement-free peering between two ASes."""
+        self.relationship(a, b, Relationship.PEER)
+
+
+@dataclass
+class Figure2Network:
+    """The paper's Figure 2 example, with every named element resolvable.
+
+    Sensors: ``s1`` homes at router ``a1`` (AS A), ``s2`` at ``b2`` (AS B),
+    ``s3`` at ``c2`` (AS C).  The expected pre-failure forwarding paths are::
+
+        s1 -> s2 : a1 a2 x1 x2 y1 y4 b1 b2
+        s1 -> s3 : a1 a2 x1 x2 y1 y4 c1 c2
+
+    matching the text: AS-Y sees out-neighbours B and C, AS-X sees
+    out-neighbour Y.
+    """
+
+    builder: TopologyBuilder
+    sensor_routers: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def net(self) -> Internetwork:
+        return self.builder.net
+
+    def router(self, name: str) -> Router:
+        return self.builder.router(name)
+
+    def asn(self, name: str) -> int:
+        return self.builder.asn(name)
+
+    def link_between(self, a: str, b: str) -> Link:
+        link = self.net.link_between(self.router(a).rid, self.router(b).rid)
+        if link is None:
+            raise TopologyError(f"no link between {a} and {b}")
+        return link
+
+
+def figure2_network() -> Figure2Network:
+    """Build the Figure 2 internetwork (ASes A, X, Y, B, C)."""
+    b = TopologyBuilder()
+    b.autonomous_system("A", Tier.STUB, routers=2)
+    b.autonomous_system("X", Tier.TIER2, routers=2)
+    b.autonomous_system("Y", Tier.CORE, routers=4)
+    b.autonomous_system("B", Tier.STUB, routers=2)
+    b.autonomous_system("C", Tier.STUB, routers=2)
+
+    b.customer_of("A", "X")
+    b.customer_of("X", "Y")
+    b.customer_of("B", "Y")
+    b.customer_of("C", "Y")
+
+    # Intradomain links.
+    b.link("a1", "a2")
+    b.link("x1", "x2")
+    b.link("y1", "y4")
+    b.link("y1", "y2")
+    b.link("y2", "y3")
+    b.link("y3", "y4", weight=5)  # keep y1-y4 the preferred internal path
+    b.link("b1", "b2")
+    b.link("c1", "c2")
+
+    # Interdomain links.
+    b.link("a2", "x1")
+    b.link("x2", "y1")
+    b.link("y4", "b1")
+    b.link("y4", "c1")
+
+    return Figure2Network(
+        builder=b,
+        sensor_routers={
+            "s1": b.router("a1").rid,
+            "s2": b.router("b2").rid,
+            "s3": b.router("c2").rid,
+        },
+    )
+
+
+def chain_network(
+    n_ases: int = 5, routers_per_as: int = 1
+) -> Tuple[TopologyBuilder, List[str]]:
+    """A linear chain of ASes (Figure 4 shape): AS1 - AS2 - ... - ASn.
+
+    Each AS is named ``N1 .. Nn``; consecutive ASes are customer→provider
+    up to the middle and provider→customer after it, producing valley-free
+    end-to-end paths through the chain.  Returns the builder and the AS
+    names in chain order.
+    """
+    if n_ases < 2:
+        raise TopologyError("a chain needs at least two ASes")
+    b = TopologyBuilder()
+    names = [f"N{i + 1}" for i in range(n_ases)]
+    middle = n_ases // 2
+    for index, name in enumerate(names):
+        tier = Tier.CORE if index == middle else Tier.STUB
+        b.autonomous_system(name, tier, routers=routers_per_as)
+    for index in range(n_ases - 1):
+        left, right = names[index], names[index + 1]
+        if index < middle:
+            b.customer_of(left, right)  # climbing towards the middle
+        else:
+            b.customer_of(right, left)  # descending after it
+        # Chain the last router of the left AS to the first of the right.
+        b.link(f"{left.lower()}{routers_per_as}", f"{right.lower()}1")
+        # Internally chain each AS's routers once (idempotent per AS).
+    for name in names:
+        for k in range(1, routers_per_as):
+            b.link(f"{name.lower()}{k}", f"{name.lower()}{k + 1}")
+    return b, names

@@ -1,0 +1,175 @@
+"""Failure events: the ground-truth perturbations the experiments inject.
+
+The paper's evaluation exercises three event families (§4, "Failure
+scenarios"):
+
+* **link failures** — x ∈ {1, 2, 3} links break simultaneously;
+* **router failures** — all links attached to one router break (the paper
+  likens this to a Shared Risk Link Group failure);
+* **router misconfigurations** — an outbound route filter at one end of an
+  interdomain link stops announcing selected routes to that peer.
+
+Events are small immutable descriptions; applying one to a
+:class:`~repro.netsim.topology.NetworkState` yields the post-event state.
+Each event also knows its *physical ground truth*: the set of link ids an
+ideal troubleshooter should name (for a misconfiguration that is the
+misconfigured link; the logical-link ground truth is derived separately by
+the experiment runner because it depends on the routing state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from repro.errors import ScenarioError
+from repro.netsim.topology import ExportFilter, Internetwork, NetworkState
+
+__all__ = [
+    "Event",
+    "LinkFailureEvent",
+    "RouterFailureEvent",
+    "MisconfigurationEvent",
+    "WeightChangeEvent",
+    "CompositeEvent",
+]
+
+
+class Event:
+    """Base class for ground-truth events."""
+
+    def apply_to(self, state: NetworkState) -> NetworkState:
+        """Return ``state`` with this event applied."""
+        raise NotImplementedError
+
+    def physical_ground_truth(self, net: Internetwork) -> FrozenSet[int]:
+        """Link ids a perfect diagnosis should blame."""
+        raise NotImplementedError
+
+    def describe(self, net: Internetwork) -> str:
+        """Human-readable one-liner for reports."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LinkFailureEvent(Event):
+    """Simultaneous failure of one or more links."""
+
+    link_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.link_ids:
+            raise ScenarioError("a link failure event needs at least one link")
+        if len(set(self.link_ids)) != len(self.link_ids):
+            raise ScenarioError("duplicate link ids in failure event")
+
+    def apply_to(self, state: NetworkState) -> NetworkState:
+        return state.with_failed_links(self.link_ids)
+
+    def physical_ground_truth(self, net: Internetwork) -> FrozenSet[int]:
+        return frozenset(self.link_ids)
+
+    def describe(self, net: Internetwork) -> str:
+        parts = []
+        for lid in self.link_ids:
+            link = net.link(lid)
+            parts.append(f"{net.router(link.a).name}-{net.router(link.b).name}")
+        return f"link failure: {', '.join(parts)}"
+
+
+@dataclass(frozen=True)
+class RouterFailureEvent(Event):
+    """Failure of a whole router (all attached links go down with it)."""
+
+    router_id: int
+
+    def apply_to(self, state: NetworkState) -> NetworkState:
+        return state.with_failed_routers((self.router_id,))
+
+    def physical_ground_truth(self, net: Internetwork) -> FrozenSet[int]:
+        return frozenset(l.lid for l in net.links_of_router(self.router_id))
+
+    def describe(self, net: Internetwork) -> str:
+        return f"router failure: {net.router(self.router_id).name}"
+
+
+@dataclass(frozen=True)
+class MisconfigurationEvent(Event):
+    """An outbound route-filter misconfiguration on one eBGP session.
+
+    ``export_filter.at_router`` stops announcing ``export_filter.prefixes``
+    to the peer across ``export_filter.link_id``.  The link keeps working
+    for every other route — a *partial* failure, the case plain Boolean
+    tomography cannot express (§2.5 limitation 1).
+    """
+
+    export_filter: ExportFilter
+
+    def apply_to(self, state: NetworkState) -> NetworkState:
+        return state.with_filter(self.export_filter)
+
+    def physical_ground_truth(self, net: Internetwork) -> FrozenSet[int]:
+        return frozenset((self.export_filter.link_id,))
+
+    def describe(self, net: Internetwork) -> str:
+        f = self.export_filter
+        link = net.link(f.link_id)
+        peer = net.router(link.other(f.at_router)).name
+        return (
+            f"misconfiguration: {net.router(f.at_router).name} no longer "
+            f"announces {sorted(f.prefixes)} to {peer}"
+        )
+
+
+@dataclass(frozen=True)
+class WeightChangeEvent(Event):
+    """An IGP traffic-engineering metric change (no failure at all).
+
+    Operators retune link weights routinely; the resulting internal path
+    shifts are visible to the sensors as reroutes with no unreachability.
+    On its own this event never invokes the troubleshooter, but combined
+    with a real failure it plants *innocent* reroute evidence — the
+    robustness experiments measure how gracefully the algorithms absorb
+    it.  Its physical ground truth is empty: nothing failed.
+    """
+
+    link_id: int
+    new_weight: int
+
+    def apply_to(self, state: NetworkState) -> NetworkState:
+        return state.with_weight(self.link_id, self.new_weight)
+
+    def physical_ground_truth(self, net: Internetwork) -> FrozenSet[int]:
+        return frozenset()
+
+    def describe(self, net: Internetwork) -> str:
+        link = net.link(self.link_id)
+        return (
+            f"IGP weight change: {net.router(link.a).name}-"
+            f"{net.router(link.b).name} {link.weight} -> {self.new_weight}"
+        )
+
+
+@dataclass(frozen=True)
+class CompositeEvent(Event):
+    """Several events striking at once (e.g. misconfig + link failure)."""
+
+    events: Tuple[Event, ...]
+
+    def __post_init__(self) -> None:
+        if not self.events:
+            raise ScenarioError("a composite event needs at least one sub-event")
+
+    def apply_to(self, state: NetworkState) -> NetworkState:
+        for event in self.events:
+            state = event.apply_to(state)
+        return state
+
+    def physical_ground_truth(self, net: Internetwork) -> FrozenSet[int]:
+        truth: FrozenSet[int] = frozenset()
+        for event in self.events:
+            truth |= event.physical_ground_truth(net)
+        return truth
+
+    def describe(self, net: Internetwork) -> str:
+        return " + ".join(event.describe(net) for event in self.events)

@@ -1,0 +1,26 @@
+"""Topology generators for the paper's evaluation setting.
+
+The paper builds the "research part" of the Internet: Abilene, GEANT and
+WIDE as peering core ASes with their real router-level maps, 22 tier-2 ASes
+with 12-node hub-and-spoke internals, and 140 single-router stub ASes, with
+the multihoming fractions observed in BGP traces (§4).  The modules here
+encode the core maps and generate the rest from a seed.
+"""
+
+from repro.netsim.gen.abilene import build_abilene
+from repro.netsim.gen.geant import build_geant
+from repro.netsim.gen.hubspoke import build_hub_and_spoke, build_ladder, build_ring
+from repro.netsim.gen.internet import TIER2_STYLES, ResearchInternet, research_internet
+from repro.netsim.gen.wide import build_wide
+
+__all__ = [
+    "build_abilene",
+    "build_geant",
+    "build_wide",
+    "build_hub_and_spoke",
+    "build_ladder",
+    "build_ring",
+    "ResearchInternet",
+    "TIER2_STYLES",
+    "research_internet",
+]

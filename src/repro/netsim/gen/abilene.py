@@ -1,0 +1,63 @@
+"""Router-level topology of the Abilene (Internet2) backbone, ca. 2007.
+
+Eleven PoPs connected by fourteen OC-192 circuits, following the published
+Abilene map the paper cites (abilene.internet2.edu).  IGP weights are
+approximately proportional to geographic distance, which reproduces the
+route preferences of the real IS-IS configuration closely enough for path
+diversity purposes (the only property the evaluation depends on).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.netsim.topology import Internetwork
+
+__all__ = ["ABILENE_POPS", "ABILENE_CIRCUITS", "build_abilene"]
+
+ABILENE_POPS: List[str] = [
+    "seattle",
+    "sunnyvale",
+    "losangeles",
+    "denver",
+    "kansascity",
+    "houston",
+    "chicago",
+    "indianapolis",
+    "atlanta",
+    "washington",
+    "newyork",
+]
+
+#: (pop_a, pop_b, igp_weight)
+ABILENE_CIRCUITS = [
+    ("seattle", "sunnyvale", 9),
+    ("seattle", "denver", 13),
+    ("sunnyvale", "losangeles", 4),
+    ("sunnyvale", "denver", 12),
+    ("losangeles", "houston", 17),
+    ("denver", "kansascity", 7),
+    ("kansascity", "houston", 8),
+    ("kansascity", "indianapolis", 6),
+    ("houston", "atlanta", 10),
+    ("atlanta", "indianapolis", 6),
+    ("atlanta", "washington", 7),
+    ("indianapolis", "chicago", 3),
+    ("chicago", "newyork", 9),
+    ("newyork", "washington", 3),
+]
+
+
+def build_abilene(net: Internetwork, asn: int) -> Dict[str, int]:
+    """Add the Abilene routers and circuits inside an existing AS.
+
+    Returns a mapping PoP name -> router id so callers can wire the known
+    interconnection points (New York and Washington towards GEANT, Los
+    Angeles towards WIDE).
+    """
+    routers: Dict[str, int] = {}
+    for pop in ABILENE_POPS:
+        routers[pop] = net.add_router(asn, f"abilene-{pop}").rid
+    for pop_a, pop_b, weight in ABILENE_CIRCUITS:
+        net.add_link(routers[pop_a], routers[pop_b], weight=weight)
+    return routers

@@ -1,0 +1,97 @@
+"""Router-level topology of the GEANT European research backbone, ca. 2007.
+
+Twenty-three national PoPs and thirty-seven circuits following the
+published GEANT2 map the paper cites (www.geant.net).  As with Abilene, IGP
+weights approximate circuit length; the evaluation only depends on the path
+diversity this mesh provides.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.netsim.topology import Internetwork
+
+__all__ = ["GEANT_POPS", "GEANT_CIRCUITS", "build_geant"]
+
+GEANT_POPS: List[str] = [
+    "london",
+    "paris",
+    "amsterdam",
+    "brussels",
+    "frankfurt",
+    "geneva",
+    "milan",
+    "madrid",
+    "lisbon",
+    "dublin",
+    "copenhagen",
+    "stockholm",
+    "oslo",
+    "helsinki",
+    "prague",
+    "vienna",
+    "budapest",
+    "warsaw",
+    "zagreb",
+    "athens",
+    "bucharest",
+    "sofia",
+    "rome",
+]
+
+#: (pop_a, pop_b, igp_weight)
+GEANT_CIRCUITS = [
+    ("london", "paris", 3),
+    ("london", "amsterdam", 3),
+    ("london", "dublin", 4),
+    ("london", "madrid", 9),
+    ("paris", "brussels", 2),
+    ("paris", "geneva", 4),
+    ("paris", "madrid", 8),
+    ("amsterdam", "brussels", 2),
+    ("amsterdam", "frankfurt", 3),
+    ("amsterdam", "copenhagen", 5),
+    ("frankfurt", "geneva", 4),
+    ("frankfurt", "prague", 4),
+    ("frankfurt", "copenhagen", 5),
+    ("frankfurt", "warsaw", 7),
+    ("geneva", "milan", 3),
+    ("milan", "rome", 4),
+    ("milan", "vienna", 6),
+    ("madrid", "lisbon", 4),
+    ("lisbon", "london", 11),
+    ("copenhagen", "stockholm", 4),
+    ("stockholm", "oslo", 3),
+    ("stockholm", "helsinki", 3),
+    ("oslo", "copenhagen", 4),
+    ("helsinki", "warsaw", 7),
+    ("prague", "vienna", 2),
+    ("prague", "warsaw", 5),
+    ("vienna", "budapest", 2),
+    ("vienna", "zagreb", 3),
+    ("budapest", "bucharest", 6),
+    ("budapest", "zagreb", 3),
+    ("zagreb", "sofia", 6),
+    ("athens", "sofia", 4),
+    ("athens", "milan", 9),
+    ("bucharest", "sofia", 3),
+    ("rome", "athens", 8),
+    ("geneva", "madrid", 9),
+    ("vienna", "warsaw", 5),
+]
+
+
+def build_geant(net: Internetwork, asn: int) -> Dict[str, int]:
+    """Add the GEANT routers and circuits inside an existing AS.
+
+    Returns PoP name -> router id; the known interconnects are London and
+    Amsterdam towards Abilene (New York / Washington) and Amsterdam towards
+    WIDE (Tokyo).
+    """
+    routers: Dict[str, int] = {}
+    for pop in GEANT_POPS:
+        routers[pop] = net.add_router(asn, f"geant-{pop}").rid
+    for pop_a, pop_b, weight in GEANT_CIRCUITS:
+        net.add_link(routers[pop_a], routers[pop_b], weight=weight)
+    return routers

@@ -1,0 +1,83 @@
+"""12-node hub-and-spoke intradomain topology for tier-2 ASes.
+
+The paper: "we use a 12-node hub-and-spoke topology for the tier-2 ASes,
+which is similar to some intradomain topologies we have observed" (§4).
+We realise it as two interconnected hub routers with ten spokes, each
+spoke single-homed to one hub (alternating) — a literal hub-and-spoke,
+in which spoke links are intradomain cut links.  That is the property the
+evaluation depends on: some intradomain failures are non-recoverable and
+produce the unreachabilities the troubleshooter is invoked on (a fully
+redundant internal design would make every internal failure reroutable
+and leave §5.4's single-link-failure workload empty).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.netsim.topology import Internetwork
+
+__all__ = ["build_hub_and_spoke", "build_ring", "build_ladder"]
+
+#: Total routers per tier-2 AS (2 hubs + 10 spokes).
+HUB_AND_SPOKE_SIZE = 12
+
+
+def build_hub_and_spoke(
+    net: Internetwork, asn: int, spokes: int = HUB_AND_SPOKE_SIZE - 2
+) -> Dict[str, List[int]]:
+    """Add a hub-and-spoke internal topology to AS ``asn``.
+
+    Returns ``{"hubs": [...], "spokes": [...]}`` router id lists so callers
+    can pick attachment points (the research-Internet generator randomises
+    over all of them, as the paper does for unknown interconnects).
+    """
+    hub_a = net.add_router(asn, f"as{asn}-hub1").rid
+    hub_b = net.add_router(asn, f"as{asn}-hub2").rid
+    net.add_link(hub_a, hub_b, weight=1)
+    spoke_ids: List[int] = []
+    for index in range(spokes):
+        spoke = net.add_router(asn, f"as{asn}-spoke{index + 1}").rid
+        net.add_link(spoke, hub_a if index % 2 == 0 else hub_b, weight=2)
+        spoke_ids.append(spoke)
+    return {"hubs": [hub_a, hub_b], "spokes": spoke_ids}
+
+
+def build_ring(
+    net: Internetwork, asn: int, size: int = HUB_AND_SPOKE_SIZE
+) -> Dict[str, List[int]]:
+    """Alternative tier-2 internal style: a ring (metro fibre loop).
+
+    Every internal single-link failure is reroutable the long way round —
+    the opposite diversity extreme from the literal hub-and-spoke.  §4
+    argues "path diversity only determines the number of failure instances
+    that lead to unreachabilities.  It does not influence the performance
+    of our algorithms"; the intra-style ablation bench measures exactly
+    that claim by swapping this builder in.
+    """
+    routers = [net.add_router(asn, f"as{asn}-ring{i + 1}").rid for i in range(size)]
+    for index, rid in enumerate(routers):
+        net.add_link(rid, routers[(index + 1) % size], weight=1)
+    # Interop with hub-and-spoke callers: the first two are "hubs".
+    return {"hubs": routers[:2], "spokes": routers[2:]}
+
+
+def build_ladder(
+    net: Internetwork, asn: int, size: int = HUB_AND_SPOKE_SIZE
+) -> Dict[str, List[int]]:
+    """Alternative tier-2 internal style: a dual-plane ladder.
+
+    Two parallel router chains with rungs — the classic redundant-core
+    design; diversity sits between the ring and the star.
+    """
+    half = max(2, size // 2)
+    top = [net.add_router(asn, f"as{asn}-top{i + 1}").rid for i in range(half)]
+    bottom = [
+        net.add_router(asn, f"as{asn}-bot{i + 1}").rid for i in range(half)
+    ]
+    for chain in (top, bottom):
+        for a, b in zip(chain, chain[1:]):
+            net.add_link(a, b, weight=1)
+    for a, b in zip(top, bottom):
+        net.add_link(a, b, weight=2)
+    return {"hubs": [top[0], bottom[0]], "spokes": top[1:] + bottom[1:]}

@@ -1,0 +1,183 @@
+"""The scaled-down "research Internet" topology of the paper's evaluation.
+
+Section 4: "We use Abilene, GEANT, and WIDE as the core ASes which are
+connected in full mesh. [...] we scale down this topology [...] and select
+the first 165 ASes.  This gives us a topology with three core ASes, 22
+tier-2 ASes (of which 50% are multihomed), and 140 stub ASes (of which 25%
+are multihomed)."  Interconnection points for the cores are fixed (the
+published peering locations); everything else picks random attachment
+routers, "reproducing the inter-AS connectivity (including multihoming)
+found in the measurements".
+
+Everything is driven by one seed, so a topology can be reconstructed
+exactly for any experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import TopologyError
+from repro.netsim.gen.abilene import build_abilene
+from repro.netsim.gen.geant import build_geant
+from repro.netsim.gen.hubspoke import build_hub_and_spoke, build_ladder, build_ring
+from repro.netsim.gen.wide import build_wide
+from repro.netsim.topology import Internetwork, Relationship, Tier
+
+__all__ = ["ResearchInternet", "research_internet"]
+
+#: ASN blocks per tier — keeps debug output readable.
+CORE_ASN_BASE = 1
+TIER2_ASN_BASE = 10
+STUB_ASN_BASE = 100
+
+
+@dataclass
+class ResearchInternet:
+    """A generated research-Internet topology plus its inventory."""
+
+    net: Internetwork
+    seed: int
+    core_asns: List[int]
+    tier2_asns: List[int]
+    stub_asns: List[int]
+    #: core AS name -> PoP name -> router id (the real core maps).
+    core_routers: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: tier-2 asn -> {"hubs": [...], "spokes": [...]}.
+    tier2_routers: Dict[int, Dict[str, List[int]]] = field(default_factory=dict)
+    #: asn -> list of provider asns (empty for cores).
+    providers: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def all_asns(self) -> List[int]:
+        return self.core_asns + self.tier2_asns + self.stub_asns
+
+    def stub_router(self, asn: int) -> int:
+        """The single router of a stub AS."""
+        autsys = self.net.autonomous_system(asn)
+        if autsys.tier is not Tier.STUB:
+            raise TopologyError(f"AS {asn} is not a stub")
+        return autsys.router_ids[0]
+
+
+#: Internal-topology builders selectable for tier-2 ASes.
+TIER2_STYLES = {
+    "hubspoke": build_hub_and_spoke,
+    "ring": build_ring,
+    "ladder": build_ladder,
+}
+
+
+def research_internet(
+    n_tier2: int = 22,
+    n_stub: int = 140,
+    seed: int = 0,
+    tier2_multihomed_fraction: float = 0.5,
+    stub_multihomed_fraction: float = 0.25,
+    stub_on_core_probability: float = 0.1,
+    tier2_style: str = "hubspoke",
+) -> ResearchInternet:
+    """Generate the paper's evaluation topology (165 ASes by default).
+
+    Multihoming fractions select *exactly* ``round(fraction * n)`` ASes of
+    each tier (the paper states the fractions as exact topology facts, not
+    probabilities).  ``tier2_style`` swaps the tier-2 internal design
+    (``hubspoke`` — the paper's — or ``ring``/``ladder``) for the
+    path-diversity ablation.
+    """
+    if tier2_style not in TIER2_STYLES:
+        raise TopologyError(
+            f"unknown tier-2 style {tier2_style!r}; choose from "
+            f"{sorted(TIER2_STYLES)}"
+        )
+    build_tier2 = TIER2_STYLES[tier2_style]
+    rng = random.Random(seed)
+    net = Internetwork()
+
+    # --- the three peering cores with their real router-level maps -------
+    abilene_asn, geant_asn, wide_asn = (
+        CORE_ASN_BASE,
+        CORE_ASN_BASE + 1,
+        CORE_ASN_BASE + 2,
+    )
+    net.add_as(abilene_asn, "Abilene", Tier.CORE)
+    net.add_as(geant_asn, "GEANT", Tier.CORE)
+    net.add_as(wide_asn, "WIDE", Tier.CORE)
+    abilene = build_abilene(net, abilene_asn)
+    geant = build_geant(net, geant_asn)
+    wide = build_wide(net, wide_asn)
+
+    net.set_relationship(abilene_asn, geant_asn, Relationship.PEER)
+    net.set_relationship(abilene_asn, wide_asn, Relationship.PEER)
+    net.set_relationship(geant_asn, wide_asn, Relationship.PEER)
+    # Known interconnection points (published peering locations).
+    net.add_link(abilene["newyork"], geant["london"])
+    net.add_link(abilene["washington"], geant["amsterdam"])
+    net.add_link(abilene["losangeles"], wide["notemachi"])
+    net.add_link(geant["amsterdam"], wide["dojima"])
+
+    core_asns = [abilene_asn, geant_asn, wide_asn]
+    topo = ResearchInternet(
+        net=net,
+        seed=seed,
+        core_asns=core_asns,
+        tier2_asns=[],
+        stub_asns=[],
+        core_routers={"Abilene": abilene, "GEANT": geant, "WIDE": wide},
+    )
+    for asn in core_asns:
+        topo.providers[asn] = []
+
+    def core_attachment(core_asn: int) -> int:
+        """A random attachment router inside a core AS."""
+        return rng.choice(net.autonomous_system(core_asn).router_ids)
+
+    # --- tier-2 ASes: 12-node hub-and-spoke, customers of the cores ------
+    multihomed_tier2 = set(
+        rng.sample(range(n_tier2), round(tier2_multihomed_fraction * n_tier2))
+    )
+    for index in range(n_tier2):
+        asn = TIER2_ASN_BASE + index
+        net.add_as(asn, f"tier2-{index + 1}", Tier.TIER2)
+        layout = build_tier2(net, asn)
+        topo.tier2_routers[asn] = layout
+        topo.tier2_asns.append(asn)
+        providers = rng.sample(core_asns, 2 if index in multihomed_tier2 else 1)
+        topo.providers[asn] = sorted(providers)
+        for provider in providers:
+            net.set_relationship(asn, provider, Relationship.CUSTOMER_PROVIDER)
+            local = rng.choice(layout["hubs"] + layout["spokes"])
+            net.add_link(local, core_attachment(provider))
+
+    # --- stub ASes: single router, customers of tier-2s (mostly) ---------
+    multihomed_stubs = set(
+        rng.sample(range(n_stub), round(stub_multihomed_fraction * n_stub))
+    )
+    for index in range(n_stub):
+        asn = STUB_ASN_BASE + index
+        net.add_as(asn, f"stub-{index + 1}", Tier.STUB)
+        router = net.add_router(asn, f"as{asn}-gw").rid
+        topo.stub_asns.append(asn)
+        providers: List[int] = []
+        first = (
+            rng.choice(core_asns)
+            if rng.random() < stub_on_core_probability
+            else rng.choice(topo.tier2_asns)
+        )
+        providers.append(first)
+        if index in multihomed_stubs:
+            pool = [a for a in topo.tier2_asns + core_asns if a != first]
+            providers.append(rng.choice(pool))
+        topo.providers[asn] = sorted(providers)
+        for provider in providers:
+            net.set_relationship(asn, provider, Relationship.CUSTOMER_PROVIDER)
+            if provider in core_asns:
+                remote = core_attachment(provider)
+            else:
+                layout = topo.tier2_routers[provider]
+                remote = rng.choice(layout["hubs"] + layout["spokes"])
+            net.add_link(router, remote)
+
+    return topo

@@ -1,0 +1,55 @@
+"""Router-level topology of the WIDE project backbone (Japan), ca. 2007.
+
+Eight PoPs following the published WIDE map the paper cites
+(www.wide.ad.jp): a Tokyo double-core with spurs to the other NOCs plus the
+trans-Pacific attachment point in Los Angeles (modelled as the ``notemachi``
+/ ``dojima`` international gateways).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.netsim.topology import Internetwork
+
+__all__ = ["WIDE_POPS", "WIDE_CIRCUITS", "build_wide"]
+
+WIDE_POPS: List[str] = [
+    "notemachi",  # Tokyo NOC 1 (international gateway)
+    "nezu",       # Tokyo NOC 2
+    "yagami",     # Yokohama
+    "dojima",     # Osaka
+    "komatsu",    # Kanazawa area
+    "kurashiki",  # Okayama area
+    "fukuoka",
+    "sendai",
+]
+
+#: (pop_a, pop_b, igp_weight)
+WIDE_CIRCUITS = [
+    ("notemachi", "nezu", 1),
+    ("notemachi", "yagami", 2),
+    ("nezu", "yagami", 2),
+    ("nezu", "sendai", 5),
+    ("notemachi", "dojima", 6),
+    ("yagami", "dojima", 6),
+    ("dojima", "komatsu", 4),
+    ("dojima", "kurashiki", 3),
+    ("kurashiki", "fukuoka", 5),
+    ("komatsu", "nezu", 7),
+]
+
+
+def build_wide(net: Internetwork, asn: int) -> Dict[str, int]:
+    """Add the WIDE routers and circuits inside an existing AS.
+
+    Returns PoP name -> router id; ``notemachi`` and ``dojima`` are the
+    international gateways used to peer with Abilene (Los Angeles) and
+    GEANT (Amsterdam).
+    """
+    routers: Dict[str, int] = {}
+    for pop in WIDE_POPS:
+        routers[pop] = net.add_router(asn, f"wide-{pop}").rid
+    for pop_a, pop_b, weight in WIDE_CIRCUITS:
+        net.add_link(routers[pop_a], routers[pop_b], weight=weight)
+    return routers

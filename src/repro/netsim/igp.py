@@ -1,0 +1,190 @@
+"""Per-AS link-state IGP (IS-IS/OSPF analogue).
+
+Each AS runs an independent shortest-path-first computation over its alive
+intradomain links.  The simulator consumes two observables from this module:
+
+* :class:`IgpView` — the converged intradomain forwarding paths of one AS
+  under one :class:`~repro.netsim.topology.NetworkState` (used by the data
+  plane to walk packets from an ingress router to the chosen egress), and
+* :func:`igp_link_down_events` — the "link down" messages the paper's AS-X
+  reads off its own IGP (§3.3): the set of intradomain links of AS-X that
+  are dead in the current state.
+
+Determinism: ties between equal-cost paths are broken lexicographically on
+the router-id sequence, so the same state always produces the same paths —
+a property every seeded experiment in this repository relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.netsim.topology import Internetwork, Link, NetworkState
+
+__all__ = ["IgpView", "igp_link_down_events"]
+
+
+class IgpView:
+    """Converged intradomain routing of one AS under one network state.
+
+    Paths are computed lazily per source router and cached.  A path is a
+    list of router ids starting at the source and ending at the destination;
+    ``None`` means the destination is unreachable inside the AS (an
+    intradomain partition).
+    """
+
+    def __init__(self, net: Internetwork, asn: int, state: NetworkState) -> None:
+        self.net = net
+        self.asn = asn
+        self.state = state
+        autsys = net.autonomous_system(asn)
+        self._alive_routers = [
+            rid for rid in autsys.router_ids if rid not in state.failed_routers
+        ]
+        self._adjacency = self._build_adjacency()
+        self._paths_from: Dict[int, Dict[int, Tuple[int, ...]]] = {}
+
+    def _build_adjacency(self) -> Dict[int, List[Tuple[int, int, int]]]:
+        """Map router id -> sorted list of (neighbour rid, weight, link id)."""
+        alive = set(self._alive_routers)
+        adjacency: Dict[int, List[Tuple[int, int, int]]] = {
+            rid: [] for rid in self._alive_routers
+        }
+        for link in self.net.intra_links(self.asn):
+            if not self.net.link_up(link.lid, self.state):
+                continue
+            if link.a in alive and link.b in alive:
+                weight = self.state.weight_of(link)
+                adjacency[link.a].append((link.b, weight, link.lid))
+                adjacency[link.b].append((link.a, weight, link.lid))
+        for rid in adjacency:
+            adjacency[rid].sort()
+        return adjacency
+
+    def path(self, src: int, dst: int) -> Optional[List[int]]:
+        """Shortest alive path from ``src`` to ``dst`` as router ids.
+
+        Returns ``None`` when no path exists (partition, or an endpoint is
+        failed).  Raises :class:`RoutingError` for routers outside this AS.
+        """
+        for rid in (src, dst):
+            if self.net.asn_of_router(rid) != self.asn:
+                raise RoutingError(
+                    f"router {rid} is not in AS {self.asn}; IGP views are per-AS"
+                )
+        if src in self.state.failed_routers or dst in self.state.failed_routers:
+            return None
+        if src == dst:
+            return [src]
+        table = self._paths_from.get(src)
+        if table is None:
+            table = self._dijkstra(src)
+            self._paths_from[src] = table
+        path = table.get(dst)
+        return list(path) if path is not None else None
+
+    def distance(self, src: int, dst: int) -> Optional[int]:
+        """IGP cost of the shortest path, or ``None`` when unreachable."""
+        path = self.path(src, dst)
+        if path is None:
+            return None
+        cost = 0
+        for hop_a, hop_b in zip(path, path[1:]):
+            link = self.net.link_between(hop_a, hop_b)
+            assert link is not None
+            cost += self.state.weight_of(link)
+        return cost
+
+    def reachable(self, src: int, dst: int) -> bool:
+        """True when the AS can internally carry traffic from src to dst."""
+        return self.path(src, dst) is not None
+
+    def all_shortest_paths(
+        self, src: int, dst: int, cap: int = 32
+    ) -> List[List[int]]:
+        """Every equal-cost shortest path from ``src`` to ``dst`` (ECMP).
+
+        Used by the Paris-traceroute extension: real networks load-balance
+        across equal-cost paths, and multipath-aware probing must discover
+        all of them.  Enumeration walks the shortest-path DAG backwards
+        from the destination; ``cap`` bounds the number of paths returned
+        (ECMP fan-out is combinatorial in pathological topologies).
+        Returns ``[]`` when ``dst`` is unreachable; paths are sorted
+        lexicographically, so the first one is exactly :meth:`path`'s
+        answer.
+        """
+        for rid in (src, dst):
+            if self.net.asn_of_router(rid) != self.asn:
+                raise RoutingError(
+                    f"router {rid} is not in AS {self.asn}; IGP views are per-AS"
+                )
+        if src in self.state.failed_routers or dst in self.state.failed_routers:
+            return []
+        if src == dst:
+            return [[src]]
+        distances = self._distances(src)
+        if dst not in distances:
+            return []
+        paths: List[List[int]] = []
+
+        def backtrack(node: int, suffix: List[int]) -> None:
+            if len(paths) >= cap:
+                return
+            if node == src:
+                paths.append([src] + suffix)
+                return
+            for nbr, weight, _lid in self._adjacency.get(node, ()):
+                if distances.get(nbr, None) is not None and (
+                    distances[nbr] + weight == distances[node]
+                ):
+                    backtrack(nbr, [node] + suffix)
+
+        backtrack(dst, [])
+        return sorted(paths)
+
+    def _distances(self, src: int) -> Dict[int, int]:
+        """Shortest distances from ``src`` to every reachable router."""
+        dist: Dict[int, int] = {}
+        heap: List[Tuple[int, int]] = [(0, src)]
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node in dist:
+                continue
+            dist[node] = d
+            for nbr, weight, _lid in self._adjacency.get(node, ()):
+                if nbr not in dist:
+                    heapq.heappush(heap, (d + weight, nbr))
+        return dist
+
+    def _dijkstra(self, src: int) -> Dict[int, Tuple[int, ...]]:
+        """Single-source Dijkstra with lexicographic path tie-breaking."""
+        best: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
+        heap: List[Tuple[int, Tuple[int, ...]]] = [(0, (src,))]
+        while heap:
+            dist, path = heapq.heappop(heap)
+            node = path[-1]
+            if node in best:
+                continue
+            best[node] = (dist, path)
+            for nbr, weight, _lid in self._adjacency.get(node, ()):
+                if nbr not in best:
+                    heapq.heappush(heap, (dist + weight, path + (nbr,)))
+        return {node: path for node, (_dist, path) in best.items()}
+
+
+def igp_link_down_events(
+    net: Internetwork, asn: int, state: NetworkState
+) -> List[Link]:
+    """The IGP "link down" messages AS ``asn`` observes under ``state``.
+
+    Includes intradomain links that failed directly and those silenced by a
+    failed endpoint router (a dead router stops refreshing the LSAs of all
+    its links, which the rest of the IGP observes as the links going down).
+    """
+    events: List[Link] = []
+    for link in net.intra_links(asn):
+        if not net.link_up(link.lid, state):
+            events.append(link)
+    return events

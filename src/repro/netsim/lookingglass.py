@@ -1,0 +1,72 @@
+"""Looking Glass servers (§3.4).
+
+A Looking Glass (LG) located in an AS "allows queries for IP addresses or
+prefixes, and returns the AS path as seen by that AS to the queried address
+or prefix".  The simulation answers such queries straight from the AS's
+converged RIB.  Availability is per AS: Figure 12 of the paper varies the
+fraction of ASes that provide an LG, so the service takes the available set
+as a constructor argument.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from repro.errors import MeasurementError
+from repro.netsim.bgp.rib import RoutingState
+from repro.netsim.topology import Internetwork
+
+__all__ = ["LookingGlassService"]
+
+
+class LookingGlassService:
+    """Front-end for every Looking Glass in the internetwork.
+
+    Parameters
+    ----------
+    net:
+        The internetwork (used only for AS validation).
+    available_ases:
+        ASes that operate a public LG.  Queries to other ASes return
+        ``None`` — the troubleshooter must fall back to another LG on the
+        path, mirroring the paper's "if the Looking Glass of the source AS
+        is not available, then AS-X queries the first available Looking
+        Glass on the path".
+    """
+
+    def __init__(self, net: Internetwork, available_ases: Iterable[int]) -> None:
+        self.net = net
+        self._available: FrozenSet[int] = frozenset(available_ases)
+        for asn in self._available:
+            net.autonomous_system(asn)  # validate
+
+    @classmethod
+    def everywhere(cls, net: Internetwork) -> "LookingGlassService":
+        """An LG in every AS (the Figure 11 assumption)."""
+        return cls(net, (autsys.asn for autsys in net.ases()))
+
+    @property
+    def available_ases(self) -> FrozenSet[int]:
+        """The set of ASes operating an LG."""
+        return self._available
+
+    def has_lg(self, asn: int) -> bool:
+        """True when AS ``asn`` operates a Looking Glass."""
+        return asn in self._available
+
+    def query(
+        self, asn: int, prefix: str, routing: RoutingState
+    ) -> Optional[Tuple[int, ...]]:
+        """AS path from ``asn`` towards ``prefix`` as its LG reports it.
+
+        Returns ``None`` when the AS has no LG *or* holds no route for the
+        prefix; the caller cannot distinguish the two, just like a real
+        operator staring at an empty LG response.
+        """
+        if prefix not in routing.prefixes:
+            raise MeasurementError(
+                f"LG query for prefix {prefix} outside the converged set"
+            )
+        if asn not in self._available:
+            return None
+        return routing.as_path(asn, prefix)

@@ -1,0 +1,102 @@
+"""Multipath data-plane enumeration (the Paris-traceroute substrate).
+
+The paper sets load balancing aside ("a tool such as Paris traceroute can
+discover all paths between a pair of sensors", footnote 2) — this module
+provides that tool for the simulator.  BGP selects one egress per AS (we
+model no BGP multipath), so path multiplicity comes from IGP equal-cost
+multipath inside each AS: the enumeration walks the AS-level route exactly
+like :func:`repro.netsim.forwarding.data_path`, but expands every
+intradomain segment into all its equal-cost alternatives and takes the
+cartesian product (capped).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.netsim.bgp.rib import RoutingState
+from repro.netsim.forwarding import IgpCache
+from repro.netsim.topology import Internetwork, NetworkState
+
+__all__ = ["enumerate_data_paths"]
+
+
+def enumerate_data_paths(
+    net: Internetwork,
+    routing: RoutingState,
+    state: NetworkState,
+    src_router: int,
+    dst_router: int,
+    igp_cache: Optional[IgpCache] = None,
+    max_paths: int = 32,
+) -> List[Tuple[int, ...]]:
+    """All equal-cost forwarding paths from ``src_router`` to ``dst_router``.
+
+    Returns the list of router-id paths a load-balanced flow could take
+    (empty when the destination is unreachable).  The first entry is the
+    deterministic single path :func:`~repro.netsim.forwarding.data_path`
+    would walk.
+    """
+    if max_paths < 1:
+        raise RoutingError("max_paths must be at least 1")
+    cache = igp_cache or IgpCache(net)
+    if src_router in state.failed_routers or dst_router in state.failed_routers:
+        return []
+
+    dst_asn = net.asn_of_router(dst_router)
+    prefix = net.autonomous_system(dst_asn).prefix
+
+    # Stage 1: the AS-level skeleton — (entry router, egress router, exit
+    # link) per transit AS.  One skeleton: BGP picks a single route per AS.
+    skeleton: List[Tuple[int, int, Optional[int]]] = []
+    cur = src_router
+    visited = set()
+    while net.asn_of_router(cur) != dst_asn:
+        asn = net.asn_of_router(cur)
+        if asn in visited:
+            return []  # forwarding loop: no usable path
+        visited.add(asn)
+        route = routing.best(asn, prefix)
+        if route is None:
+            return []
+        assert route.egress_router is not None and route.ingress_link is not None
+        if not net.link_up(route.ingress_link, state):
+            return []
+        skeleton.append((cur, route.egress_router, route.ingress_link))
+        cur = net.link(route.ingress_link).other(route.egress_router)
+    skeleton.append((cur, dst_router, None))
+
+    # Stage 2: expand each intradomain segment into its ECMP alternatives
+    # and combine (cartesian product, capped).
+    partials: List[List[int]] = [[]]
+    for entry, egress, exit_link in skeleton:
+        asn = net.asn_of_router(entry)
+        segments = cache.view(asn, state).all_shortest_paths(
+            entry, egress, cap=max_paths
+        )
+        if not segments:
+            return []  # intradomain partition
+        expanded: List[List[int]] = []
+        for partial in partials:
+            for segment in segments:
+                combined = partial + segment
+                if exit_link is not None:
+                    combined = combined + [net.link(exit_link).other(egress)]
+                expanded.append(combined)
+                if len(expanded) >= max_paths:
+                    break
+            if len(expanded) >= max_paths:
+                break
+        partials = expanded
+
+    # Deduplicate the next-AS entry hop we appended after each segment
+    # (the entry of AS k+1 is also the first element of its own segment).
+    paths = []
+    for partial in partials:
+        deduped = [partial[0]]
+        for rid in partial[1:]:
+            if rid != deduped[-1]:
+                deduped.append(rid)
+        paths.append(tuple(deduped))
+    return sorted(set(paths))[:max_paths]

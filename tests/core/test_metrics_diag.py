@@ -1,0 +1,157 @@
+"""Unit tests for metrics, diagnosability and the reachability matrix."""
+
+import pytest
+
+from repro.core.diagnosability import diagnosability, indistinguishable_classes
+from repro.core.graph import InferredGraph
+from repro.core.linkspace import (
+    LogicalLink,
+    UhNode,
+    ip_link,
+    physical_link,
+)
+from repro.core.metrics import (
+    MetricPair,
+    as_projection,
+    physical_metrics,
+    sensitivity,
+    specificity,
+)
+from repro.core.pathset import EPOCH_PRE, PathStore, ProbePath
+from repro.core.reachability import ReachabilityMatrix
+from repro.errors import DiagnosisError
+
+
+class TestSensitivitySpecificity:
+    def test_paper_example_numbers(self):
+        """§4: |E|=150, |F|=1, |H|=10 -> specificity 140/149."""
+        universe = frozenset(range(150))
+        truth = frozenset({0})
+        hypothesis = frozenset(range(10))
+        assert specificity(universe, truth, hypothesis) == pytest.approx(140 / 149)
+        assert sensitivity(truth, hypothesis) == 1.0
+
+    def test_sensitivity_counts_true_positives(self):
+        assert sensitivity(frozenset({1, 2}), frozenset({2, 9})) == 0.5
+        assert sensitivity(frozenset({1}), frozenset()) == 0.0
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(DiagnosisError):
+            sensitivity(frozenset(), frozenset({1}))
+
+    def test_specificity_with_no_negatives(self):
+        assert specificity(frozenset({1}), frozenset({1}), frozenset()) == 1.0
+
+    def test_metric_pair_accessors(self):
+        pair = MetricPair(0.25, 0.75)
+        assert pair.sensitivity == 0.25
+        assert pair.specificity == 0.75
+        assert tuple(pair) == (0.25, 0.75)
+
+    def test_physical_metrics_projects_hypothesis(self):
+        truth = frozenset({physical_link("1.1.1.1", "2.2.2.2")})
+        universe = truth | {physical_link("3.3.3.3", "4.4.4.4")}
+        hypothesis_tokens = [LogicalLink("2.2.2.2", "1.1.1.1", tag=7)]
+        pair = physical_metrics(universe, truth, hypothesis_tokens)
+        assert pair.sensitivity == 1.0
+        assert pair.specificity == 1.0
+
+
+class TestAsProjection:
+    ASN = {"10.0.16.1": 1, "10.0.32.1": 2}.get
+
+    def test_identified_endpoints_map_through(self):
+        tokens = [ip_link("10.0.16.1", "10.0.32.1")]
+        assert as_projection(tokens, self.ASN) == frozenset({1, 2})
+
+    def test_logical_links_project_their_endpoints(self):
+        tokens = [LogicalLink("10.0.16.1", "10.0.32.1", tag=9)]
+        assert as_projection(tokens, self.ASN) == frozenset({1, 2})
+
+    def test_uh_endpoints_use_tags(self):
+        uh = UhNode("s", "d", EPOCH_PRE, 3)
+        tokens = [ip_link("10.0.16.1", uh)]
+        assert as_projection(tokens, self.ASN, {uh: frozenset({5, 6})}) == (
+            frozenset({1, 5, 6})
+        )
+
+    def test_unknown_pieces_contribute_nothing(self):
+        uh = UhNode("s", "d", EPOCH_PRE, 3)
+        tokens = [ip_link("9.9.9.9", uh)]
+        assert as_projection(tokens, self.ASN) == frozenset()
+
+
+def _store(paths):
+    store = PathStore()
+    for hops, reached in paths:
+        store.add(
+            ProbePath(
+                src=hops[0],
+                dst=hops[-1] if reached else "10.0.99.99",
+                hops=tuple(hops),
+                reached=reached,
+            )
+        )
+    return store
+
+
+class TestDiagnosability:
+    def test_perfectly_diagnosable_graph(self):
+        graph = InferredGraph()
+        graph.add_path(("a", "b"), [ip_link("1.1.1.1", "2.2.2.2")])
+        graph.add_path(("a", "c"), [ip_link("1.1.1.1", "3.3.3.3")])
+        assert diagnosability(graph) == 1.0
+
+    def test_shared_segment_halves_diagnosability(self):
+        shared = [ip_link("1.1.1.1", "2.2.2.2"), ip_link("2.2.2.2", "3.3.3.3")]
+        graph = InferredGraph()
+        graph.add_path(("a", "b"), shared)
+        assert diagnosability(graph) == 0.5  # 1 distinct hitting set, 2 links
+
+    def test_empty_graph_is_zero(self):
+        assert diagnosability(InferredGraph()) == 0.0
+
+    def test_indistinguishable_classes_sorted_by_size(self):
+        graph = InferredGraph()
+        graph.add_path(
+            ("a", "b"),
+            [
+                ip_link("1.1.1.1", "2.2.2.2"),
+                ip_link("2.2.2.2", "3.3.3.3"),
+                ip_link("3.3.3.3", "4.4.4.4"),
+            ],
+        )
+        graph.add_path(("a", "c"), [ip_link("1.1.1.1", "2.2.2.2")])
+        classes = indistinguishable_classes(graph)
+        assert len(classes[0]) == 2  # the two links only (a,b) crosses
+        assert len(classes[1]) == 1
+
+
+class TestReachabilityMatrix:
+    def test_from_store(self):
+        store = _store(
+            [
+                (["10.0.16.200", "10.0.16.1", "10.0.32.200"], True),
+                (["10.0.32.200", "10.0.16.1"], False),
+            ]
+        )
+        matrix = ReachabilityMatrix.from_store(store)
+        assert matrix.is_up("10.0.16.200", "10.0.32.200")
+        assert matrix.failed_pairs() == (("10.0.32.200", "10.0.99.99"),)
+        assert len(matrix) == 2
+
+    def test_unknown_pair_rejected(self):
+        matrix = ReachabilityMatrix({})
+        with pytest.raises(DiagnosisError):
+            matrix.is_up("a", "b")
+
+    def test_dense_rendering(self):
+        matrix = ReachabilityMatrix({("a", "b"): True, ("b", "a"): False})
+        dense = matrix.dense()
+        assert dense[0][1] == 1  # a->b up
+        assert dense[1][0] == 0  # b->a down
+        assert dense[0][0] == 1  # diagonal convention
+
+    def test_sensor_enumeration(self):
+        matrix = ReachabilityMatrix({("b", "a"): True, ("a", "c"): False})
+        assert matrix.sensors() == ("a", "b", "c")

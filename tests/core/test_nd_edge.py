@@ -1,0 +1,171 @@
+"""Tests for ND-edge on the paper's Figure 2 network (via the simulator)."""
+
+import pytest
+
+from repro.core.diagnoser import NetDiagnoser
+from repro.core.linkspace import LogicalLink, physical_link
+from repro.core.nd_edge import build_edge_inputs, physical_clusters
+from repro.measurement.collector import take_snapshot
+from repro.measurement.sensors import deploy_sensors
+from repro.netsim.builders import TopologyBuilder
+from repro.netsim.events import LinkFailureEvent, MisconfigurationEvent
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import ExportFilter, NetworkState, Tier
+
+
+@pytest.fixture
+def fig2_setup(fig2, fig2_sim):
+    sensors = deploy_sensors(
+        fig2.net, [fig2.sensor_routers[s] for s in ("s1", "s2", "s3")]
+    )
+    return fig2, fig2_sim, sensors
+
+
+def addr(fig, name):
+    return fig.router(name).address
+
+
+class TestNdEdgeOnFigure2:
+    def test_link_failure_truth_in_hypothesis(self, fig2_setup, nominal):
+        fig, sim, sensors = fig2_setup
+        lid = fig.link_between("b1", "b2").lid
+        after = sim.apply(LinkFailureEvent((lid,)))
+        snap = take_snapshot(sim, sensors, nominal, after)
+        result = NetDiagnoser("nd-edge").diagnose(snap)
+        assert physical_link(addr(fig, "b1"), addr(fig, "b2")) in (
+            result.physical_hypothesis()
+        )
+        assert result.fully_explained
+
+    def test_misconfiguration_yields_single_logical_link(
+        self, fig2_setup, nominal
+    ):
+        fig, sim, sensors = fig2_setup
+        link = fig.link_between("x2", "y1")
+        prefix_c = fig.net.autonomous_system(fig.asn("C")).prefix
+        after = sim.apply(
+            MisconfigurationEvent(
+                ExportFilter(
+                    link_id=link.lid,
+                    at_router=fig.router("y1").rid,
+                    prefixes=frozenset({prefix_c}),
+                )
+            )
+        )
+        snap = take_snapshot(sim, sensors, nominal, after)
+        result = NetDiagnoser("nd-edge").diagnose(snap)
+        assert result.hypothesis == frozenset(
+            {LogicalLink(addr(fig, "x2"), addr(fig, "y1"), tag=fig.asn("C"))}
+        )
+        # Tomo on the same snapshot finds nothing (the link carries p12).
+        tomo_result = NetDiagnoser("tomo").diagnose(snap)
+        assert physical_link(addr(fig, "x2"), addr(fig, "y1")) not in (
+            tomo_result.physical_hypothesis()
+        )
+
+    def test_working_paths_use_post_failure_routes(self, fig2_setup, nominal):
+        fig, sim, sensors = fig2_setup
+        lid = fig.link_between("b1", "b2").lid
+        after = sim.apply(LinkFailureEvent((lid,)))
+        snap = take_snapshot(sim, sensors, nominal, after)
+        inputs = build_edge_inputs(snap)
+        # s1<->s3 still work: their current links are exonerated.
+        assert any(
+            isinstance(t, LogicalLink) or t.identified
+            for t in inputs.working_excluded
+        )
+        assert inputs.failure_sets  # the broken pairs contribute sets
+
+    def test_partial_trace_extension_tightens_hypothesis(
+        self, fig2_setup, nominal
+    ):
+        fig, sim, sensors = fig2_setup
+        lid = fig.link_between("b1", "b2").lid
+        after = sim.apply(LinkFailureEvent((lid,)))
+        snap = take_snapshot(sim, sensors, nominal, after)
+        plain = NetDiagnoser("nd-edge").diagnose(snap)
+        partial = NetDiagnoser("nd-edge", use_partial_traces=True).diagnose(snap)
+        assert partial.details["partial_exonerated"] > 0
+        # The truncated forward trace reaches b1, proving the y4->b1
+        # direction works: no forward token over it may be blamed.  (The
+        # reverse direction legitimately stays suspect — an export filter
+        # could break it without touching the forward probes.)
+        from repro.core.linkspace import physical_projection, ip_link
+
+        forward = ip_link(addr(fig, "y4"), addr(fig, "b1"))
+        assert forward not in physical_projection(partial.hypothesis)
+        assert forward in physical_projection(plain.hypothesis)
+        assert len(partial.hypothesis) <= len(plain.hypothesis)
+        assert physical_link(addr(fig, "b1"), addr(fig, "b2")) in (
+            partial.physical_hypothesis()
+        )
+
+
+class TestRerouteUsage:
+    @pytest.fixture
+    def multihomed_world(self):
+        """P1 and P2 peer; stubs S (multihomed) and T, D single-homed.
+
+        Failure of the S-P1 access link reroutes S's traffic via P2 while
+        the single-homed D behind the same link... D is behind P1 only, so
+        we instead fail P1's link to D's gateway *and* watch S reroute.
+        """
+        b = TopologyBuilder()
+        b.autonomous_system("P1", Tier.CORE, routers=2)
+        b.autonomous_system("P2", Tier.CORE, routers=1)
+        b.autonomous_system("S", Tier.STUB, routers=1)
+        b.autonomous_system("D", Tier.STUB, routers=1)
+        b.peers("P1", "P2")
+        b.customer_of("S", "P1")
+        b.customer_of("S", "P2")
+        b.customer_of("D", "P1")
+        b.link("p11", "p12")
+        b.link("p11", "p21")
+        access_s = b.link("s1", "p11")
+        b.link("s1", "p21")
+        b.link("d1", "p12")
+        net = b.net
+        sensors = deploy_sensors(net, [b.router("s1").rid, b.router("d1").rid])
+        sim = Simulator(net, [b.asn("S"), b.asn("D")])
+        return b, sim, sensors, access_s
+
+    def test_reroute_set_implicates_failed_access_link(self, multihomed_world):
+        b, sim, sensors, access_s = multihomed_world
+        nominal = NetworkState.nominal()
+        # Fail S's primary access AND the P1 internal link to D: S<->D
+        # breaks (non-recoverable for D-side), S's other flows reroute.
+        p_internal = b.net.link_between(
+            b.router("p11").rid, b.router("p12").rid
+        )
+        after = sim.apply(
+            LinkFailureEvent(tuple(sorted((access_s.lid, p_internal.lid))))
+        )
+        snap = take_snapshot(sim, sensors, nominal, after)
+        if not snap.any_failure():
+            pytest.skip("topology variant did not break any pair")
+        result = NetDiagnoser("nd-edge").diagnose(snap)
+        assert result.details["reroute_sets"] >= 0
+        truth = {
+            physical_link(
+                b.router("s1").address, b.router("p11").address
+            ),
+            physical_link(
+                b.router("p11").address, b.router("p12").address
+            ),
+        }
+        assert truth & result.physical_hypothesis()
+
+
+class TestPhysicalClusters:
+    def test_same_physical_logical_tokens_cluster(self):
+        a = LogicalLink("1.1.1.1", "2.2.2.2", tag=7)
+        b = LogicalLink("1.1.1.1", "2.2.2.2", tag=8)
+        c = LogicalLink("2.2.2.2", "1.1.1.1", tag=7)  # other direction
+        clusters = physical_clusters([[a], [b, c]])
+        assert clusters[a] == frozenset({b})
+        assert clusters[b] == frozenset({a})
+        assert c not in clusters  # no sibling in its direction
+
+    def test_singletons_have_no_cluster(self):
+        a = LogicalLink("1.1.1.1", "2.2.2.2", tag=7)
+        assert physical_clusters([[a]]) == {}

@@ -1,0 +1,181 @@
+"""Tests for ND-LG end to end on a chain with a dark middle AS (§3.4)."""
+
+import pytest
+
+from repro.core.diagnoser import NetDiagnoser
+from repro.core.metrics import as_projection
+from repro.measurement.collector import (
+    collect_control_plane,
+    make_lg_lookup,
+    take_snapshot,
+)
+from repro.measurement.sensors import deploy_sensors
+from repro.netsim.builders import chain_network
+from repro.netsim.events import LinkFailureEvent
+from repro.netsim.lookingglass import LookingGlassService
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import NetworkState
+
+
+@pytest.fixture
+def dark_middle():
+    """5-AS chain, 2 routers per AS; the middle AS (N3) blocks traceroute."""
+    builder, names = chain_network(n_ases=5, routers_per_as=2)
+    net = builder.net
+    sensors = deploy_sensors(
+        net, [builder.router("n11").rid, builder.router("n52").rid]
+    )
+    sim = Simulator(net, [builder.asn("N1"), builder.asn("N5")])
+    blocked = frozenset({builder.asn("N3")})
+    return builder, sim, sensors, blocked
+
+
+class TestNdLgOnDarkChain:
+    def _diagnose(self, builder, sim, sensors, blocked, lg_ases, failed_link):
+        nominal = NetworkState.nominal()
+        after = sim.apply(LinkFailureEvent((failed_link,)))
+        snap = take_snapshot(sim, sensors, nominal, after, blocked_ases=blocked)
+        assert snap.any_failure()
+        lg = LookingGlassService(builder.net, lg_ases)
+        lookup = make_lg_lookup(sim, lg, nominal, after, asx=builder.asn("N1"))
+        control = collect_control_plane(sim, builder.asn("N1"), nominal, after)
+        result = NetDiagnoser("nd-lg").diagnose(
+            snap, control=control, lg_lookup=lookup
+        )
+        return snap, result
+
+    def test_failure_in_dark_as_localised_to_the_as(self, dark_middle):
+        builder, sim, sensors, blocked = dark_middle
+        hidden = builder.net.link_between(
+            builder.router("n31").rid, builder.router("n32").rid
+        )
+        snap, result = self._diagnose(
+            builder, sim, sensors, blocked,
+            [a.asn for a in builder.net.ases()],
+            hidden.lid,
+        )
+        hypothesis_ases = as_projection(
+            result.hypothesis, snap.asn_of, result.details["uh_tags"]
+        )
+        assert builder.asn("N3") in hypothesis_ases
+        assert result.fully_explained
+
+    def test_uh_tags_are_recorded(self, dark_middle):
+        builder, sim, sensors, blocked = dark_middle
+        hidden = builder.net.link_between(
+            builder.router("n31").rid, builder.router("n32").rid
+        )
+        _snap, result = self._diagnose(
+            builder, sim, sensors, blocked,
+            [a.asn for a in builder.net.ases()],
+            hidden.lid,
+        )
+        tags = result.details["uh_tags"]
+        assert tags
+        n3 = builder.asn("N3")
+        # Complete (pre-failure) traces bracket the run exactly: tag {N3}.
+        pre = {uh: tag for uh, tag in tags.items() if uh.epoch == "pre"}
+        assert pre and all(tag == frozenset({n3}) for tag in pre.values())
+        # Truncated post-failure traces end inside the dark region: their
+        # candidate set widens to everything after the last bracketing AS,
+        # but still contains the true AS.
+        post = {uh: tag for uh, tag in tags.items() if uh.epoch == "post"}
+        assert all(n3 in tag for tag in post.values() if tag)
+
+    def test_without_lgs_tags_are_unknown(self, dark_middle):
+        builder, sim, sensors, blocked = dark_middle
+        hidden = builder.net.link_between(
+            builder.router("n31").rid, builder.router("n32").rid
+        )
+        snap, result = self._diagnose(
+            builder, sim, sensors, blocked, [], hidden.lid
+        )
+        # AS-X itself (N1) always knows its own AS path, but its own BGP
+        # view is enough here: the chain has a single route, so the tags
+        # can still resolve through AS-X's table.
+        tags = result.details["uh_tags"]
+        assert tags  # UHs exist either way
+
+    def test_pre_and_post_uh_links_cluster_across_epochs(self, dark_middle):
+        builder, sim, sensors, blocked = dark_middle
+        hidden = builder.net.link_between(
+            builder.router("n31").rid, builder.router("n32").rid
+        )
+        _snap, result = self._diagnose(
+            builder, sim, sensors, blocked,
+            [a.asn for a in builder.net.ases()],
+            hidden.lid,
+        )
+        clusters = result.details["clusters"]
+        assert clusters, "dark links from the two directions should cluster"
+
+    def test_identified_failure_still_found_under_blocking(self, dark_middle):
+        """A failure in a *visible* AS is still pinned at link level.
+
+        A third sensor is needed: with only two sensors the forward and
+        reverse dark links (which cluster — they may be the same hidden
+        link) match the evidence just as well as the true link, and the
+        dark cluster would explain everything by itself.  That dark
+        cluster may *also* appear in the hypothesis — the paper's ND-LG
+        reports ~2 AS-level false positives on average for exactly this
+        reason — but the true link must be blamed too.
+        """
+        builder, _sim, _sensors, blocked = dark_middle
+        sensors = deploy_sensors(
+            builder.net,
+            [
+                builder.router("n11").rid,
+                builder.router("n52").rid,
+                builder.router("n41").rid,
+            ],
+        )
+        sim = Simulator(
+            builder.net,
+            [builder.asn("N1"), builder.asn("N5"), builder.asn("N4")],
+        )
+        visible = builder.net.link_between(
+            builder.router("n51").rid, builder.router("n52").rid
+        )
+        snap, result = self._diagnose(
+            builder, sim, sensors, blocked,
+            [a.asn for a in builder.net.ases()],
+            visible.lid,
+        )
+        from repro.core.linkspace import physical_link
+
+        truth = physical_link(
+            builder.router("n51").address, builder.router("n52").address
+        )
+        assert truth in result.physical_hypothesis()
+
+
+class TestDiagnoserFacade:
+    def test_unknown_variant_rejected(self):
+        from repro.errors import DiagnosisError
+
+        with pytest.raises(DiagnosisError):
+            NetDiagnoser("nd-quantum")
+
+    def test_missing_inputs_rejected(self, dark_middle):
+        builder, sim, sensors, blocked = dark_middle
+        nominal = NetworkState.nominal()
+        hidden = builder.net.link_between(
+            builder.router("n31").rid, builder.router("n32").rid
+        )
+        after = sim.apply(LinkFailureEvent((hidden.lid,)))
+        snap = take_snapshot(sim, sensors, nominal, after, blocked_ases=blocked)
+        from repro.errors import DiagnosisError
+
+        with pytest.raises(DiagnosisError):
+            NetDiagnoser("nd-bgpigp").diagnose(snap)  # no control plane
+        with pytest.raises(DiagnosisError):
+            NetDiagnoser("nd-lg").diagnose(snap)  # no LG lookup
+
+    def test_nothing_to_diagnose_rejected(self, dark_middle):
+        builder, sim, sensors, blocked = dark_middle
+        nominal = NetworkState.nominal()
+        snap = take_snapshot(sim, sensors, nominal, nominal, blocked_ases=blocked)
+        from repro.errors import DiagnosisError
+
+        with pytest.raises(DiagnosisError):
+            NetDiagnoser("tomo").diagnose(snap)

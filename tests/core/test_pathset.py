@@ -1,0 +1,136 @@
+"""Unit tests for probe paths, stores and measurement snapshots."""
+
+import pytest
+
+from repro.core.linkspace import UhNode, ip_link
+from repro.core.pathset import (
+    EPOCH_POST,
+    EPOCH_PRE,
+    MeasurementSnapshot,
+    PathStore,
+    ProbePath,
+)
+from repro.errors import DiagnosisError
+
+
+def path(src, dst, mids, reached=True, epoch=EPOCH_PRE):
+    hops = (src,) + tuple(mids) + ((dst,) if reached else ())
+    return ProbePath(src=src, dst=dst, hops=hops, reached=reached, epoch=epoch)
+
+
+class TestProbePath:
+    def test_links_follow_hop_order(self):
+        p = path("1.1.1.1", "2.2.2.2", ["9.9.9.9"])
+        assert p.links() == (
+            ip_link("1.1.1.1", "9.9.9.9"),
+            ip_link("9.9.9.9", "2.2.2.2"),
+        )
+
+    def test_validation(self):
+        with pytest.raises(DiagnosisError):
+            ProbePath("a", "b", (), True)
+        with pytest.raises(DiagnosisError):
+            ProbePath("1.1.1.1", "2.2.2.2", ("9.9.9.9",), True)
+        with pytest.raises(DiagnosisError):
+            ProbePath("1.1.1.1", "2.2.2.2", ("1.1.1.1", "9.9.9.9"), True)
+
+    def test_failed_path_may_stop_anywhere(self):
+        p = path("1.1.1.1", "2.2.2.2", ["9.9.9.9"], reached=False)
+        assert p.links() == (ip_link("1.1.1.1", "9.9.9.9"),)
+
+    def test_unidentified_hop_detection(self):
+        uh = UhNode("1.1.1.1", "2.2.2.2", EPOCH_PRE, 1)
+        p = ProbePath("1.1.1.1", "2.2.2.2", ("1.1.1.1", uh, "2.2.2.2"), True)
+        assert p.has_unidentified_hops()
+        assert not path("1.1.1.1", "2.2.2.2", ["9.9.9.9"]).has_unidentified_hops()
+
+
+class TestPathStore:
+    def test_add_get_and_iteration_order(self):
+        store = PathStore()
+        store.add(path("2.2.2.2", "1.1.1.1", ["9.9.9.9"]))
+        store.add(path("1.1.1.1", "2.2.2.2", ["9.9.9.9"]))
+        assert store.pairs() == (("1.1.1.1", "2.2.2.2"), ("2.2.2.2", "1.1.1.1"))
+        assert len(store) == 2
+        assert ("1.1.1.1", "2.2.2.2") in store
+
+    def test_duplicate_pair_rejected(self):
+        store = PathStore()
+        store.add(path("1.1.1.1", "2.2.2.2", ["9.9.9.9"]))
+        with pytest.raises(DiagnosisError):
+            store.add(path("1.1.1.1", "2.2.2.2", ["8.8.8.8"]))
+
+    def test_missing_pair_raises(self):
+        with pytest.raises(DiagnosisError):
+            PathStore().get(("a", "b"))
+
+    def test_working_and_failed_partitions(self):
+        store = PathStore()
+        store.add(path("1.1.1.1", "2.2.2.2", ["9.9.9.9"]))
+        store.add(path("2.2.2.2", "1.1.1.1", ["9.9.9.9"], reached=False))
+        assert store.working_pairs() == (("1.1.1.1", "2.2.2.2"),)
+        assert store.failed_pairs() == (("2.2.2.2", "1.1.1.1"),)
+
+
+class TestMeasurementSnapshot:
+    def _snapshot(self, after_mid="9.9.9.9", after_reached=True):
+        before = PathStore()
+        before.add(path("1.1.1.1", "2.2.2.2", ["9.9.9.9"]))
+        after = PathStore()
+        after.add(
+            path(
+                "1.1.1.1",
+                "2.2.2.2",
+                [after_mid],
+                reached=after_reached,
+                epoch=EPOCH_POST,
+            )
+        )
+        return MeasurementSnapshot(before=before, after=after)
+
+    def test_pair_mismatch_rejected(self):
+        before = PathStore()
+        before.add(path("1.1.1.1", "2.2.2.2", ["9.9.9.9"]))
+        with pytest.raises(DiagnosisError):
+            MeasurementSnapshot(before=before, after=PathStore())
+
+    def test_failed_before_path_rejected(self):
+        before = PathStore()
+        before.add(path("1.1.1.1", "2.2.2.2", ["9.9.9.9"], reached=False))
+        after = PathStore()
+        after.add(path("1.1.1.1", "2.2.2.2", ["9.9.9.9"], epoch=EPOCH_POST))
+        with pytest.raises(DiagnosisError):
+            MeasurementSnapshot(before=before, after=after)
+
+    def test_reroute_detection(self):
+        snap = self._snapshot(after_mid="8.8.8.8")
+        assert snap.rerouted_pairs() == (("1.1.1.1", "2.2.2.2"),)
+        unchanged = self._snapshot()
+        assert unchanged.rerouted_pairs() == ()
+
+    def test_failed_pair_detection(self):
+        snap = self._snapshot(after_reached=False)
+        assert snap.failed_pairs() == (("1.1.1.1", "2.2.2.2"),)
+        assert snap.any_failure()
+        assert not self._snapshot().any_failure()
+
+    def test_uh_hops_compared_by_position(self):
+        """A star at the same position pre/post is not a reroute."""
+        before = PathStore()
+        uh_pre = UhNode("1.1.1.1", "2.2.2.2", EPOCH_PRE, 1)
+        before.add(
+            ProbePath("1.1.1.1", "2.2.2.2", ("1.1.1.1", uh_pre, "2.2.2.2"), True)
+        )
+        after = PathStore()
+        uh_post = UhNode("1.1.1.1", "2.2.2.2", EPOCH_POST, 1)
+        after.add(
+            ProbePath(
+                "1.1.1.1",
+                "2.2.2.2",
+                ("1.1.1.1", uh_post, "2.2.2.2"),
+                True,
+                epoch=EPOCH_POST,
+            )
+        )
+        snap = MeasurementSnapshot(before=before, after=after)
+        assert snap.rerouted_pairs() == ()

@@ -1,0 +1,166 @@
+"""Round-trip tests for the JSON serialization layer."""
+
+import json
+
+import pytest
+
+from repro.core.linkspace import IpLink, LogicalLink, PhysicalLink, UhNode
+from repro.errors import ReproError
+from repro.netsim.events import (
+    CompositeEvent,
+    LinkFailureEvent,
+    MisconfigurationEvent,
+    RouterFailureEvent,
+)
+from repro.netsim.gen.internet import research_internet
+from repro.netsim.topology import ExportFilter, NetworkState
+from repro.serialize import (
+    event_from_dict,
+    event_to_dict,
+    figure_result_to_dict,
+    load_topology,
+    save_topology,
+    state_from_dict,
+    state_to_dict,
+    token_from_dict,
+    token_to_dict,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+
+class TestTopologyRoundTrip:
+    def test_figure2_roundtrip(self, fig2):
+        rebuilt = topology_from_dict(topology_to_dict(fig2.net))
+        assert rebuilt.num_ases == fig2.net.num_ases
+        assert rebuilt.num_routers == fig2.net.num_routers
+        assert rebuilt.num_links == fig2.net.num_links
+        for router in fig2.net.routers():
+            twin = rebuilt.router(router.rid)
+            assert (twin.name, twin.address, twin.asn) == (
+                router.name,
+                router.address,
+                router.asn,
+            )
+        for link in fig2.net.links():
+            twin = rebuilt.link(link.lid)
+            assert twin.endpoints() == link.endpoints()
+            assert twin.weight == link.weight
+        for a in fig2.net.ases():
+            for b in fig2.net.ases():
+                if a.asn < b.asn:
+                    assert rebuilt.relationship(a.asn, b.asn) == (
+                        fig2.net.relationship(a.asn, b.asn)
+                    )
+
+    def test_research_internet_roundtrip_is_json_stable(self):
+        topo = research_internet(n_tier2=4, n_stub=10, seed=3)
+        once = topology_to_dict(topo.net)
+        twice = topology_to_dict(topology_from_dict(once))
+        assert json.dumps(once, sort_keys=True) == json.dumps(
+            twice, sort_keys=True
+        )
+
+    def test_file_helpers(self, fig2, tmp_path):
+        path = tmp_path / "topo.json"
+        save_topology(fig2.net, path)
+        rebuilt = load_topology(path)
+        assert rebuilt.num_links == fig2.net.num_links
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ReproError):
+            topology_from_dict({"format": "something-else"})
+
+    def test_routing_equivalence_after_roundtrip(self, fig2):
+        """The rebuilt topology produces identical converged routing."""
+        from repro.netsim.bgp import BgpEngine
+
+        rebuilt = topology_from_dict(topology_to_dict(fig2.net))
+        asns = [fig2.asn("A"), fig2.asn("B"), fig2.asn("C")]
+        original = BgpEngine.for_sensor_ases(fig2.net, asns).converge(
+            NetworkState.nominal()
+        )
+        twin = BgpEngine.for_sensor_ases(rebuilt, asns).converge(
+            NetworkState.nominal()
+        )
+        for prefix in original.prefixes:
+            for autsys in fig2.net.ases():
+                assert original.as_path(autsys.asn, prefix) == twin.as_path(
+                    autsys.asn, prefix
+                )
+
+
+class TestStateAndEventRoundTrip:
+    def test_state_roundtrip(self):
+        state = (
+            NetworkState.nominal()
+            .with_failed_links([3, 1])
+            .with_failed_routers([7])
+            .with_filter(
+                ExportFilter(
+                    link_id=3, at_router=7, prefixes=frozenset({"10.0.16.0/20"})
+                )
+            )
+        )
+        assert state_from_dict(state_to_dict(state)) == state
+
+    def test_nominal_state_roundtrip(self):
+        assert state_from_dict(state_to_dict(NetworkState.nominal())).is_nominal()
+
+    @pytest.mark.parametrize(
+        "event",
+        [
+            LinkFailureEvent((4, 9)),
+            RouterFailureEvent(11),
+            MisconfigurationEvent(
+                ExportFilter(
+                    link_id=2, at_router=5, prefixes=frozenset({"10.0.32.0/20"})
+                )
+            ),
+            CompositeEvent(
+                (LinkFailureEvent((1,)), RouterFailureEvent(2))
+            ),
+        ],
+        ids=["link", "router", "misconfig", "composite"],
+    )
+    def test_event_roundtrip(self, event):
+        assert event_from_dict(event_to_dict(event)) == event
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ReproError):
+            event_from_dict({"type": "alien"})
+
+
+class TestTokenRoundTrip:
+    @pytest.mark.parametrize(
+        "token",
+        [
+            IpLink("10.0.0.1", "10.0.0.2"),
+            IpLink("10.0.0.1", UhNode("s", "d", "pre", 4)),
+            LogicalLink("10.0.0.1", "10.0.0.2", tag=17),
+            PhysicalLink("10.0.0.1", "10.0.0.2"),
+        ],
+        ids=["ip", "uh", "logical", "physical"],
+    )
+    def test_token_roundtrip(self, token):
+        assert token_from_dict(token_to_dict(token)) == token
+
+    def test_unknown_token_rejected(self):
+        with pytest.raises(ReproError):
+            token_from_dict({"type": "quantum"})
+
+
+class TestFigureExport:
+    def test_figure_result_exports_clean_json(self):
+        from repro.experiments.figures.base import FigureResult, Series
+
+        result = FigureResult(
+            figure_id="figX",
+            title="test",
+            series=[Series("s", [(1.0, 0.5)], "x", "y")],
+            summaries={"s": {"mean": 0.5, "n": 1.0}},
+            notes=["a note"],
+        )
+        data = figure_result_to_dict(result)
+        assert json.loads(json.dumps(data)) == data
+        assert data["series"][0]["points"] == [[1.0, 0.5]]

@@ -1,0 +1,164 @@
+"""Unit tests for Tomo and the reroute-set extraction, built on hand-made
+snapshots so the exact greedy inputs are visible."""
+
+import pytest
+
+from repro.core.linkspace import LogicalLink, ip_link, physical_link
+from repro.core.pathset import (
+    EPOCH_POST,
+    EPOCH_PRE,
+    MeasurementSnapshot,
+    PathStore,
+    ProbePath,
+)
+from repro.core.reroute import reroute_sets
+from repro.core.tomo import tomo
+
+# A tiny 2-AS world: sensors S1 (AS 1) and S2 (AS 2), two parallel transit
+# routes: r1a-r2a (primary) and r1b-r2b (backup).
+S1, S2 = "10.0.16.200", "10.0.32.200"
+R1A, R1B = "10.0.16.1", "10.0.16.2"
+R2A, R2B = "10.0.32.1", "10.0.32.2"
+
+ASN = {
+    S1: 1, R1A: 1, R1B: 1,
+    S2: 2, R2A: 2, R2B: 2,
+}.get
+
+
+def p(src, dst, mids, reached=True, epoch=EPOCH_PRE):
+    hops = (src,) + tuple(mids) + ((dst,) if reached else ())
+    return ProbePath(src=src, dst=dst, hops=hops, reached=reached, epoch=epoch)
+
+
+def snapshot(before_paths, after_paths):
+    before, after = PathStore(), PathStore()
+    for path in before_paths:
+        before.add(path)
+    for path in after_paths:
+        after.add(path)
+    return MeasurementSnapshot(before=before, after=after, asn_of=ASN)
+
+
+class TestTomo:
+    def test_blames_links_unique_to_failed_path(self):
+        snap = snapshot(
+            [
+                p(S1, S2, [R1A, R2A]),
+                p(S2, S1, [R2B, R1B]),
+            ],
+            [
+                p(S1, S2, [R1A], reached=False, epoch=EPOCH_POST),
+                p(S2, S1, [R2B, R1B], epoch=EPOCH_POST),
+            ],
+        )
+        result = tomo(snap)
+        # Every link of the failed forward path ties at score 1.
+        assert result.hypothesis == frozenset(
+            {
+                ip_link(S1, R1A),
+                ip_link(R1A, R2A),
+                ip_link(R2A, S2),
+            }
+        )
+        assert result.fully_explained
+        assert result.algorithm == "tomo"
+
+    def test_working_path_exonerates_shared_links(self):
+        snap = snapshot(
+            [
+                p(S1, S2, [R1A, R2A]),
+                p(S1, S2.replace("200", "201"), [R1A, R2B]),
+            ],
+            [
+                p(S1, S2, [R1A, R2A], reached=False, epoch=EPOCH_POST),
+                p(S1, S2.replace("200", "201"), [R1A, R2B], epoch=EPOCH_POST),
+            ],
+        )
+        result = tomo(snap)
+        assert ip_link(S1, R1A) not in result.hypothesis
+        assert ip_link(R1A, R2A) in result.hypothesis
+
+    def test_stale_working_view_causes_false_negative(self):
+        """The §2.5(2) blind spot: a rerouted-but-working pair exonerates
+        the failed link it used to cross."""
+        other = S2.replace("200", "201")
+        snap = snapshot(
+            [
+                p(S1, S2, [R1A, R2A]),      # fails
+                p(S1, other, [R1A, R2A]),   # reroutes via R2B and works
+            ],
+            [
+                p(S1, S2, [R1A], reached=False, epoch=EPOCH_POST),
+                p(S1, other, [R1A, R2B], epoch=EPOCH_POST),
+            ],
+        )
+        result = tomo(snap)
+        # Tomo used the T- path of the working pair, which crossed R1A-R2A:
+        # the genuinely failed link gets wrongly exonerated.
+        assert ip_link(R1A, R2A) not in result.hypothesis
+
+    def test_graph_universe_is_prefailure_only(self):
+        snap = snapshot(
+            [p(S1, S2, [R1A, R2A])],
+            [p(S1, S2, [R1A, R2B], reached=False, epoch=EPOCH_POST)],
+        )
+        result = tomo(snap)
+        assert ip_link(R1A, R2B) not in result.graph
+
+
+class TestRerouteSets:
+    def test_reroute_set_is_old_minus_new(self):
+        snap = snapshot(
+            [
+                p(S1, S2, [R1A, R2A]),
+                p(S1, S2.replace("200", "201"), [R1A, R2A], reached=True),
+            ],
+            [
+                p(S1, S2, [R1A], reached=False, epoch=EPOCH_POST),
+                p(
+                    S1,
+                    S2.replace("200", "201"),
+                    [R1A, R2B],
+                    epoch=EPOCH_POST,
+                ),
+            ],
+        )
+        sets = reroute_sets(snap, logical=False)
+        pair = (S1, S2.replace("200", "201"))
+        assert pair in sets
+        assert ip_link(R1A, R2A) in sets[pair]
+        assert ip_link(S1, R1A) not in sets[pair]  # still on the new path
+
+    def test_unchanged_pairs_contribute_nothing(self):
+        snap = snapshot(
+            [p(S1, S2, [R1A, R2A]), p(S2, S1, [R2A, R1A])],
+            [
+                p(S1, S2, [R1A], reached=False, epoch=EPOCH_POST),
+                p(S2, S1, [R2A, R1A], epoch=EPOCH_POST),
+            ],
+        )
+        assert reroute_sets(snap) == {}
+
+    def test_logical_reroute_ignores_pure_tag_changes(self):
+        """A link kept by the new path must not enter the reroute set even
+        if its out-neighbour tag changed."""
+        other = S2.replace("200", "201")
+        snap = snapshot(
+            [
+                p(S1, S2, [R1A, R2A]),
+                p(S1, other, [R1A, R2A, R2B]),
+            ],
+            [
+                p(S1, S2, [R1A], reached=False, epoch=EPOCH_POST),
+                # Same physical entry link R1A->R2A, different internal tail.
+                p(S1, other, [R1A, R2A], epoch=EPOCH_POST),
+            ],
+        )
+        sets = reroute_sets(snap, logical=True)
+        pair = (S1, other)
+        assert pair in sets
+        assert not any(
+            isinstance(t, LogicalLink) and t.physical() == physical_link(R1A, R2A)
+            for t in sets[pair]
+        )

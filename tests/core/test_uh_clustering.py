@@ -1,0 +1,141 @@
+"""Unit tests for UH-to-AS mapping (§3.4 step 1) and link clustering
+(step 2), against the paper's Figure 4 example."""
+
+import pytest
+
+from repro.core.clustering import build_clusters
+from repro.core.linkspace import UhNode, ip_link
+from repro.core.pathset import EPOCH_PRE, ProbePath
+from repro.core.uh import uh_tags
+
+# Figure 4's address plan: s_i and x in AS A (1), u1..u3 hidden in AS B (2),
+# y and s_j in AS C (3).
+SI, X, Y, SJ = "10.0.16.200", "10.0.16.1", "10.0.48.1", "10.0.48.200"
+ASN = {SI: 1, X: 1, Y: 3, SJ: 3}.get
+
+
+def uh(i, src=SI, dst=SJ, epoch=EPOCH_PRE):
+    return UhNode(src, dst, epoch, i)
+
+
+@pytest.fixture
+def figure4_path():
+    """s_i - x - u1 - u2 - u3 - y - s_j with the middle AS dark."""
+    hops = (SI, X, uh(2), uh(3), uh(4), Y, SJ)
+    return ProbePath(src=SI, dst=SJ, hops=hops, reached=True)
+
+
+class TestUhTags:
+    def test_single_as_gap_is_unambiguous(self, figure4_path):
+        tags = uh_tags(figure4_path, ASN, lambda asn: (1, 2, 3))
+        assert tags == {
+            uh(2): frozenset({2}),
+            uh(3): frozenset({2}),
+            uh(4): frozenset({2}),
+        }
+
+    def test_two_as_gap_gets_combined_tag(self, figure4_path):
+        """AS path A-B-D-C: UHs could be in B or D — tag {B, D}."""
+        tags = uh_tags(figure4_path, ASN, lambda asn: (1, 2, 4, 3))
+        assert tags[uh(3)] == frozenset({2, 4})
+
+    def test_source_lg_preferred_then_first_on_path(self, figure4_path):
+        queried = []
+
+        def lg(asn):
+            queried.append(asn)
+            return None if asn == 1 else (1, 2, 3)
+
+        tags = uh_tags(figure4_path, ASN, lg)
+        # Source AS (1) asked first; it had no LG so nothing else before
+        # the gap exists (x is also AS 1) -> no answer -> unknown tags.
+        assert queried == [1]
+        assert tags[uh(2)] == frozenset()
+
+    def test_no_lg_yields_unknown_tags(self, figure4_path):
+        tags = uh_tags(figure4_path, ASN, lambda asn: None)
+        assert all(tag == frozenset() for tag in tags.values())
+
+    def test_lg_disagreeing_with_traceroute_yields_unknown(self, figure4_path):
+        # The LG path never mentions AS 1 (the bracketing AS).
+        tags = uh_tags(figure4_path, ASN, lambda asn: (5, 6, 7))
+        assert tags[uh(2)] == frozenset()
+
+    def test_truncated_path_tags_tail_after_prev(self):
+        """A failed trace ending in stars: candidates are everything after
+        the last identified AS on the LG path."""
+        hops = (SI, X, uh(2), uh(3))
+        path = ProbePath(src=SI, dst=SJ, hops=hops, reached=False)
+        tags = uh_tags(path, ASN, lambda asn: (1, 2, 3))
+        assert tags[uh(2)] == frozenset({2, 3})
+
+    def test_multiple_runs_tagged_independently(self):
+        w = "10.0.32.1"  # AS 2... make an identified middle hop
+        asn = {SI: 1, X: 1, w: 2, Y: 3, SJ: 3}.get
+        hops = (SI, X, uh(2), w, uh(4), Y, SJ)
+        path = ProbePath(src=SI, dst=SJ, hops=hops, reached=True)
+        tags = uh_tags(path, asn, lambda a: (1, 5, 2, 6, 3))
+        assert tags[uh(2)] == frozenset({5})
+        assert tags[uh(4)] == frozenset({6})
+
+
+class TestClustering:
+    def _links(self):
+        """Two unidentified links from different traces with equal tags,
+        plus one from the same trace as the first."""
+        l1 = ip_link(X, uh(2))
+        l2 = ip_link(X, uh(2, src="10.0.17.200"))
+        same_trace = ip_link(uh(2), uh(3))
+        tags = {
+            uh(2): frozenset({2}),
+            uh(3): frozenset({2}),
+            uh(2, src="10.0.17.200"): frozenset({2}),
+        }
+        return l1, l2, same_trace, tags
+
+    def test_rule_i_endpoint_tags_must_match(self):
+        l1, l2, _same, tags = self._links()
+        clusters = build_clusters([l1, l2], [frozenset({l1}), frozenset({l2})], tags)
+        assert clusters[l1] == frozenset({l2})
+        assert clusters[l2] == frozenset({l1})
+
+    def test_rule_i_rejects_different_tags(self):
+        l1, l2, _same, tags = self._links()
+        tags = dict(tags)
+        tags[uh(2, src="10.0.17.200")] = frozenset({9})
+        clusters = build_clusters([l1, l2], [frozenset({l1}), frozenset({l2})], tags)
+        assert clusters.get(l1, frozenset()) == frozenset()
+
+    def test_rule_i_rejects_unknown_tags(self):
+        l1, l2, _same, _tags = self._links()
+        clusters = build_clusters([l1, l2], [], {})
+        assert clusters.get(l1, frozenset()) == frozenset()
+
+    def test_rule_ii_same_trace_never_clusters(self):
+        l1, _l2, same_trace, tags = self._links()
+        # Give both endpoints matching tag classes so only rule (ii) blocks.
+        clusters = build_clusters([l1, same_trace], [], tags)
+        assert same_trace not in clusters.get(l1, frozenset())
+
+    def test_rule_iii_failure_counts_must_match(self):
+        l1, l2, _same, tags = self._links()
+        clusters = build_clusters([l1, l2], [frozenset({l1})], tags)
+        # l1 is in one failure set, l2 in zero: not clustered.
+        assert clusters.get(l1, frozenset()) == frozenset()
+        assert clusters.get(l2, frozenset()) == frozenset()
+
+    def test_direction_respected(self):
+        """u1 must match u3 and u2 match u4 — not crosswise."""
+        a = ip_link(X, uh(2))
+        b = ip_link(uh(2, src="10.0.17.200"), X)  # reversed orientation
+        tags = {
+            uh(2): frozenset({2}),
+            uh(2, src="10.0.17.200"): frozenset({2}),
+        }
+        clusters = build_clusters([a, b], [frozenset({a}), frozenset({b})], tags)
+        assert clusters.get(a, frozenset()) == frozenset()
+
+    def test_identified_links_never_clustered(self):
+        l1 = ip_link(X, Y)
+        clusters = build_clusters([l1], [frozenset({l1})], {})
+        assert l1 not in clusters

@@ -1,0 +1,106 @@
+"""Additional edge-case coverage for UH mapping and the greedy internals."""
+
+import pytest
+
+from repro.core.hitting_set import greedy_hitting_set
+from repro.core.linkspace import UhNode, ip_link
+from repro.core.pathset import EPOCH_PRE, ProbePath
+from repro.core.uh import uh_tags
+
+SI, A1, B1, C1, SJ = (
+    "10.0.16.200",
+    "10.0.16.1",
+    "10.0.32.1",
+    "10.0.48.1",
+    "10.0.64.200",
+)
+ASN = {SI: 1, A1: 1, B1: 2, C1: 3, SJ: 4}.get
+
+
+def uh(i):
+    return UhNode(SI, SJ, EPOCH_PRE, i)
+
+
+class TestUhTagEdgeCases:
+    def test_lg_of_intermediate_as_is_used_when_source_lacks_one(self):
+        """The first *identified* AS before the run with an LG answers."""
+        hops = (SI, A1, B1, uh(3), C1, SJ)
+        path = ProbePath(src=SI, dst=SJ, hops=hops, reached=True)
+        answered = []
+
+        def lg(asn):
+            answered.append(asn)
+            if asn == 2:  # only AS B runs an LG
+                return (2, 9, 3, 4)
+            return None
+
+        tags = uh_tags(path, ASN, lg)
+        assert answered == [1, 2]
+        # Bracket between B (2) and C (3) on B's AS path: {9}.
+        assert tags[uh(3)] == frozenset({9})
+
+    def test_adjacent_known_ases_with_phantom_star(self):
+        """If the LG path shows the bracketing ASes adjacent, the dark run
+        cannot be attributed: empty tag."""
+        hops = (SI, A1, uh(2), B1, SJ)
+        path = ProbePath(src=SI, dst=SJ, hops=hops, reached=True)
+        tags = uh_tags(path, ASN, lambda asn: (1, 2, 4))
+        assert tags[uh(2)] == frozenset()
+
+    def test_star_at_first_position_after_source(self):
+        hops = (SI, uh(1), B1, SJ)
+        path = ProbePath(src=SI, dst=SJ, hops=hops, reached=True)
+        tags = uh_tags(path, ASN, lambda asn: (1, 7, 2, 4))
+        assert tags[uh(1)] == frozenset({7})
+
+    def test_fully_dark_truncated_path(self):
+        hops = (SI, uh(1), uh(2))
+        path = ProbePath(src=SI, dst=SJ, hops=hops, reached=False)
+        tags = uh_tags(path, ASN, lambda asn: (1, 2, 3, 4))
+        # Everything after the source AS is a candidate.
+        assert tags[uh(1)] == frozenset({2, 3, 4})
+        assert tags[uh(2)] == frozenset({2, 3, 4})
+
+    def test_no_uh_hops_yields_empty_mapping(self):
+        hops = (SI, A1, B1, SJ)
+        path = ProbePath(src=SI, dst=SJ, hops=hops, reached=True)
+        assert uh_tags(path, ASN, lambda asn: (1, 2, 4)) == {}
+
+
+class TestGreedyInternals:
+    def test_preseed_with_cluster_explains_cluster_sets(self):
+        a = ip_link("10.0.0.1", "10.0.0.2")
+        b = ip_link("10.0.0.3", "10.0.0.4")
+        clusters = {a: frozenset({b}), b: frozenset({a})}
+        result = greedy_hitting_set(
+            [[b]],
+            preseed=[a],
+            cluster_of=lambda t: clusters.get(t, frozenset()),
+        )
+        # The preseeded link explains b's set through its cluster.
+        assert result.hypothesis == frozenset({a})
+        assert result.fully_explained
+
+    def test_winner_ties_all_added_even_if_redundant(self):
+        """Algorithm 1 adds every maximum-score link of the iteration,
+        including ones whose sets were explained by an earlier winner of
+        the same iteration."""
+        a = ip_link("10.0.0.1", "10.0.0.2")
+        b = ip_link("10.0.0.3", "10.0.0.4")
+        result = greedy_hitting_set([[a, b]])
+        assert result.hypothesis == frozenset({a, b})
+        assert result.iterations == 1
+
+    def test_scores_respect_weights_across_set_kinds(self):
+        fail_only = ip_link("10.0.0.1", "10.0.0.2")
+        reroute_only = ip_link("10.0.0.3", "10.0.0.4")
+        result = greedy_hitting_set(
+            [[fail_only, ip_link("10.0.0.9", "10.0.0.10")]],
+            reroute_sets=[[reroute_only], [reroute_only]],
+            failure_weight=10,
+            reroute_weight=1,
+        )
+        # The failure set is worth more than two reroute sets.
+        assert result.iterations >= 1
+        assert fail_only in result.hypothesis
+        assert reroute_only in result.hypothesis  # still needed eventually

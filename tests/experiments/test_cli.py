@@ -1,0 +1,129 @@
+"""Tests for the two command-line entry points."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.experiments.__main__ import main as figures_main
+
+
+class TestTopLevelCli:
+    def test_topology_command_writes_valid_json(self, tmp_path, capsys):
+        out = tmp_path / "topo.json"
+        code = repro_main(
+            [
+                "topology",
+                "--seed",
+                "5",
+                "--tier2",
+                "3",
+                "--stubs",
+                "8",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["format"] == "repro-topology-v1"
+        assert len(data["ases"]) == 14  # 3 cores + 3 tier-2 + 8 stubs
+        assert "wrote" in capsys.readouterr().out
+
+    def test_diagnose_command_reports_scores(self, capsys):
+        code = repro_main(
+            [
+                "diagnose",
+                "--kind",
+                "link-1",
+                "--sensors",
+                "6",
+                "--seed",
+                "2",
+                "--topo-seed",
+                "200",
+                "--algorithms",
+                "tomo",
+                "nd-edge",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ground truth:" in out
+        assert "nd-edge" in out and "sensitivity=" in out
+
+    def test_diagnose_rejects_unknown_kind(self):
+        with pytest.raises(SystemExit):
+            repro_main(["diagnose", "--kind", "meteor"])
+
+
+class TestFiguresCli:
+    def test_single_figure_renders(self, capsys):
+        code = figures_main(
+            ["--figure", "5", "--placements", "1", "--failures", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "regenerated" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            figures_main(["--figure", "99"])
+
+
+class TestReplayCli:
+    def test_save_and_replay_roundtrip(self, tmp_path, capsys):
+        archive = tmp_path / "case.json"
+        code = repro_main(
+            [
+                "diagnose",
+                "--kind",
+                "link-1",
+                "--sensors",
+                "6",
+                "--seed",
+                "4",
+                "--topo-seed",
+                "210",
+                "--save-scenario",
+                str(archive),
+            ]
+        )
+        assert code == 0
+        assert archive.exists()
+        capsys.readouterr()
+        code = repro_main(["replay", str(archive), "--algorithms", "nd-edge"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replaying:" in out
+        assert "true-positives=" in out
+        # The true link is marked in the replayed hypothesis listing.
+        assert "**" in out
+
+    def test_replay_rejects_garbage(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"format": "not-a-scenario"}')
+        assert repro_main(["replay", str(bogus)]) == 2
+
+
+class TestFiguresJsonExport:
+    def test_json_out_writes_series_file(self, tmp_path, capsys):
+        import json
+
+        code = figures_main(
+            [
+                "--figure",
+                "5",
+                "--placements",
+                "1",
+                "--failures",
+                "2",
+                "--json-out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        data = json.loads((tmp_path / "fig5.json").read_text())
+        assert data["figure_id"] == "fig5"
+        assert data["series"]
+        assert all("points" in s for s in data["series"])

@@ -1,0 +1,54 @@
+"""Unit tests for figure-module helpers (placement resolution, sweeps)."""
+
+import random
+
+import pytest
+
+from repro.experiments.figures import fig5_placement
+from repro.experiments.figures.base import FigureConfig
+from repro.netsim.gen.internet import research_internet
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return research_internet(seed=321)
+
+
+class TestFig5Helpers:
+    def test_distant_pair_homed_to_different_cores(self, topo):
+        as_a, as_b = fig5_placement._distant_pair(topo)
+        assert topo.providers[as_a] == [topo.core_asns[0]]
+        assert topo.providers[as_b] == [topo.core_asns[1]]
+        assert as_a != as_b
+
+    def test_intermediate_routers_exclude_the_endpoints(self, topo):
+        as_a, as_b = fig5_placement._distant_pair(topo)
+        intermediates = fig5_placement._intermediate_routers(topo, as_a, as_b)
+        assert intermediates, "distant tier-2s must transit other ASes"
+        net = topo.net
+        for rid in intermediates:
+            assert net.asn_of_router(rid) not in (as_a, as_b)
+
+    @pytest.mark.parametrize("placement", fig5_placement.PLACEMENTS)
+    def test_every_placement_resolves(self, topo, placement):
+        rng = random.Random(placement)
+        routers = fig5_placement._placement_routers(placement, topo, 6, rng)
+        assert len(routers) == 6
+
+    def test_unknown_placement_rejected(self, topo):
+        with pytest.raises(ValueError):
+            fig5_placement._placement_routers("moon", topo, 6, random.Random(1))
+
+    def test_placement_diagnosability_is_normalised(self):
+        rng = random.Random("fig5-helper")
+        value = fig5_placement.placement_diagnosability("random", 6, 321, rng)
+        assert 0.0 < value <= 1.0
+
+
+class TestFigureConfigPropagation:
+    def test_custom_sensor_counts_respected(self):
+        result = fig5_placement.run(
+            FigureConfig(placements=1, topo_seed=321), sensor_counts=(4,)
+        )
+        for series in result.series:
+            assert [x for x, _y in series.points] == [4.0]

@@ -1,0 +1,135 @@
+"""Smoke tests for every figure harness at a tiny configuration.
+
+Each test regenerates the figure's series with one placement and a handful
+of failures, then checks the qualitative claim the paper states for it.
+The benchmarks run the same harnesses at larger scale; here we only verify
+the machinery and the direction of every effect.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    FIGURES,
+    FigureConfig,
+    fig5_placement,
+    fig6_tomo,
+    fig7_ndedge,
+    fig8_specificity,
+    fig9_diag_vs_spec,
+    fig10_bgpigp,
+    fig11_blocked,
+    fig12_lg,
+)
+
+TINY = FigureConfig(placements=1, failures_per_placement=4, topo_seed=200)
+
+
+@pytest.fixture(scope="module")
+def fig6_result():
+    return fig6_tomo.run(TINY)
+
+
+class TestFigureRegistry:
+    def test_all_eight_figures_registered(self):
+        assert sorted(FIGURES, key=int) == ["5", "6", "7", "8", "9", "10", "11", "12"]
+
+
+class TestFig5:
+    def test_placement_ordering(self):
+        result = fig5_placement.run(
+            FigureConfig(placements=1, topo_seed=200), sensor_counts=(8, 16)
+        )
+        last = {s.name: s.points[-1][1] for s in result.series}
+        assert last["same-as"] >= last["distant-as"]
+        assert last["same-as"] >= last["random"]
+        assert last["distant-split"] >= last["distant-as"]
+        assert "diagnosability" in result.render()
+
+    def test_diagnosability_grows_with_sensors(self):
+        result = fig5_placement.run(
+            FigureConfig(placements=1, topo_seed=200), sensor_counts=(4, 32)
+        )
+        same_as = result.series_by_name("same-as").points
+        assert same_as[-1][1] >= same_as[0][1]
+
+
+class TestFig6:
+    def test_single_failure_sensitivity_high(self, fig6_result):
+        assert fig6_result.summaries["link-1"]["mean"] >= 0.7
+
+    def test_multi_failure_sensitivity_lower(self, fig6_result):
+        assert (
+            fig6_result.summaries["link-3"]["mean"]
+            < fig6_result.summaries["link-1"]["mean"]
+        )
+
+    def test_misconfig_sensitivity_zero(self, fig6_result):
+        assert fig6_result.summaries["misconfig"]["frac_zero"] >= 0.75
+
+    def test_cdf_points_are_monotone(self, fig6_result):
+        for series in fig6_result.series:
+            ys = [y for _x, y in series.points]
+            assert ys == sorted(ys)
+            assert ys[-1] == pytest.approx(1.0)
+
+
+class TestFig7:
+    def test_nd_edge_dominates_tomo(self):
+        result = fig7_ndedge.run(TINY)
+        for kind in fig7_ndedge.KINDS:
+            nd = result.summaries[f"nd-edge/{kind}"]["mean"]
+            tomo = result.summaries[f"tomo/{kind}"]["mean"]
+            assert nd >= tomo
+            assert nd >= 0.75
+
+
+class TestFig8:
+    def test_specificity_high_and_misconfig_better(self):
+        result = fig8_specificity.run(TINY)
+        link = result.summaries["link-1"]["mean"]
+        mis = result.summaries["misconfig"]["mean"]
+        assert link >= 0.85
+        assert mis >= link - 0.02  # misconfig at least comparable
+
+
+class TestFig9:
+    def test_scatter_and_trend_exist(self):
+        result = fig9_diag_vs_spec.run(
+            FigureConfig(placements=1, failures_per_placement=3, topo_seed=200),
+            sensor_counts=(5, 15),
+        )
+        scatter = result.series_by_name("scatter").points
+        assert scatter
+        assert all(0.0 <= x <= 1.0 and 0.0 <= y <= 1.0 for x, y in scatter)
+        assert result.summaries["specificity"]["mean"] >= 0.75
+
+
+class TestFig10:
+    def test_control_plane_never_hurts(self):
+        result = fig10_bgpigp.run(TINY)
+        nd_edge_spec = result.summaries["nd-edge/specificity"]["mean"]
+        bgpigp_spec = result.summaries["nd-bgpigp/specificity"]["mean"]
+        assert bgpigp_spec >= nd_edge_spec - 1e-9
+        nd_edge_sens = result.summaries["nd-edge/sensitivity"]["mean"]
+        bgpigp_sens = result.summaries["nd-bgpigp/sensitivity"]["mean"]
+        assert bgpigp_sens == pytest.approx(nd_edge_sens, abs=0.15)
+
+
+class TestFig11:
+    def test_nd_lg_beats_ignoring_uh_links_when_blocked(self):
+        result = fig11_blocked.run(TINY, blocked_fractions=(0.0, 0.6))
+        lg = dict(result.series_by_name("nd-lg/as-sensitivity").points)
+        plain = dict(result.series_by_name("nd-bgpigp/as-sensitivity").points)
+        assert lg[0.6] >= plain[0.6]
+        assert plain[0.6] <= plain[0.0]  # 1 - f_b decay
+
+
+class TestFig12:
+    def test_lg_availability_helps(self):
+        result = fig12_lg.run(
+            TINY, blocked_fractions=(0.5,), lg_fractions=(0.05, 1.0)
+        )
+        curve = dict(result.series_by_name("nd-lg/f_b=0.5").points)
+        flat = dict(result.series_by_name("nd-bgpigp/f_b=0.5").points)
+        assert curve[1.0] >= flat[1.0]
+        assert curve[1.0] >= curve[0.05] - 1e-9

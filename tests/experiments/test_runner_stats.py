@@ -1,0 +1,126 @@
+"""Unit tests for the experiment runner, scoring helpers and statistics."""
+
+import random
+
+import pytest
+
+from repro.core.diagnoser import NetDiagnoser
+from repro.errors import ReproError
+from repro.experiments.runner import (
+    choose_blocked_ases,
+    covered_ases,
+    ground_truth_ases,
+    ground_truth_links,
+    run_scenario,
+)
+from repro.experiments.stats import binned_means, cdf, mean, summarize
+from repro.netsim.events import LinkFailureEvent
+
+
+class TestGroundTruth:
+    def test_ground_truth_links_are_physical(self, research_session):
+        lid = research_session.sampler.probed_links[0]
+        event = LinkFailureEvent((lid,))
+        truth = ground_truth_links(research_session.net, event)
+        assert len(truth) == 1
+        link = research_session.net.link(lid)
+        token = next(iter(truth))
+        assert {token.lo, token.hi} == {
+            research_session.net.router(link.a).address,
+            research_session.net.router(link.b).address,
+        }
+
+    def test_ground_truth_ases(self, research_session):
+        lid = research_session.sampler.probed_inter_links[0]
+        truth = ground_truth_ases(research_session.net, LinkFailureEvent((lid,)))
+        assert truth == frozenset(research_session.net.link_asns(lid))
+
+
+class TestCoverage:
+    def test_covered_ases_include_sensor_ases(self, research_session):
+        covered = covered_ases(research_session, research_session.base_state)
+        sensor_asns = {
+            research_session.net.asn_of_router(s.router_id)
+            for s in research_session.sensors
+        }
+        assert sensor_asns <= covered
+
+    def test_blocked_choice_respects_protections(self, research_session):
+        rng = random.Random(1)
+        asx = research_session.topo.core_asns[0]
+        blocked = choose_blocked_ases(
+            research_session, 1.0, rng, protected=frozenset({asx})
+        )
+        assert asx not in blocked
+        sensor_asns = {
+            research_session.net.asn_of_router(s.router_id)
+            for s in research_session.sensors
+        }
+        assert not blocked & sensor_asns
+
+    def test_blocked_fraction_zero_is_empty(self, research_session):
+        assert (
+            choose_blocked_ases(research_session, 0.0, random.Random(1))
+            == frozenset()
+        )
+
+
+class TestRunScenario:
+    def test_record_carries_scores_for_every_diagnoser(self, research_session):
+        scenario = research_session.sampler.sample("link-1")
+        record = run_scenario(
+            research_session,
+            scenario,
+            {
+                "tomo": NetDiagnoser("tomo"),
+                "nd-edge": NetDiagnoser("nd-edge"),
+            },
+        )
+        assert set(record.scores) == {"tomo", "nd-edge"}
+        assert record.kind == "link-1"
+        assert 0.0 < record.diagnosability <= 1.0
+        assert record.n_failed_pairs > 0
+        for score in record.scores.values():
+            assert 0.0 <= score.link.sensitivity <= 1.0
+            assert 0.0 <= score.link.specificity <= 1.0
+            assert 0.0 <= score.as_level.sensitivity <= 1.0
+            assert score.hypothesis_size >= score.physical_hypothesis_size >= 0
+
+    def test_control_plane_diagnoser_gets_its_view(self, research_session):
+        scenario = research_session.sampler.sample("link-1")
+        record = run_scenario(
+            research_session,
+            scenario,
+            {"nd-bgpigp": NetDiagnoser("nd-bgpigp")},
+            asx=research_session.topo.core_asns[0],
+        )
+        assert "nd-bgpigp" in record.scores
+
+
+class TestStats:
+    def test_mean_and_empty(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ReproError):
+            mean([])
+
+    def test_cdf_shape(self):
+        points = cdf([0.5, 0.0, 0.5, 1.0])
+        assert points == [(0.0, 0.25), (0.5, 0.75), (1.0, 1.0)]
+        with pytest.raises(ReproError):
+            cdf([])
+
+    def test_summarize_extreme_masses(self):
+        summary = summarize([0.0, 0.0, 1.0, 0.5])
+        assert summary["frac_zero"] == 0.5
+        assert summary["frac_one"] == 0.25
+        assert summary["n"] == 4.0
+        assert 0.0 <= summary["p10"] <= summary["p50"] <= summary["p90"] <= 1.0
+
+    def test_binned_means_trend(self):
+        points = [(0.0, 0.0), (0.1, 0.2), (0.9, 0.8), (1.0, 1.0)]
+        trend = binned_means(points, bins=2)
+        assert len(trend) == 2
+        assert trend[0][1] < trend[1][1]
+
+    def test_binned_means_degenerate_x(self):
+        assert binned_means([(0.5, 1.0), (0.5, 0.0)]) == [(0.5, 0.5)]

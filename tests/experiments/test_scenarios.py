@@ -1,0 +1,109 @@
+"""Unit tests for failure-scenario sampling (admission rules, pools)."""
+
+import random
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.experiments.scenarios import SCENARIO_KINDS, ScenarioSampler
+from repro.netsim.events import (
+    CompositeEvent,
+    LinkFailureEvent,
+    MisconfigurationEvent,
+    RouterFailureEvent,
+)
+
+
+@pytest.fixture
+def sampler(research_session):
+    return research_session.sampler
+
+
+class TestDiscovery:
+    def test_probed_sets_are_consistent(self, sampler):
+        assert sampler.probed_links
+        assert set(sampler.probed_inter_links) <= set(sampler.probed_links)
+        assert set(sampler.probed_intra_links) <= set(sampler.probed_links)
+        assert set(sampler.probed_inter_links) | set(
+            sampler.probed_intra_links
+        ) == set(sampler.probed_links)
+
+    def test_gateways_excluded_from_router_pool(self, sampler, research_session):
+        gateways = {s.router_id for s in research_session.sensors}
+        assert not gateways & set(sampler.probed_routers)
+
+
+class TestAdmission:
+    def test_link_failures_break_some_pair(self, sampler):
+        for count in (1, 2, 3):
+            scenario = sampler.sample(f"link-{count}")
+            assert isinstance(scenario.event, LinkFailureEvent)
+            assert len(scenario.event.link_ids) == count
+            assert sampler._mesh_broken(scenario.after_state)
+
+    def test_sampled_links_are_probed(self, sampler):
+        scenario = sampler.sample("link-2")
+        assert set(scenario.event.link_ids) <= set(sampler.probed_links)
+
+    def test_router_failure_admission(self, sampler):
+        scenario = sampler.sample("router")
+        assert isinstance(scenario.event, RouterFailureEvent)
+        assert scenario.event.router_id in sampler.probed_routers
+        assert sampler._mesh_broken(scenario.after_state)
+
+    def test_misconfig_is_partial_by_default(self, sampler):
+        scenario = sampler.sample("misconfig")
+        assert isinstance(scenario.event, MisconfigurationEvent)
+        assert sampler._mesh_broken(scenario.after_state)
+        assert sampler._misconfig_is_partial(scenario.event, scenario.after_state)
+
+    def test_misconfig_filters_whole_neighbor_group(
+        self, sampler, research_session
+    ):
+        scenario = sampler.sample("misconfig")
+        export_filter = scenario.event.export_filter
+        routing = research_session.sim.routing(research_session.base_state)
+        exporter_asn = research_session.net.asn_of_router(export_filter.at_router)
+        groups = {}
+        for prefix in routing.advertised(export_filter.link_id, exporter_asn):
+            route = routing.best(exporter_asn, prefix)
+            groups.setdefault(route.neighbor_asn, set()).add(prefix)
+        assert set(export_filter.prefixes) in groups.values()
+
+    def test_misconfig_plus_link_composes(self, sampler):
+        scenario = sampler.sample("misconfig+link")
+        assert isinstance(scenario.event, CompositeEvent)
+        kinds = {type(e) for e in scenario.event.events}
+        assert kinds == {MisconfigurationEvent, LinkFailureEvent}
+
+    def test_unknown_kind_rejected(self, sampler):
+        with pytest.raises(ScenarioError):
+            sampler.sample("meteor-strike")
+
+    def test_impossible_count_rejected(self, sampler):
+        with pytest.raises(ScenarioError):
+            sampler.sample_link_failures(10_000)
+
+    def test_all_declared_kinds_sample(self, sampler):
+        for kind in SCENARIO_KINDS:
+            scenario = sampler.sample(kind)
+            assert scenario.kind == kind
+
+
+class TestIntraOnlyPool:
+    def test_intra_pool_restricts_failures(self, research_topo):
+        import random as _random
+
+        from repro.experiments.runner import make_session
+        from repro.measurement.sensors import random_stub_placement
+
+        rng = _random.Random("intra-pool")
+        session = make_session(
+            research_topo,
+            random_stub_placement(research_topo, 10, rng),
+            rng,
+            intra_failures_only=True,
+        )
+        scenario = session.sampler.sample("link-1")
+        lid = scenario.event.link_ids[0]
+        assert not session.net.is_interdomain(lid)

@@ -1,0 +1,127 @@
+"""End-to-end invariants on the full research-Internet topology.
+
+These run the complete pipeline (topology → routing → probing → failure →
+diagnosis → scoring) over a spread of seeded scenarios and assert the
+system-level guarantees the paper claims.
+"""
+
+import random
+
+import pytest
+
+from repro.core.diagnoser import NetDiagnoser
+from repro.experiments.runner import (
+    ground_truth_links,
+    make_session,
+    run_scenario,
+)
+from repro.measurement.collector import take_snapshot
+from repro.measurement.sensors import random_stub_placement
+from repro.netsim.gen.internet import research_internet
+
+
+@pytest.fixture(scope="module")
+def session():
+    topo = research_internet(seed=77)
+    rng = random.Random("e2e")
+    return make_session(topo, random_stub_placement(topo, 10, rng), rng)
+
+
+@pytest.fixture(scope="module")
+def scenarios(session):
+    return {
+        kind: [session.sampler.sample(kind) for _ in range(3)]
+        for kind in ("link-1", "link-2", "misconfig")
+    }
+
+
+class TestSystemGuarantees:
+    def test_nd_edge_never_misses_single_failures(self, session, scenarios):
+        for scenario in scenarios["link-1"]:
+            record = run_scenario(session, scenario, {"nd": NetDiagnoser("nd-edge")})
+            assert record.scores["nd"].link.sensitivity == 1.0
+
+    def test_hypotheses_never_contain_working_constraint_links(
+        self, session, scenarios
+    ):
+        for kind in scenarios:
+            for scenario in scenarios[kind]:
+                snap = take_snapshot(
+                    session.sim,
+                    session.sensors,
+                    session.base_state,
+                    scenario.after_state,
+                )
+                result = NetDiagnoser("nd-edge").diagnose(snap)
+                assert not result.hypothesis & result.excluded
+
+    def test_every_failed_path_is_explained_or_reported(
+        self, session, scenarios
+    ):
+        for kind in scenarios:
+            for scenario in scenarios[kind]:
+                snap = take_snapshot(
+                    session.sim,
+                    session.sensors,
+                    session.base_state,
+                    scenario.after_state,
+                )
+                result = NetDiagnoser("nd-edge").diagnose(snap)
+                explained = len(snap.failed_pairs()) - len(
+                    result.unexplained_failures
+                )
+                assert explained + len(result.unexplained_failures) == len(
+                    snap.failed_pairs()
+                )
+                assert result.fully_explained  # on this substrate: always
+
+    def test_diagnosability_within_papers_observed_range(self, session):
+        """§4: random 10-sensor placements yield D between ~0.25 and ~0.6
+        (we allow a modest margin for the synthetic substrate)."""
+        scenario = session.sampler.sample("link-1")
+        record = run_scenario(session, scenario, {"nd": NetDiagnoser("nd-edge")})
+        assert 0.15 <= record.diagnosability <= 0.75
+
+    def test_hypothesis_sizes_are_small(self, session, scenarios):
+        """§5.2: single-link hypothesis sets peak around a dozen links,
+        tiny compared to the probed universe."""
+        for scenario in scenarios["link-1"]:
+            snap = take_snapshot(
+                session.sim,
+                session.sensors,
+                session.base_state,
+                scenario.after_state,
+            )
+            result = NetDiagnoser("nd-edge").diagnose(snap)
+            assert len(result.physical_hypothesis()) <= 15
+            assert len(result.physical_universe()) >= 50
+
+    def test_truth_always_probed_for_admitted_scenarios(self, session, scenarios):
+        for kind in scenarios:
+            for scenario in scenarios[kind]:
+                truth = ground_truth_links(session.net, scenario.event)
+                assert truth  # events always have physical ground truth
+
+    def test_tomo_and_nd_edge_agree_on_trivial_unreachability(self, session):
+        """When a single-homed stub's access link dies, both algorithms
+        must include that access link."""
+        net = session.net
+        access = None
+        for sensor in session.sensors:
+            links = net.links_of_router(sensor.router_id)
+            if len(links) == 1:
+                access = links[0]
+                break
+        if access is None:
+            pytest.skip("all sensor stubs are multihomed in this seed")
+        from repro.netsim.events import LinkFailureEvent
+
+        after = session.sim.apply(LinkFailureEvent((access.lid,)))
+        snap = take_snapshot(
+            session.sim, session.sensors, session.base_state, after
+        )
+        assert snap.any_failure()
+        truth = ground_truth_links(net, LinkFailureEvent((access.lid,)))
+        for variant in ("tomo", "nd-edge"):
+            result = NetDiagnoser(variant).diagnose(snap)
+            assert truth & result.physical_hypothesis()

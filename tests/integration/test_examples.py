@@ -1,0 +1,58 @@
+"""Smoke tests for the example scripts.
+
+The fast examples run end to end in-process; the slower ones are at least
+import-compiled so a refactor cannot silently break them.
+"""
+
+import pathlib
+import py_compile
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, argv=()):
+    saved = sys.argv
+    sys.argv = [str(EXAMPLES / name), *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = saved
+
+
+class TestExamples:
+    def test_quickstart_runs(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "ground truth:" in out
+        assert "nd-bgpigp" in out
+
+    def test_misconfiguration_example_runs(self, capsys):
+        run_example("misconfiguration_diagnosis.py")
+        out = capsys.readouterr().out
+        assert "ND-edge hypothesis" in out
+        assert "per-neighbour split" in out
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "blocked_traceroute_localization.py",
+            "placement_study.py",
+            "isp_noc_workflow.py",
+        ],
+    )
+    def test_slow_examples_compile(self, name):
+        py_compile.compile(str(EXAMPLES / name), doraise=True)
+
+    def test_all_examples_present(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "misconfiguration_diagnosis.py",
+            "blocked_traceroute_localization.py",
+            "placement_study.py",
+            "isp_noc_workflow.py",
+        } <= names

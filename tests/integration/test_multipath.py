@@ -1,0 +1,184 @@
+"""Tests for the ECMP/Paris-traceroute extension (IGP enumeration,
+multipath probing, load-balance-aware diagnosis)."""
+
+import pytest
+
+from repro.core.linkspace import physical_link
+from repro.core.multipath import nd_edge_multipath
+from repro.core.pathset import EPOCH_POST, EPOCH_PRE
+from repro.errors import DiagnosisError
+from repro.measurement.paris import paris_mesh, paris_probe_pair
+from repro.measurement.sensors import deploy_sensors
+from repro.netsim.builders import TopologyBuilder
+from repro.netsim.events import LinkFailureEvent
+from repro.netsim.igp import IgpView
+from repro.netsim.multipath import enumerate_data_paths
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import NetworkState, Tier
+
+
+@pytest.fixture
+def ecmp_world():
+    """Two stub ASes joined by a transit AS with an ECMP diamond.
+
+    T's internals: in -- {m1 | m2} -- out with equal weights, so traffic
+    load-balances across two equal-cost internal paths.
+    """
+    b = TopologyBuilder()
+    b.autonomous_system("S", Tier.STUB, routers=1)
+    b.autonomous_system("T", Tier.TIER2, routers=4)  # t1=in t2=m1 t3=m2 t4=out
+    b.autonomous_system("D", Tier.STUB, routers=1)
+    b.customer_of("S", "T")
+    b.customer_of("D", "T")
+    b.link("t1", "t2")
+    b.link("t1", "t3")
+    b.link("t2", "t4")
+    b.link("t3", "t4")
+    b.link("s1", "t1")
+    b.link("t4", "d1")
+    sensors = deploy_sensors(b.net, [b.router("s1").rid, b.router("d1").rid])
+    sim = Simulator(b.net, [b.asn("S"), b.asn("D")])
+    return b, sim, sensors
+
+
+class TestEcmpEnumeration:
+    def test_all_shortest_paths_in_diamond(self, ecmp_world):
+        b, _sim, _sensors = ecmp_world
+        view = IgpView(b.net, b.asn("T"), NetworkState.nominal())
+        t1, t4 = b.router("t1").rid, b.router("t4").rid
+        paths = view.all_shortest_paths(t1, t4)
+        assert len(paths) == 2
+        assert paths[0] == view.path(t1, t4)  # first = deterministic path
+
+    def test_trivial_and_unreachable_cases(self, ecmp_world):
+        b, _sim, _sensors = ecmp_world
+        view = IgpView(b.net, b.asn("T"), NetworkState.nominal())
+        t1 = b.router("t1").rid
+        assert view.all_shortest_paths(t1, t1) == [[t1]]
+        dead = NetworkState.nominal().with_failed_routers([t1])
+        assert IgpView(b.net, b.asn("T"), dead).all_shortest_paths(
+            t1, b.router("t4").rid
+        ) == []
+
+    def test_cap_limits_enumeration(self, ecmp_world):
+        b, _sim, _sensors = ecmp_world
+        view = IgpView(b.net, b.asn("T"), NetworkState.nominal())
+        paths = view.all_shortest_paths(
+            b.router("t1").rid, b.router("t4").rid, cap=1
+        )
+        assert len(paths) == 1
+
+    def test_end_to_end_enumeration(self, ecmp_world):
+        b, sim, _sensors = ecmp_world
+        paths = enumerate_data_paths(
+            b.net,
+            sim.routing(NetworkState.nominal()),
+            NetworkState.nominal(),
+            b.router("s1").rid,
+            b.router("d1").rid,
+            igp_cache=sim.igp_cache,
+        )
+        assert len(paths) == 2
+        names = [[b.net.router(r).name for r in p] for p in paths]
+        assert ["s1", "t1", "t2", "t4", "d1"] in names
+        assert ["s1", "t1", "t3", "t4", "d1"] in names
+
+    def test_unreachable_returns_empty(self, ecmp_world):
+        b, sim, _sensors = ecmp_world
+        lid = b.net.link_between(b.router("t4").rid, b.router("d1").rid).lid
+        state = NetworkState.nominal().with_failed_links([lid])
+        assert (
+            enumerate_data_paths(
+                b.net,
+                sim.routing(state),
+                state,
+                b.router("s1").rid,
+                b.router("d1").rid,
+            )
+            == []
+        )
+
+
+class TestParisProbing:
+    def test_probe_pair_returns_all_paths(self, ecmp_world):
+        b, sim, sensors = ecmp_world
+        probes = paris_probe_pair(
+            sim, sensors[0], sensors[1], NetworkState.nominal()
+        )
+        assert len(probes) == 2
+        assert all(p.reached and p.epoch == EPOCH_PRE for p in probes)
+        assert len({p.hops for p in probes}) == 2
+
+    def test_mesh_covers_pairs_and_marks_unreachable(self, ecmp_world):
+        b, sim, sensors = ecmp_world
+        lid = b.net.link_between(b.router("s1").rid, b.router("t1").rid).lid
+        state = NetworkState.nominal().with_failed_links([lid])
+        mesh = paris_mesh(sim, sensors, state, epoch=EPOCH_POST)
+        assert len(mesh) == 2
+        assert all(paths == () for paths in mesh.values())
+
+
+class TestMultipathDiagnosis:
+    def _rounds(self, b, sim, sensors, after_state):
+        before = paris_mesh(sim, sensors, NetworkState.nominal())
+        after = paris_mesh(sim, sensors, after_state, epoch=EPOCH_POST)
+        return before, after
+
+    def test_load_balance_flip_is_not_evidence(self, ecmp_world):
+        """Killing one ECMP branch while the pair stays reachable must not
+        invent failure sets — and the vanished branch shows up as honest
+        reroute evidence."""
+        b, sim, sensors = ecmp_world
+        lid = b.net.link_between(b.router("t1").rid, b.router("t2").rid).lid
+        after_state = sim.apply(LinkFailureEvent((lid,)))
+        before, after = self._rounds(b, sim, sensors, after_state)
+        assert all(after[pair] for pair in after)  # still reachable
+        result = nd_edge_multipath(before, after, sim.mapper.asn_of)
+        assert result.details["failure_sets"] == 0
+        assert result.details["reroute_sets"] > 0
+        truth = physical_link(
+            b.router("t1").address, b.router("t2").address
+        )
+        assert truth in result.physical_hypothesis()
+
+    def test_total_failure_produces_per_path_sets(self, ecmp_world):
+        b, sim, sensors = ecmp_world
+        lid = b.net.link_between(b.router("t4").rid, b.router("d1").rid).lid
+        after_state = sim.apply(LinkFailureEvent((lid,)))
+        before, after = self._rounds(b, sim, sensors, after_state)
+        result = nd_edge_multipath(before, after, sim.mapper.asn_of)
+        # s->d had two ECMP paths: each contributes a failure set; the
+        # reverse direction contributes its own.
+        assert result.details["failure_sets"] >= 3
+        truth = physical_link(
+            b.router("t4").address, b.router("d1").address
+        )
+        assert truth in result.physical_hypothesis()
+        assert result.fully_explained
+
+    def test_per_path_sets_beat_union_sets(self, ecmp_world):
+        """The conjunction of per-path constraints pins the shared suffix:
+        links on only one ECMP branch cannot explain both sets alone."""
+        b, sim, sensors = ecmp_world
+        lid = b.net.link_between(b.router("t4").rid, b.router("d1").rid).lid
+        after_state = sim.apply(LinkFailureEvent((lid,)))
+        before, after = self._rounds(b, sim, sensors, after_state)
+        result = nd_edge_multipath(before, after, sim.mapper.asn_of)
+        # Branch-only links (t1-t2 / t1-t3) explain only half the forward
+        # sets; the shared suffix dominates the score and the branches
+        # stay out of the hypothesis.
+        for branch in (("t1", "t2"), ("t1", "t3")):
+            token = physical_link(
+                b.router(branch[0]).address, b.router(branch[1]).address
+            )
+            assert token not in result.physical_hypothesis()
+
+    def test_input_validation(self, ecmp_world):
+        b, sim, sensors = ecmp_world
+        before = paris_mesh(sim, sensors, NetworkState.nominal())
+        with pytest.raises(DiagnosisError):
+            nd_edge_multipath(before, {}, sim.mapper.asn_of)
+        broken = dict(before)
+        broken[next(iter(broken))] = ()
+        with pytest.raises(DiagnosisError):
+            nd_edge_multipath(broken, broken, sim.mapper.asn_of)

@@ -1,0 +1,17 @@
+"""The tutorial's code blocks must stay executable (doc rot guard)."""
+
+import pathlib
+import re
+
+TUTORIAL = pathlib.Path(__file__).resolve().parents[2] / "docs" / "tutorial.md"
+
+
+def test_tutorial_blocks_execute_in_order():
+    blocks = re.findall(r"```python\n(.*?)```", TUTORIAL.read_text(), re.S)
+    assert len(blocks) >= 6
+    namespace = {}
+    for index, block in enumerate(blocks):
+        exec(compile(block, f"<tutorial-block-{index}>", "exec"), namespace)
+    # The walk really produced a diagnosis and ground truth.
+    assert namespace["result"].fully_explained
+    assert namespace["sens"] == 1.0

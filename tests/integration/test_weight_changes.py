@@ -1,0 +1,106 @@
+"""Tests for IGP weight-change (traffic engineering) events and the
+robustness of reroute evidence against them."""
+
+import pytest
+
+from repro.core.diagnoser import NetDiagnoser
+from repro.core.linkspace import physical_link
+from repro.measurement.collector import take_snapshot
+from repro.measurement.sensors import deploy_sensors
+from repro.netsim.events import (
+    CompositeEvent,
+    LinkFailureEvent,
+    WeightChangeEvent,
+)
+from repro.netsim.igp import IgpView
+from repro.netsim.topology import NetworkState
+from repro.serialize import event_from_dict, event_to_dict, state_from_dict, state_to_dict
+
+
+class TestWeightOverrides:
+    def test_override_changes_igp_path(self, fig2, nominal):
+        """Raising y1-y4's weight shifts Y's internal path to the detour."""
+        direct = fig2.link_between("y1", "y4")
+        state = nominal.with_weight(direct.lid, 100)
+        view = IgpView(fig2.net, fig2.asn("Y"), state)
+        y1, y4 = fig2.router("y1").rid, fig2.router("y4").rid
+        path = view.path(y1, y4)
+        assert path == [y1, fig2.router("y2").rid, fig2.router("y3").rid, y4]
+        assert view.distance(y1, y4) == 7
+
+    def test_later_override_wins(self, fig2, nominal):
+        link = fig2.link_between("y1", "y4")
+        state = nominal.with_weight(link.lid, 50).with_weight(link.lid, 2)
+        assert state.weight_of(link) == 2
+
+    def test_invalid_weight_rejected(self, nominal):
+        from repro.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            nominal.with_weight(0, 0)
+
+    def test_state_with_overrides_not_nominal(self, nominal):
+        assert not nominal.with_weight(3, 9).is_nominal()
+
+    def test_event_and_state_roundtrip(self, fig2, nominal):
+        event = WeightChangeEvent(link_id=2, new_weight=9)
+        assert event_from_dict(event_to_dict(event)) == event
+        state = event.apply_to(nominal)
+        assert state_from_dict(state_to_dict(state)) == state
+        assert event.physical_ground_truth(fig2.net) == frozenset()
+        assert "weight change" in event.describe(fig2.net)
+
+
+class TestTeRobustness:
+    @pytest.fixture
+    def world(self, fig2, fig2_sim):
+        sensors = deploy_sensors(
+            fig2.net, [fig2.sensor_routers[s] for s in ("s1", "s2", "s3")]
+        )
+        return fig2, fig2_sim, sensors
+
+    def test_pure_te_event_causes_no_unreachability(self, world, nominal):
+        fig, sim, sensors = world
+        direct = fig2_link = fig.link_between("y1", "y4")
+        after = sim.apply(WeightChangeEvent(direct.lid, 100))
+        snap = take_snapshot(sim, sensors, nominal, after)
+        assert not snap.any_failure()
+        # The paths through Y did change: the troubleshooter would see
+        # reroutes if it were (wrongly) invoked.
+        assert snap.rerouted_pairs()
+
+    def test_te_plus_failure_keeps_sensitivity(self, world, nominal):
+        """A TE change alongside a real failure plants innocent reroute
+        evidence; the true link must still be blamed."""
+        fig, sim, sensors = world
+        te = WeightChangeEvent(fig.link_between("y1", "y4").lid, 100)
+        failure = LinkFailureEvent((fig.link_between("b1", "b2").lid,))
+        after = sim.apply(CompositeEvent((te, failure)))
+        snap = take_snapshot(sim, sensors, nominal, after)
+        assert snap.any_failure()
+        result = NetDiagnoser("nd-edge").diagnose(snap)
+        truth = physical_link(
+            fig.router("b1").address, fig.router("b2").address
+        )
+        assert truth in result.physical_hypothesis()
+        assert result.fully_explained
+
+    def test_te_reroute_evidence_adds_bounded_false_positives(
+        self, world, nominal
+    ):
+        """The TE-moved links show up in reroute sets (they *were*
+        abandoned), but exoneration by current working paths keeps the
+        hypothesis from swallowing the whole detour."""
+        fig, sim, sensors = world
+        te = WeightChangeEvent(fig.link_between("y1", "y4").lid, 100)
+        failure = LinkFailureEvent((fig.link_between("b1", "b2").lid,))
+        after = sim.apply(CompositeEvent((te, failure)))
+        snap = take_snapshot(sim, sensors, nominal, after)
+        result = NetDiagnoser("nd-edge").diagnose(snap)
+        clean_after = sim.apply(failure)
+        clean = take_snapshot(sim, sensors, nominal, clean_after)
+        baseline = NetDiagnoser("nd-edge").diagnose(clean)
+        # TE may add a small number of extra suspects, never remove truth.
+        assert len(result.physical_hypothesis()) <= (
+            len(baseline.physical_hypothesis()) + 3
+        )

@@ -1,0 +1,105 @@
+"""Unit tests for the AS-X-side collector (snapshots, control, LG glue)."""
+
+import pytest
+
+from repro.core.pathset import EPOCH_POST, EPOCH_PRE
+from repro.errors import MeasurementError
+from repro.measurement.collector import (
+    collect_control_plane,
+    make_lg_lookup,
+    take_snapshot,
+)
+from repro.measurement.sensors import deploy_sensors
+from repro.netsim.events import LinkFailureEvent
+from repro.netsim.lookingglass import LookingGlassService
+
+
+@pytest.fixture
+def setup(fig2, fig2_sim):
+    sensors = deploy_sensors(
+        fig2.net, [fig2.sensor_routers[s] for s in ("s1", "s2", "s3")]
+    )
+    return fig2, fig2_sim, sensors
+
+
+class TestTakeSnapshot:
+    def test_snapshot_epochs_and_asn_mapping(self, setup, nominal):
+        fig, sim, sensors = setup
+        lid = fig.link_between("b1", "b2").lid
+        after = sim.apply(LinkFailureEvent((lid,)))
+        snap = take_snapshot(sim, sensors, nominal, after)
+        assert all(p.epoch == EPOCH_PRE for p in snap.before.paths())
+        assert all(p.epoch == EPOCH_POST for p in snap.after.paths())
+        assert snap.asn_of(fig.router("y1").address) == fig.asn("Y")
+        assert snap.failed_pairs()
+
+    def test_nominal_after_state_has_no_failures(self, setup, nominal):
+        _fig, sim, sensors = setup
+        snap = take_snapshot(sim, sensors, nominal, nominal)
+        assert not snap.any_failure()
+        assert snap.rerouted_pairs() == ()
+
+
+class TestControlPlaneCollection:
+    def test_igp_observation_addresses(self, setup, nominal):
+        fig, sim, sensors = setup
+        lid = fig.link_between("y1", "y4").lid
+        after = sim.apply(LinkFailureEvent((lid,)))
+        view = collect_control_plane(sim, fig.asn("Y"), nominal, after)
+        assert view.asx_asn == fig.asn("Y")
+        assert len(view.igp_link_down) == 1
+        observed = view.igp_link_down[0]
+        assert {observed.address_a, observed.address_b} == {
+            fig.router("y1").address,
+            fig.router("y4").address,
+        }
+
+    def test_withdrawal_observation_addresses(self, setup, nominal):
+        fig, sim, sensors = setup
+        lid = fig.link_between("y4", "b1").lid
+        after = sim.apply(LinkFailureEvent((lid,)))
+        view = collect_control_plane(sim, fig.asn("X"), nominal, after)
+        assert len(view.withdrawals) == 1
+        w = view.withdrawals[0]
+        assert w.at_address == fig.router("x2").address
+        assert w.from_address == fig.router("y1").address
+        assert w.from_asn == fig.asn("Y")
+        assert w.covers(sensors[1].address)
+
+
+class TestLgLookup:
+    def test_lookup_uses_matching_epoch(self, setup, nominal):
+        fig, sim, sensors = setup
+        lid = fig.link_between("y4", "b1").lid
+        after = sim.apply(LinkFailureEvent((lid,)))
+        lg = LookingGlassService.everywhere(fig.net)
+        lookup = make_lg_lookup(sim, lg, nominal, after)
+        dst = sensors[1].address  # sensor in B
+        assert lookup(fig.asn("A"), dst, "pre") == (
+            fig.asn("A"),
+            fig.asn("X"),
+            fig.asn("Y"),
+            fig.asn("B"),
+        )
+        assert lookup(fig.asn("A"), dst, "post") is None  # route is gone
+
+    def test_asx_bypasses_lg_availability(self, setup, nominal):
+        fig, sim, sensors = setup
+        lg = LookingGlassService(fig.net, [])  # nobody runs an LG
+        lookup = make_lg_lookup(sim, lg, nominal, nominal, asx=fig.asn("X"))
+        dst = sensors[1].address
+        assert lookup(fig.asn("X"), dst, "pre") is not None
+        assert lookup(fig.asn("A"), dst, "pre") is None
+
+    def test_unknown_epoch_rejected(self, setup, nominal):
+        fig, sim, sensors = setup
+        lg = LookingGlassService.everywhere(fig.net)
+        lookup = make_lg_lookup(sim, lg, nominal, nominal)
+        with pytest.raises(MeasurementError):
+            lookup(fig.asn("A"), sensors[1].address, "yesterday")
+
+    def test_unknown_destination_returns_none(self, setup, nominal):
+        fig, sim, _sensors = setup
+        lg = LookingGlassService.everywhere(fig.net)
+        lookup = make_lg_lookup(sim, lg, nominal, nominal)
+        assert lookup(fig.asn("A"), "192.168.1.1", "pre") is None

@@ -1,0 +1,160 @@
+"""Tests for the beyond-the-paper extensions: placement optimisation and
+robust failure detection."""
+
+import random
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement.detection import FailureDetector
+from repro.measurement.placement_opt import greedy_placement
+from repro.measurement.probing import probe_mesh
+from repro.measurement.sensors import deploy_sensors
+from repro.netsim.gen.internet import research_internet
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import NetworkState
+
+
+class TestGreedyPlacement:
+    @pytest.fixture(scope="class")
+    def small_topo(self):
+        return research_internet(n_tier2=6, n_stub=24, seed=11)
+
+    def test_greedy_beats_random_on_average(self, small_topo):
+        from repro.core.diagnosability import diagnosability
+        from repro.core.graph import InferredGraph
+
+        net = small_topo.net
+        candidates = [small_topo.stub_router(a) for a in small_topo.stub_asns]
+        rng = random.Random(5)
+        placement, steps = greedy_placement(
+            net, candidates, n_sensors=6, rng=rng, sample_size=8
+        )
+        assert len(placement) == 6
+        greedy_score = steps[-1].diagnosability
+
+        def random_score(seed):
+            r = random.Random(seed)
+            routers = r.sample(candidates, 6)
+            sensors = deploy_sensors(net, routers)
+            sim = Simulator(net, {net.asn_of_router(x) for x in routers})
+            store = probe_mesh(sim, sensors, NetworkState.nominal())
+            return diagnosability(InferredGraph.from_paths(store.paths()))
+
+        random_scores = [random_score(s) for s in range(4)]
+        assert greedy_score >= sum(random_scores) / len(random_scores) - 0.05
+
+    def test_steps_are_monotone_in_placement_size(self, small_topo):
+        candidates = [small_topo.stub_router(a) for a in small_topo.stub_asns]
+        _placement, steps = greedy_placement(
+            small_topo.net,
+            candidates,
+            n_sensors=5,
+            rng=random.Random(1),
+            sample_size=6,
+        )
+        assert len(steps) == 4  # bootstrap pair produces one step, then +3
+        assert all(0.0 <= s.diagnosability <= 1.0 for s in steps)
+
+    def test_seed_routers_are_kept(self, small_topo):
+        candidates = [small_topo.stub_router(a) for a in small_topo.stub_asns]
+        seed = candidates[:2]
+        placement, _steps = greedy_placement(
+            small_topo.net,
+            candidates,
+            n_sensors=4,
+            seed_routers=seed,
+            rng=random.Random(1),
+            sample_size=6,
+        )
+        assert placement[:2] == seed
+
+    def test_invalid_budgets_rejected(self, small_topo):
+        candidates = [small_topo.stub_router(a) for a in small_topo.stub_asns]
+        with pytest.raises(MeasurementError):
+            greedy_placement(small_topo.net, candidates, n_sensors=1)
+        with pytest.raises(MeasurementError):
+            greedy_placement(small_topo.net, candidates[:2], n_sensors=5)
+        with pytest.raises(MeasurementError):
+            greedy_placement(
+                small_topo.net,
+                candidates,
+                n_sensors=2,
+                seed_routers=candidates[:3],
+            )
+
+
+class TestFailureDetector:
+    PAIR = ("10.0.0.1", "10.0.0.2")
+
+    def test_transient_flap_never_alarms(self):
+        detector = FailureDetector(confirmations=3)
+        assert detector.observe_round([(self.PAIR, False)]) == frozenset()
+        assert detector.observe_round([(self.PAIR, True)]) == frozenset()
+        assert detector.observe_round([(self.PAIR, False)]) == frozenset()
+        assert not detector.should_invoke_troubleshooter()
+
+    def test_persistent_failure_alarms_once(self):
+        detector = FailureDetector(confirmations=3)
+        for _ in range(2):
+            assert detector.observe_round([(self.PAIR, False)]) == frozenset()
+        assert detector.observe_round([(self.PAIR, False)]) == frozenset(
+            {self.PAIR}
+        )
+        # Staying down does not re-alarm.
+        assert detector.observe_round([(self.PAIR, False)]) == frozenset()
+        assert detector.alarmed_pairs == frozenset({self.PAIR})
+
+    def test_recovery_clears_alarm(self):
+        detector = FailureDetector(confirmations=2)
+        detector.observe_round([(self.PAIR, False)])
+        detector.observe_round([(self.PAIR, False)])
+        assert detector.should_invoke_troubleshooter()
+        detector.observe_round([(self.PAIR, True)])
+        assert not detector.should_invoke_troubleshooter()
+
+    def test_pairs_are_independent(self):
+        other = ("10.0.0.3", "10.0.0.4")
+        detector = FailureDetector(confirmations=2)
+        detector.observe_round([(self.PAIR, False), (other, True)])
+        newly = detector.observe_round([(self.PAIR, False), (other, False)])
+        assert newly == frozenset({self.PAIR})
+
+    def test_confirmations_one_is_immediate(self):
+        detector = FailureDetector(confirmations=1)
+        assert detector.observe_round([(self.PAIR, False)]) == frozenset(
+            {self.PAIR}
+        )
+
+    def test_invalid_confirmations_rejected(self):
+        with pytest.raises(MeasurementError):
+            FailureDetector(confirmations=0)
+
+    def test_reset(self):
+        detector = FailureDetector(confirmations=1)
+        detector.observe_round([(self.PAIR, False)])
+        detector.reset()
+        assert not detector.should_invoke_troubleshooter()
+
+    def test_integration_with_simulated_flap(self, fig2, fig2_sim, nominal):
+        """Drive the detector from real meshes: a flapping link alarms only
+        while the failure persists long enough."""
+        from repro.netsim.events import LinkFailureEvent
+
+        sensors = deploy_sensors(
+            fig2.net, [fig2.sensor_routers[s] for s in ("s1", "s2")]
+        )
+        lid = fig2.link_between("y4", "b1").lid
+        down = fig2_sim.apply(LinkFailureEvent((lid,)))
+
+        def round_statuses(state):
+            store = probe_mesh(fig2_sim, sensors, state)
+            return [(p.pair, p.reached) for p in store.paths()]
+
+        detector = FailureDetector(confirmations=2)
+        detector.observe_round(round_statuses(down))    # flap down...
+        detector.observe_round(round_statuses(nominal))  # ...and back up
+        assert not detector.should_invoke_troubleshooter()
+        detector.observe_round(round_statuses(down))
+        detector.observe_round(round_statuses(down))
+        assert detector.should_invoke_troubleshooter()

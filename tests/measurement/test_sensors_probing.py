@@ -1,0 +1,130 @@
+"""Unit tests for sensor deployment, placements and the probing mesh."""
+
+import random
+
+import pytest
+
+from repro.core.linkspace import UhNode
+from repro.core.pathset import EPOCH_POST, EPOCH_PRE
+from repro.errors import MeasurementError
+from repro.measurement.probing import probe_mesh, probe_pair
+from repro.measurement.sensors import (
+    deploy_sensors,
+    distant_as_placement,
+    distant_split_placement,
+    random_stub_placement,
+    same_as_placement,
+)
+from repro.netsim.events import LinkFailureEvent
+from repro.netsim.simulator import Simulator
+
+
+class TestDeployment:
+    def test_sensor_addresses_live_in_host_as(self, fig2):
+        sensors = deploy_sensors(
+            fig2.net, [fig2.sensor_routers[s] for s in ("s1", "s2")]
+        )
+        mapper = fig2.net.ip_to_as_mapper()
+        assert mapper.asn_of(sensors[0].address) == fig2.asn("A")
+        assert mapper.asn_of(sensors[1].address) == fig2.asn("B")
+        assert sensors[0].name == "s1"
+
+    def test_multiple_sensors_per_router_get_distinct_addresses(self, fig2):
+        rid = fig2.sensor_routers["s1"]
+        sensors = deploy_sensors(fig2.net, [rid, rid, rid])
+        assert len({s.address for s in sensors}) == 3
+
+    def test_empty_overlay_rejected(self, fig2):
+        with pytest.raises(MeasurementError):
+            deploy_sensors(fig2.net, [])
+
+
+class TestPlacements:
+    def test_random_stub_placement_distinct_ases(self, research_topo):
+        rng = random.Random(3)
+        routers = random_stub_placement(research_topo, 10, rng)
+        asns = {research_topo.net.asn_of_router(r) for r in routers}
+        assert len(asns) == 10
+
+    def test_random_stub_placement_bounds(self, research_topo):
+        with pytest.raises(MeasurementError):
+            random_stub_placement(research_topo, 10_000, random.Random(3))
+
+    def test_same_as_placement_within_one_as(self, research_topo):
+        net = research_topo.net
+        rng = random.Random(3)
+        abilene = research_topo.core_asns[0]
+        routers = same_as_placement(net, abilene, 5, rng)
+        assert all(net.asn_of_router(r) == abilene for r in routers)
+        assert len(set(routers)) == 5  # distinct while available
+        big = same_as_placement(net, abilene, 30, rng)
+        assert len(big) == 30  # shared routers once exhausted
+
+    def test_distant_as_placement_splits_evenly(self, research_topo):
+        net = research_topo.net
+        a, b = research_topo.core_asns[0], research_topo.core_asns[1]
+        routers = distant_as_placement(net, a, b, 9, random.Random(3))
+        in_a = sum(1 for r in routers if net.asn_of_router(r) == a)
+        assert in_a == 4 and len(routers) == 9
+
+    def test_distant_split_uses_intermediates(self, research_topo):
+        net = research_topo.net
+        a, b = research_topo.core_asns[0], research_topo.core_asns[1]
+        mid = research_topo.core_routers["WIDE"]["notemachi"]
+        routers = distant_split_placement(
+            net, a, b, 8, random.Random(3), intermediate_routers=[mid], split=2
+        )
+        assert routers.count(mid) == 2
+
+    def test_distant_split_without_candidates_rejected(self, research_topo):
+        net = research_topo.net
+        with pytest.raises(MeasurementError):
+            distant_split_placement(
+                net,
+                research_topo.stub_asns[0],
+                research_topo.stub_asns[1],
+                6,
+                random.Random(3),
+            )
+
+
+class TestProbing:
+    @pytest.fixture
+    def fig2_probe(self, fig2, fig2_sim):
+        sensors = deploy_sensors(
+            fig2.net, [fig2.sensor_routers[s] for s in ("s1", "s2", "s3")]
+        )
+        return fig2, fig2_sim, sensors
+
+    def test_mesh_covers_all_ordered_pairs(self, fig2_probe, nominal):
+        fig, sim, sensors = fig2_probe
+        store = probe_mesh(sim, sensors, nominal)
+        assert len(store) == 6
+        for path in store.paths():
+            assert path.reached
+            assert path.hops[0] == path.src
+            assert path.hops[-1] == path.dst
+
+    def test_failed_probe_is_truncated_without_destination(
+        self, fig2_probe, nominal
+    ):
+        fig, sim, sensors = fig2_probe
+        lid = fig.link_between("y4", "b1").lid
+        state = sim.apply(LinkFailureEvent((lid,)))
+        path = probe_pair(sim, sensors[0], sensors[1], state, epoch=EPOCH_POST)
+        assert not path.reached
+        assert path.hops[-1] != path.dst
+
+    def test_blocked_hops_become_uh_nodes(self, fig2_probe, nominal):
+        fig, sim, sensors = fig2_probe
+        store = probe_mesh(
+            sim, sensors, nominal, blocked_ases=frozenset({fig.asn("Y")})
+        )
+        path = store.get((sensors[0].address, sensors[1].address))
+        stars = [h for h in path.hops if isinstance(h, UhNode)]
+        assert stars
+        for star in stars:
+            assert star.src == sensors[0].address
+            assert star.dst == sensors[1].address
+            assert star.epoch == EPOCH_PRE
+            assert path.hops[star.index] is star

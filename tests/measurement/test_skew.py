@@ -1,0 +1,101 @@
+"""Tests for the measurement-timing-skew hazard and its mitigation (§6)."""
+
+import random
+
+import pytest
+
+from repro.core.diagnoser import NetDiagnoser
+from repro.core.linkspace import physical_link
+from repro.errors import MeasurementError
+from repro.measurement.sensors import deploy_sensors
+from repro.measurement.skew import (
+    pick_stale_sensors,
+    remeasure,
+    take_skewed_snapshot,
+)
+from repro.netsim.events import LinkFailureEvent
+
+
+@pytest.fixture
+def world(fig2, fig2_sim):
+    sensors = deploy_sensors(
+        fig2.net, [fig2.sensor_routers[s] for s in ("s1", "s2", "s3")]
+    )
+    return fig2, fig2_sim, sensors
+
+
+class TestPickStaleSensors:
+    def test_fraction_is_respected(self, world):
+        _fig, _sim, sensors = world
+        rng = random.Random(1)
+        assert len(pick_stale_sensors(sensors, 0.0, rng)) == 0
+        assert len(pick_stale_sensors(sensors, 1.0, rng)) == 3
+        assert len(pick_stale_sensors(sensors, 0.34, rng)) == 1
+
+    def test_invalid_fraction_rejected(self, world):
+        _fig, _sim, sensors = world
+        with pytest.raises(MeasurementError):
+            pick_stale_sensors(sensors, 1.5, random.Random(1))
+
+
+class TestSkewedSnapshot:
+    def test_no_stale_sensors_equals_clean_snapshot(self, world, nominal):
+        fig, sim, sensors = world
+        lid = fig.link_between("b1", "b2").lid
+        after = sim.apply(LinkFailureEvent((lid,)))
+        skewed = take_skewed_snapshot(sim, sensors, nominal, after, ())
+        clean = remeasure(sim, sensors, nominal, after)
+        assert set(skewed.failed_pairs()) == set(clean.failed_pairs())
+
+    def test_stale_source_reports_prefailure_world(self, world, nominal):
+        fig, sim, sensors = world
+        lid = fig.link_between("y4", "b1").lid
+        after = sim.apply(LinkFailureEvent((lid,)))
+        # s1 is stale: its outbound probes still see the old world.
+        snap = take_skewed_snapshot(
+            sim, sensors, nominal, after, {sensors[0].sensor_id}
+        )
+        s1, s2 = sensors[0].address, sensors[1].address
+        assert (s1, s2) in set(snap.working_pairs())  # stale lie
+        assert (s2, s1) in set(snap.failed_pairs())  # fresh truth
+
+    def test_unknown_stale_id_rejected(self, world, nominal):
+        fig, sim, sensors = world
+        with pytest.raises(MeasurementError):
+            take_skewed_snapshot(sim, sensors, nominal, nominal, {99})
+
+    def test_stale_lie_suppresses_the_forward_evidence(self, world, nominal):
+        """The §6 hazard end to end: a stale 'working' report kills the
+        forward failure evidence and exonerates the forward tokens over
+        the failed link.  Directedness limits the damage — the reverse
+        probes (from synchronised sensors) still blame the physical link
+        from the other side — but the forward direction is lost."""
+        from repro.core.linkspace import ip_link, physical_projection
+
+        fig, sim, sensors = world
+        lid = fig.link_between("y4", "b1").lid
+        after = sim.apply(LinkFailureEvent((lid,)))
+        skewed = take_skewed_snapshot(
+            sim, sensors, nominal, after, {sensors[0].sensor_id}
+        )
+        degraded = NetDiagnoser("nd-edge").diagnose(skewed)
+        forward = ip_link(
+            fig.router("y4").address, fig.router("b1").address
+        )
+        reverse = ip_link(
+            fig.router("b1").address, fig.router("y4").address
+        )
+        directed = physical_projection(degraded.hypothesis)
+        assert forward not in directed  # the stale lie exonerated it
+        assert reverse in directed  # fresh reverse evidence survives
+
+    def test_remeasure_restores_sensitivity(self, world, nominal):
+        fig, sim, sensors = world
+        lid = fig.link_between("y4", "b1").lid
+        after = sim.apply(LinkFailureEvent((lid,)))
+        truth = physical_link(
+            fig.router("y4").address, fig.router("b1").address
+        )
+        clean = remeasure(sim, sensors, nominal, after)
+        repaired = NetDiagnoser("nd-edge").diagnose(clean)
+        assert truth in repaired.physical_hypothesis()

@@ -1,0 +1,117 @@
+"""Unit tests for prefix allocation and IP-to-AS mapping."""
+
+import pytest
+
+from repro.errors import AddressingError
+from repro.netsim.addressing import IpToAsMapper, PrefixAllocator
+
+
+class TestPrefixAllocator:
+    def test_allocates_distinct_prefixes(self):
+        alloc = PrefixAllocator()
+        p1 = alloc.allocate_as(1)
+        p2 = alloc.allocate_as(2)
+        assert p1 != p2
+        assert p1.endswith("/20")
+        assert alloc.prefix_of(1) == p1
+
+    def test_rejects_double_allocation(self):
+        alloc = PrefixAllocator()
+        alloc.allocate_as(7)
+        with pytest.raises(AddressingError):
+            alloc.allocate_as(7)
+
+    def test_rejects_out_of_range_asn(self):
+        alloc = PrefixAllocator()
+        with pytest.raises(AddressingError):
+            alloc.allocate_as(0)
+        with pytest.raises(AddressingError):
+            alloc.allocate_as(1 << 20)
+
+    def test_router_addresses_are_inside_prefix_and_unique(self):
+        alloc = PrefixAllocator()
+        alloc.allocate_as(3)
+        addresses = [alloc.next_router_address(3) for _ in range(50)]
+        assert len(set(addresses)) == 50
+        mapper = IpToAsMapper.from_allocator(alloc)
+        assert all(mapper.asn_of(a) == 3 for a in addresses)
+
+    def test_sensor_addresses_disjoint_from_router_addresses(self):
+        alloc = PrefixAllocator()
+        alloc.allocate_as(3)
+        routers = {alloc.next_router_address(3) for _ in range(20)}
+        sensors = {alloc.next_sensor_address(3) for _ in range(20)}
+        assert not routers & sensors
+
+    def test_address_queries_require_allocation(self):
+        alloc = PrefixAllocator()
+        with pytest.raises(AddressingError):
+            alloc.next_router_address(9)
+        with pytest.raises(AddressingError):
+            alloc.next_sensor_address(9)
+        with pytest.raises(AddressingError):
+            alloc.prefix_of(9)
+
+    def test_deterministic_across_instances(self):
+        a, b = PrefixAllocator(), PrefixAllocator()
+        for alloc in (a, b):
+            alloc.allocate_as(5)
+        assert [a.next_router_address(5) for _ in range(5)] == [
+            b.next_router_address(5) for _ in range(5)
+        ]
+
+    def test_sensor_pool_exhaustion(self):
+        alloc = PrefixAllocator()
+        alloc.allocate_as(2)
+        for _ in range(1024):
+            alloc.next_sensor_address(2)
+        with pytest.raises(AddressingError):
+            alloc.next_sensor_address(2)
+
+
+class TestIpToAsMapper:
+    def test_longest_prefix_match(self):
+        mapper = IpToAsMapper()
+        mapper.register("10.0.0.0/8", 1)
+        mapper.register("10.1.0.0/16", 2)
+        assert mapper.asn_of("10.1.2.3") == 2
+        assert mapper.asn_of("10.2.2.3") == 1
+
+    def test_unknown_address_maps_to_none(self):
+        mapper = IpToAsMapper()
+        mapper.register("10.0.16.0/20", 1)
+        assert mapper.asn_of("192.168.1.1") is None
+        assert mapper.prefix_containing("192.168.1.1") is None
+
+    def test_invalid_address_raises(self):
+        mapper = IpToAsMapper()
+        with pytest.raises(AddressingError):
+            mapper.asn_of("not-an-ip")
+
+    def test_conflicting_registration_raises(self):
+        mapper = IpToAsMapper()
+        mapper.register("10.0.16.0/20", 1)
+        with pytest.raises(AddressingError):
+            mapper.register("10.0.16.0/20", 2)
+        mapper.register("10.0.16.0/20", 1)  # idempotent re-registration is fine
+
+    def test_prefix_containing(self):
+        mapper = IpToAsMapper()
+        mapper.register("10.0.16.0/20", 1)
+        assert mapper.prefix_containing("10.0.17.9") == "10.0.16.0/20"
+
+    def test_memo_invalidated_on_register(self):
+        mapper = IpToAsMapper()
+        mapper.register("10.0.0.0/8", 1)
+        assert mapper.asn_of("10.0.16.5") == 1
+        mapper.register("10.0.16.0/20", 2)
+        assert mapper.asn_of("10.0.16.5") == 2
+
+    def test_from_allocator_covers_every_as(self):
+        alloc = PrefixAllocator()
+        for asn in (1, 2, 3):
+            alloc.allocate_as(asn)
+        mapper = IpToAsMapper.from_allocator(alloc)
+        assert len(mapper) == 3
+        for asn in (1, 2, 3):
+            assert mapper.asn_of(alloc.next_router_address(asn)) == asn

@@ -1,0 +1,123 @@
+"""Unit tests for failure events, the simulator facade and Looking Glasses."""
+
+import pytest
+
+from repro.errors import MeasurementError, ScenarioError
+from repro.netsim.events import (
+    CompositeEvent,
+    LinkFailureEvent,
+    MisconfigurationEvent,
+    RouterFailureEvent,
+)
+from repro.netsim.lookingglass import LookingGlassService
+from repro.netsim.topology import ExportFilter, NetworkState
+
+
+class TestEvents:
+    def test_link_failure_event(self, fig2):
+        lid = fig2.link_between("b1", "b2").lid
+        event = LinkFailureEvent((lid,))
+        state = event.apply_to(NetworkState.nominal())
+        assert lid in state.failed_links
+        assert event.physical_ground_truth(fig2.net) == frozenset({lid})
+        assert "b1-b2" in event.describe(fig2.net)
+
+    def test_link_failure_rejects_empty_and_duplicates(self):
+        with pytest.raises(ScenarioError):
+            LinkFailureEvent(())
+        with pytest.raises(ScenarioError):
+            LinkFailureEvent((1, 1))
+
+    def test_router_failure_event(self, fig2):
+        rid = fig2.router("y1").rid
+        event = RouterFailureEvent(rid)
+        state = event.apply_to(NetworkState.nominal())
+        assert rid in state.failed_routers
+        truth = event.physical_ground_truth(fig2.net)
+        assert truth == frozenset(l.lid for l in fig2.net.links_of_router(rid))
+
+    def test_misconfiguration_event(self, fig2):
+        link = fig2.link_between("x2", "y1")
+        filt = ExportFilter(
+            link_id=link.lid,
+            at_router=fig2.router("y1").rid,
+            prefixes=frozenset({"10.0.80.0/20"}),
+        )
+        event = MisconfigurationEvent(filt)
+        state = event.apply_to(NetworkState.nominal())
+        assert state.filters == (filt,)
+        assert event.physical_ground_truth(fig2.net) == frozenset({link.lid})
+        assert "no longer announces" in event.describe(fig2.net)
+
+    def test_composite_event(self, fig2):
+        lid = fig2.link_between("b1", "b2").lid
+        rid = fig2.router("c1").rid
+        event = CompositeEvent((LinkFailureEvent((lid,)), RouterFailureEvent(rid)))
+        state = event.apply_to(NetworkState.nominal())
+        assert lid in state.failed_links and rid in state.failed_routers
+        assert event.physical_ground_truth(fig2.net) >= frozenset({lid})
+        with pytest.raises(ScenarioError):
+            CompositeEvent(())
+
+
+class TestSimulatorFacade:
+    def test_trace_caching(self, fig2, fig2_sim, nominal):
+        s1 = fig2.sensor_routers["s1"]
+        s2 = fig2.sensor_routers["s2"]
+        assert fig2_sim.trace(nominal, s1, s2) is fig2_sim.trace(nominal, s1, s2)
+
+    def test_apply_defaults_to_nominal(self, fig2, fig2_sim):
+        lid = fig2.link_between("b1", "b2").lid
+        state = fig2_sim.apply(LinkFailureEvent((lid,)))
+        assert lid in state.failed_links
+
+    def test_igp_link_down_scoped_to_asx(self, fig2, fig2_sim, nominal):
+        intra = fig2.link_between("y1", "y4")
+        state = nominal.with_failed_links([intra.lid])
+        assert [l.lid for l in fig2_sim.igp_link_down(fig2.asn("Y"), state)] == [
+            intra.lid
+        ]
+        assert fig2_sim.igp_link_down(fig2.asn("X"), state) == []
+
+    def test_withdrawals_at_asx(self, fig2, fig2_sim, nominal):
+        lid = fig2.link_between("y4", "b1").lid
+        after = nominal.with_failed_links([lid])
+        withdrawals = fig2_sim.withdrawals(fig2.asn("X"), nominal, after)
+        prefix_b = fig2.net.autonomous_system(fig2.asn("B")).prefix
+        assert [w.prefix for w in withdrawals] == [prefix_b]
+        assert withdrawals[0].from_asn == fig2.asn("Y")
+
+    def test_mapper_is_shared_and_correct(self, fig2, fig2_sim):
+        a1 = fig2.router("a1")
+        assert fig2_sim.mapper.asn_of(a1.address) == fig2.asn("A")
+
+
+class TestLookingGlass:
+    def test_query_returns_as_path(self, fig2, fig2_sim, nominal):
+        lg = LookingGlassService.everywhere(fig2.net)
+        routing = fig2_sim.routing(nominal)
+        prefix_b = fig2.net.autonomous_system(fig2.asn("B")).prefix
+        path = lg.query(fig2.asn("A"), prefix_b, routing)
+        assert path == (fig2.asn("A"), fig2.asn("X"), fig2.asn("Y"), fig2.asn("B"))
+
+    def test_unavailable_lg_returns_none(self, fig2, fig2_sim, nominal):
+        lg = LookingGlassService(fig2.net, [fig2.asn("X")])
+        routing = fig2_sim.routing(nominal)
+        prefix_b = fig2.net.autonomous_system(fig2.asn("B")).prefix
+        assert lg.query(fig2.asn("A"), prefix_b, routing) is None
+        assert lg.query(fig2.asn("X"), prefix_b, routing) is not None
+        assert lg.has_lg(fig2.asn("X")) and not lg.has_lg(fig2.asn("A"))
+
+    def test_no_route_indistinguishable_from_no_lg(self, fig2, fig2_sim, nominal):
+        lg = LookingGlassService.everywhere(fig2.net)
+        lid = fig2.link_between("y4", "b1").lid
+        state = nominal.with_failed_links([lid])
+        routing = fig2_sim.routing(state)
+        prefix_b = fig2.net.autonomous_system(fig2.asn("B")).prefix
+        assert lg.query(fig2.asn("A"), prefix_b, routing) is None
+
+    def test_unconverged_prefix_rejected(self, fig2, fig2_sim, nominal):
+        lg = LookingGlassService.everywhere(fig2.net)
+        routing = fig2_sim.routing(nominal)
+        with pytest.raises(MeasurementError):
+            lg.query(fig2.asn("A"), "10.15.0.0/20", routing)

@@ -1,0 +1,173 @@
+"""Unit tests for the topology generators (core maps, hub-spoke, internet)."""
+
+import pytest
+
+from repro.netsim.gen.abilene import ABILENE_CIRCUITS, ABILENE_POPS, build_abilene
+from repro.netsim.gen.geant import GEANT_CIRCUITS, GEANT_POPS, build_geant
+from repro.netsim.gen.hubspoke import HUB_AND_SPOKE_SIZE, build_hub_and_spoke
+from repro.netsim.gen.internet import research_internet
+from repro.netsim.gen.wide import WIDE_CIRCUITS, WIDE_POPS, build_wide
+from repro.netsim.topology import Internetwork, Tier
+
+
+def _fresh_as(asn=1, tier=Tier.CORE):
+    net = Internetwork()
+    net.add_as(asn, f"as{asn}", tier)
+    return net
+
+
+class TestCoreMaps:
+    @pytest.mark.parametrize(
+        "pops,circuits,builder",
+        [
+            (ABILENE_POPS, ABILENE_CIRCUITS, build_abilene),
+            (GEANT_POPS, GEANT_CIRCUITS, build_geant),
+            (WIDE_POPS, WIDE_CIRCUITS, build_wide),
+        ],
+        ids=["abilene", "geant", "wide"],
+    )
+    def test_map_is_connected_and_complete(self, pops, circuits, builder):
+        net = _fresh_as()
+        routers = builder(net, 1)
+        assert set(routers) == set(pops)
+        assert net.num_links == len(circuits)
+        # Connectivity: BFS over intra links reaches every PoP.
+        seen = {next(iter(routers.values()))}
+        frontier = list(seen)
+        while frontier:
+            rid = frontier.pop()
+            for link in net.links_of_router(rid):
+                other = link.other(rid)
+                if other not in seen:
+                    seen.add(other)
+                    frontier.append(other)
+        assert seen == set(routers.values())
+
+    def test_abilene_size_matches_2007_map(self):
+        assert len(ABILENE_POPS) == 11
+        assert len(ABILENE_CIRCUITS) == 14
+
+
+class TestHubAndSpoke:
+    def test_twelve_node_layout(self):
+        net = _fresh_as(tier=Tier.TIER2)
+        layout = build_hub_and_spoke(net, 1)
+        assert len(layout["hubs"]) == 2
+        assert len(layout["spokes"]) == HUB_AND_SPOKE_SIZE - 2
+        assert net.num_routers == HUB_AND_SPOKE_SIZE
+        # Literal hub-and-spoke: every spoke is single-homed.
+        for spoke in layout["spokes"]:
+            assert len(net.links_of_router(spoke)) == 1
+
+    def test_spoke_links_are_cut_links(self):
+        """A spoke failure partitions the AS internally — the property the
+        blocked-traceroute experiments depend on."""
+        from repro.netsim.igp import IgpView
+        from repro.netsim.topology import NetworkState
+
+        net = _fresh_as(tier=Tier.TIER2)
+        layout = build_hub_and_spoke(net, 1)
+        spoke = layout["spokes"][0]
+        lid = net.links_of_router(spoke)[0].lid
+        view = IgpView(net, 1, NetworkState.nominal().with_failed_links([lid]))
+        assert view.path(layout["hubs"][0], spoke) is None
+
+
+class TestResearchInternet:
+    def test_default_inventory_matches_paper(self):
+        topo = research_internet(seed=5)
+        assert len(topo.core_asns) == 3
+        assert len(topo.tier2_asns) == 22
+        assert len(topo.stub_asns) == 140
+        assert topo.net.num_ases == 165
+
+    def test_multihoming_fractions_exact(self):
+        topo = research_internet(seed=5)
+        t2_multi = sum(1 for a in topo.tier2_asns if len(topo.providers[a]) == 2)
+        stub_multi = sum(1 for a in topo.stub_asns if len(topo.providers[a]) == 2)
+        assert t2_multi == round(0.5 * 22)
+        assert stub_multi == round(0.25 * 140)
+
+    def test_same_seed_reproduces_topology(self):
+        a = research_internet(seed=9)
+        b = research_internet(seed=9)
+        assert a.net.num_links == b.net.num_links
+        assert [l.endpoints() for l in a.net.links()] == [
+            l.endpoints() for l in b.net.links()
+        ]
+
+    def test_different_seed_changes_wiring(self):
+        a = research_internet(seed=9)
+        b = research_internet(seed=10)
+        assert [l.endpoints() for l in a.net.links()] != [
+            l.endpoints() for l in b.net.links()
+        ]
+
+    def test_cores_fully_meshed(self):
+        topo = research_internet(seed=5)
+        pairs = set()
+        for link in topo.net.inter_links():
+            asns = topo.net.link_asns(link.lid)
+            if all(a in topo.core_asns for a in asns):
+                pairs.add(asns)
+        assert pairs == {(1, 2), (1, 3), (2, 3)}
+
+    def test_every_stub_has_a_provider_link(self):
+        topo = research_internet(seed=5)
+        for asn in topo.stub_asns:
+            router = topo.stub_router(asn)
+            assert topo.net.links_of_router(router), f"stub {asn} is isolated"
+
+    def test_stub_router_rejects_non_stub(self):
+        topo = research_internet(seed=5)
+        from repro.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            topo.stub_router(topo.core_asns[0])
+
+    def test_scaled_down_generation(self):
+        topo = research_internet(n_tier2=4, n_stub=10, seed=3)
+        assert topo.net.num_ases == 17
+        assert len(topo.tier2_asns) == 4
+
+
+class TestAlternativeTier2Styles:
+    def test_ring_is_two_connected(self):
+        from repro.netsim.gen.hubspoke import build_ring
+        from repro.netsim.igp import IgpView
+        from repro.netsim.topology import NetworkState
+
+        net = _fresh_as(tier=Tier.TIER2)
+        layout = build_ring(net, 1)
+        assert net.num_routers == 12
+        assert net.num_links == 12
+        # Any single internal link failure is survivable on a ring.
+        routers = layout["hubs"] + layout["spokes"]
+        lid = net.links_of_router(routers[0])[0].lid
+        view = IgpView(net, 1, NetworkState.nominal().with_failed_links([lid]))
+        assert all(
+            view.path(routers[0], other) is not None for other in routers[1:]
+        )
+
+    def test_ladder_has_two_planes(self):
+        from repro.netsim.gen.hubspoke import build_ladder
+
+        net = _fresh_as(tier=Tier.TIER2)
+        layout = build_ladder(net, 1)
+        assert net.num_routers == 12
+        # 2 chains of 5 links + 6 rungs.
+        assert net.num_links == 16
+        assert len(layout["hubs"]) == 2
+
+    def test_research_internet_accepts_styles(self):
+        for style in ("hubspoke", "ring", "ladder"):
+            topo = research_internet(
+                n_tier2=3, n_stub=6, seed=2, tier2_style=style
+            )
+            assert topo.net.num_ases == 12
+
+    def test_unknown_style_rejected(self):
+        from repro.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            research_internet(n_tier2=2, n_stub=4, tier2_style="torus")

@@ -1,0 +1,117 @@
+"""Unit tests for the per-AS link-state IGP."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.netsim.igp import IgpView, igp_link_down_events
+from repro.netsim.topology import Internetwork, NetworkState, Tier
+
+
+@pytest.fixture
+def diamond():
+    """One AS shaped a--b--d / a--c--d with a heavy shortcut a--d."""
+    net = Internetwork()
+    net.add_as(1, "one", Tier.CORE)
+    a = net.add_router(1, "a").rid
+    b = net.add_router(1, "b").rid
+    c = net.add_router(1, "c").rid
+    d = net.add_router(1, "d").rid
+    net.add_link(a, b, weight=1)
+    net.add_link(b, d, weight=1)
+    net.add_link(a, c, weight=1)
+    net.add_link(c, d, weight=2)
+    net.add_link(a, d, weight=5)
+    return net, (a, b, c, d)
+
+
+class TestShortestPaths:
+    def test_prefers_lowest_cost(self, diamond):
+        net, (a, b, _c, d) = diamond
+        view = IgpView(net, 1, NetworkState.nominal())
+        assert view.path(a, d) == [a, b, d]
+        assert view.distance(a, d) == 2
+
+    def test_trivial_path(self, diamond):
+        net, (a, *_rest) = diamond
+        view = IgpView(net, 1, NetworkState.nominal())
+        assert view.path(a, a) == [a]
+        assert view.distance(a, a) == 0
+
+    def test_reroutes_around_failed_link(self, diamond):
+        net, (a, b, c, d) = diamond
+        lid = net.link_between(b, d).lid
+        view = IgpView(net, 1, NetworkState.nominal().with_failed_links([lid]))
+        assert view.path(a, d) == [a, c, d]
+        assert view.distance(a, d) == 3
+
+    def test_reroutes_around_failed_router(self, diamond):
+        net, (a, b, c, d) = diamond
+        state = NetworkState.nominal().with_failed_routers([b])
+        view = IgpView(net, 1, state)
+        assert view.path(a, d) == [a, c, d]
+
+    def test_partition_returns_none(self, diamond):
+        net, (a, b, c, d) = diamond
+        lids = [
+            net.link_between(b, d).lid,
+            net.link_between(c, d).lid,
+            net.link_between(a, d).lid,
+        ]
+        view = IgpView(net, 1, NetworkState.nominal().with_failed_links(lids))
+        assert view.path(a, d) is None
+        assert view.distance(a, d) is None
+        assert not view.reachable(a, d)
+
+    def test_failed_endpoint_unreachable(self, diamond):
+        net, (a, _b, _c, d) = diamond
+        view = IgpView(net, 1, NetworkState.nominal().with_failed_routers([d]))
+        assert view.path(a, d) is None
+
+    def test_foreign_router_rejected(self, diamond):
+        net, (a, *_rest) = diamond
+        net.add_as(2, "two", Tier.STUB)
+        foreign = net.add_router(2).rid
+        view = IgpView(net, 1, NetworkState.nominal())
+        with pytest.raises(RoutingError):
+            view.path(a, foreign)
+
+    def test_deterministic_tie_break(self):
+        """Equal-cost paths resolve to the lexicographically smallest."""
+        net = Internetwork()
+        net.add_as(1, "one", Tier.CORE)
+        a = net.add_router(1).rid
+        b = net.add_router(1).rid
+        c = net.add_router(1).rid
+        d = net.add_router(1).rid
+        net.add_link(a, b, weight=1)
+        net.add_link(b, d, weight=1)
+        net.add_link(a, c, weight=1)
+        net.add_link(c, d, weight=1)
+        view = IgpView(net, 1, NetworkState.nominal())
+        assert view.path(a, d) == [a, b, d]  # b < c
+
+
+class TestLinkDownEvents:
+    def test_reports_failed_intra_links_only(self, diamond):
+        net, (a, b, _c, _d) = diamond
+        net.add_as(2, "two", Tier.STUB)
+        ext = net.add_router(2).rid
+        from repro.netsim.topology import Relationship
+
+        net.set_relationship(2, 1, Relationship.CUSTOMER_PROVIDER)
+        inter = net.add_link(a, ext)
+        intra = net.link_between(a, b)
+        state = NetworkState.nominal().with_failed_links([intra.lid, inter.lid])
+        events = igp_link_down_events(net, 1, state)
+        assert [l.lid for l in events] == [intra.lid]
+
+    def test_router_failure_downs_its_links(self, diamond):
+        net, (a, b, _c, _d) = diamond
+        state = NetworkState.nominal().with_failed_routers([a])
+        down = {l.lid for l in igp_link_down_events(net, 1, state)}
+        expected = {l.lid for l in net.links_of_router(a)}
+        assert down == expected
+
+    def test_nominal_state_has_no_events(self, diamond):
+        net, _ = diamond
+        assert igp_link_down_events(net, 1, NetworkState.nominal()) == []

@@ -1,0 +1,54 @@
+"""Caching and identity semantics of the Simulator facade."""
+
+import pytest
+
+from repro.netsim.events import LinkFailureEvent
+from repro.netsim.simulator import Simulator
+
+
+class TestCaches:
+    def test_routing_cache_keyed_on_state_value(self, fig2, fig2_sim, nominal):
+        lid = fig2.link_between("b1", "b2").lid
+        state_a = nominal.with_failed_links([lid])
+        state_b = nominal.with_failed_links([lid])
+        assert state_a is not state_b
+        assert fig2_sim.routing(state_a) is fig2_sim.routing(state_b)
+
+    def test_trace_cache_distinguishes_blocked_sets(self, fig2, fig2_sim, nominal):
+        src = fig2.sensor_routers["s1"]
+        dst = fig2.sensor_routers["s2"]
+        plain = fig2_sim.trace(nominal, src, dst)
+        blocked = fig2_sim.trace(
+            nominal, src, dst, blocked_ases=frozenset({fig2.asn("Y")})
+        )
+        assert plain is not blocked
+        assert all(h.identified for h in plain.hops)
+        assert any(not h.identified for h in blocked.hops)
+        # Both variants stay cached independently.
+        assert fig2_sim.trace(nominal, src, dst) is plain
+        assert (
+            fig2_sim.trace(
+                nominal, src, dst, blocked_ases=frozenset({fig2.asn("Y")})
+            )
+            is blocked
+        )
+
+    def test_destination_asns_is_sorted_and_deduped(self, fig2):
+        sim = Simulator(fig2.net, [fig2.asn("C"), fig2.asn("A"), fig2.asn("A")])
+        assert sim.destination_asns == (fig2.asn("A"), fig2.asn("C"))
+
+    def test_mapper_is_stable_across_calls(self, fig2_sim):
+        assert fig2_sim.mapper is fig2_sim.mapper
+
+    def test_igp_cache_shared_between_traces(self, fig2, fig2_sim, nominal):
+        fig2_sim.trace(nominal, fig2.sensor_routers["s1"], fig2.sensor_routers["s2"])
+        view_before = fig2_sim.igp_cache.view(fig2.asn("Y"), nominal)
+        fig2_sim.trace(nominal, fig2.sensor_routers["s1"], fig2.sensor_routers["s3"])
+        assert fig2_sim.igp_cache.view(fig2.asn("Y"), nominal) is view_before
+
+    def test_apply_composes_with_existing_state(self, fig2, fig2_sim, nominal):
+        lid_a = fig2.link_between("b1", "b2").lid
+        lid_b = fig2.link_between("c1", "c2").lid
+        first = fig2_sim.apply(LinkFailureEvent((lid_a,)))
+        second = fig2_sim.apply(LinkFailureEvent((lid_b,)), base=first)
+        assert second.failed_links == frozenset({lid_a, lid_b})

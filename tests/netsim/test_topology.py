@@ -1,0 +1,180 @@
+"""Unit tests for the topology model (ASes, routers, links, state)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.netsim.topology import (
+    ExportFilter,
+    Internetwork,
+    NetworkState,
+    Relationship,
+    Tier,
+)
+
+
+@pytest.fixture
+def two_as_net():
+    net = Internetwork()
+    net.add_as(1, "one", Tier.CORE)
+    net.add_as(2, "two", Tier.STUB)
+    r1 = net.add_router(1, "r1")
+    r2 = net.add_router(1, "r2")
+    r3 = net.add_router(2, "r3")
+    net.set_relationship(2, 1, Relationship.CUSTOMER_PROVIDER)
+    net.add_link(r1.rid, r2.rid, weight=3)
+    net.add_link(r2.rid, r3.rid)
+    return net, (r1, r2, r3)
+
+
+class TestConstruction:
+    def test_duplicate_as_rejected(self):
+        net = Internetwork()
+        net.add_as(1, "a", Tier.STUB)
+        with pytest.raises(TopologyError):
+            net.add_as(1, "b", Tier.STUB)
+
+    def test_router_requires_known_as(self):
+        net = Internetwork()
+        with pytest.raises(TopologyError):
+            net.add_router(42)
+
+    def test_self_link_rejected(self, two_as_net):
+        net, (r1, _r2, _r3) = two_as_net
+        with pytest.raises(TopologyError):
+            net.add_link(r1.rid, r1.rid)
+
+    def test_parallel_link_rejected(self, two_as_net):
+        net, (r1, r2, _r3) = two_as_net
+        with pytest.raises(TopologyError):
+            net.add_link(r2.rid, r1.rid)
+
+    def test_interdomain_link_requires_relationship(self):
+        net = Internetwork()
+        net.add_as(1, "a", Tier.STUB)
+        net.add_as(2, "b", Tier.STUB)
+        ra = net.add_router(1)
+        rb = net.add_router(2)
+        with pytest.raises(TopologyError):
+            net.add_link(ra.rid, rb.rid)
+
+    def test_invalid_weight_rejected(self, two_as_net):
+        net, (r1, _r2, r3) = two_as_net
+        with pytest.raises(TopologyError):
+            net.add_link(r1.rid, r3.rid, weight=0)
+
+    def test_duplicate_relationship_rejected(self, two_as_net):
+        net, _ = two_as_net
+        with pytest.raises(TopologyError):
+            net.set_relationship(1, 2, Relationship.PEER)
+
+    def test_router_addresses_resolve_back(self, two_as_net):
+        net, routers = two_as_net
+        for router in routers:
+            assert net.router_by_address(router.address).rid == router.rid
+
+
+class TestRelationships:
+    def test_relationship_is_viewpoint_sensitive(self, two_as_net):
+        net, _ = two_as_net
+        assert net.relationship(2, 1) is Relationship.CUSTOMER_PROVIDER
+        assert net.relationship(1, 2) is Relationship.PROVIDER_CUSTOMER
+
+    def test_peer_is_symmetric(self):
+        net = Internetwork()
+        net.add_as(1, "a", Tier.CORE)
+        net.add_as(2, "b", Tier.CORE)
+        net.set_relationship(1, 2, Relationship.PEER)
+        assert net.relationship(1, 2) is Relationship.PEER
+        assert net.relationship(2, 1) is Relationship.PEER
+
+    def test_undeclared_relationship_is_none(self, two_as_net):
+        net, _ = two_as_net
+        net.add_as(9, "nine", Tier.STUB)
+        assert net.relationship(1, 9) is None
+
+
+class TestLookupsAndPredicates:
+    def test_link_between(self, two_as_net):
+        net, (r1, r2, r3) = two_as_net
+        link = net.link_between(r2.rid, r1.rid)
+        assert link is not None and link.weight == 3
+        assert net.link_between(r1.rid, r3.rid) is None
+
+    def test_is_interdomain(self, two_as_net):
+        net, (r1, r2, r3) = two_as_net
+        intra = net.link_between(r1.rid, r2.rid)
+        inter = net.link_between(r2.rid, r3.rid)
+        assert not net.is_interdomain(intra.lid)
+        assert net.is_interdomain(inter.lid)
+
+    def test_intra_and_inter_links(self, two_as_net):
+        net, (r1, r2, _r3) = two_as_net
+        assert [l.a for l in net.intra_links(1)] == [r1.rid]
+        assert len(net.inter_links()) == 1
+        assert len(net.inter_links_of_as(1)) == 1
+        assert len(net.inter_links_of_as(2)) == 1
+
+    def test_link_asns_and_endpoint_in_as(self, two_as_net):
+        net, (_r1, r2, r3) = two_as_net
+        inter = net.link_between(r2.rid, r3.rid)
+        assert net.link_asns(inter.lid) == (1, 2)
+        assert net.endpoint_in_as(inter.lid, 1) == r2.rid
+        assert net.endpoint_in_as(inter.lid, 2) == r3.rid
+        with pytest.raises(TopologyError):
+            net.endpoint_in_as(inter.lid, 99)
+
+    def test_link_other_endpoint(self, two_as_net):
+        net, (r1, r2, _r3) = two_as_net
+        link = net.link_between(r1.rid, r2.rid)
+        assert link.other(r1.rid) == r2.rid
+        assert link.other(r2.rid) == r1.rid
+        with pytest.raises(TopologyError):
+            link.other(999)
+
+    def test_unknown_lookups_raise(self, two_as_net):
+        net, _ = two_as_net
+        with pytest.raises(TopologyError):
+            net.router(999)
+        with pytest.raises(TopologyError):
+            net.link(999)
+        with pytest.raises(TopologyError):
+            net.autonomous_system(999)
+        with pytest.raises(TopologyError):
+            net.router_by_address("1.2.3.4")
+
+
+class TestNetworkState:
+    def test_nominal_state(self):
+        state = NetworkState.nominal()
+        assert state.is_nominal()
+
+    def test_with_failed_links_is_persistent(self):
+        base = NetworkState.nominal()
+        failed = base.with_failed_links([3, 4])
+        assert base.is_nominal()
+        assert failed.failed_links == frozenset({3, 4})
+        assert failed.with_failed_links([5]).failed_links == frozenset({3, 4, 5})
+
+    def test_states_are_hashable_and_equal_by_value(self):
+        a = NetworkState.nominal().with_failed_links([1])
+        b = NetworkState.nominal().with_failed_links([1])
+        assert a == b and hash(a) == hash(b)
+
+    def test_link_up_accounts_for_router_failures(self, two_as_net):
+        net, (r1, r2, _r3) = two_as_net
+        link = net.link_between(r1.rid, r2.rid)
+        assert net.link_up(link.lid, NetworkState.nominal())
+        assert not net.link_up(
+            link.lid, NetworkState.nominal().with_failed_routers([r1.rid])
+        )
+        assert not net.link_up(
+            link.lid, NetworkState.nominal().with_failed_links([link.lid])
+        )
+
+    def test_filters_compose(self):
+        f1 = ExportFilter(link_id=1, at_router=2, prefixes=frozenset({"10.0.16.0/20"}))
+        state = NetworkState.nominal().with_filter(f1)
+        assert state.filters == (f1,)
+        assert f1.blocks(1, 2, "10.0.16.0/20")
+        assert not f1.blocks(1, 3, "10.0.16.0/20")
+        assert not f1.blocks(1, 2, "10.0.32.0/20")

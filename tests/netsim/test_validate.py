@@ -1,0 +1,123 @@
+"""Tests for the Gao-Rexford topology validator."""
+
+import pytest
+
+from repro.netsim.builders import TopologyBuilder
+from repro.netsim.gen.internet import research_internet
+from repro.netsim.topology import Relationship, Tier
+from repro.netsim.validate import validate_gao_rexford
+
+
+class TestValidator:
+    def test_generated_topologies_are_clean(self):
+        topo = research_internet(n_tier2=4, n_stub=12, seed=6)
+        assert validate_gao_rexford(topo.net) == []
+
+    def test_figure2_is_clean(self, fig2):
+        assert validate_gao_rexford(fig2.net) == []
+
+    def test_provider_cycle_detected(self):
+        b = TopologyBuilder()
+        for name in ("A", "B", "C"):
+            b.autonomous_system(name, Tier.TIER2, routers=1)
+        # A pays B, B pays C, C pays A: everyone is their own provider.
+        b.customer_of("A", "B")
+        b.customer_of("B", "C")
+        b.customer_of("C", "A")
+        b.link("a1", "b1")
+        b.link("b1", "c1")
+        b.link("c1", "a1")
+        issues = validate_gao_rexford(b.net)
+        kinds = {i.kind for i in issues}
+        assert "provider-cycle" in kinds
+        cycle = next(i for i in issues if i.kind == "provider-cycle")
+        assert "AS" in cycle.detail
+
+    def test_isolated_as_detected(self):
+        b = TopologyBuilder()
+        b.autonomous_system("A", Tier.STUB, routers=1)
+        b.autonomous_system("B", Tier.STUB, routers=1)
+        b.autonomous_system("LONER", Tier.STUB, routers=1)
+        b.customer_of("A", "B")
+        b.link("a1", "b1")
+        issues = validate_gao_rexford(b.net)
+        assert any(
+            i.kind == "isolated-as" and "LONER" in i.detail for i in issues
+        )
+
+    def test_single_as_world_is_not_isolated(self):
+        b = TopologyBuilder()
+        b.autonomous_system("A", Tier.STUB, routers=2)
+        b.link("a1", "a2")
+        assert validate_gao_rexford(b.net) == []
+
+    def test_peering_cycles_are_fine(self):
+        """Only customer/provider cycles are unsafe; a peering triangle
+        (like the three cores) is standard."""
+        b = TopologyBuilder()
+        for name in ("A", "B", "C"):
+            b.autonomous_system(name, Tier.CORE, routers=1)
+        b.peers("A", "B")
+        b.peers("B", "C")
+        b.peers("A", "C")
+        b.link("a1", "b1")
+        b.link("b1", "c1")
+        b.link("c1", "a1")
+        assert validate_gao_rexford(b.net) == []
+
+
+class TestAsRanking:
+    def test_ranking_from_figure2_diagnosis(self, fig2, fig2_sim, nominal):
+        from repro.core import NetDiagnoser, rank_suspect_ases
+        from repro.measurement.collector import take_snapshot
+        from repro.measurement.sensors import deploy_sensors
+        from repro.netsim.events import LinkFailureEvent
+
+        sensors = deploy_sensors(
+            fig2.net, [fig2.sensor_routers[s] for s in ("s1", "s2", "s3")]
+        )
+        lid = fig2.link_between("b1", "b2").lid
+        after = fig2_sim.apply(LinkFailureEvent((lid,)))
+        snap = take_snapshot(fig2_sim, sensors, nominal, after)
+        result = NetDiagnoser("nd-edge").diagnose(snap)
+        names = {a.asn: a.name for a in fig2.net.ases()}
+        ranked = rank_suspect_ases(result, snap.asn_of, names=names)
+        assert ranked
+        # AS B (where b1-b2 lives) must top the ranking.
+        assert ranked[0].asn == fig2.asn("B")
+        assert ranked[0].name == "B"
+        weights = [s.weight for s in ranked]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_empty_hypothesis_ranks_nothing(self, fig2):
+        from repro.core import rank_suspect_ases
+        from repro.core.graph import InferredGraph
+        from repro.core.result import DiagnosisResult
+
+        result = DiagnosisResult(
+            algorithm="tomo", hypothesis=frozenset(), graph=InferredGraph()
+        )
+        assert rank_suspect_ases(result, lambda _a: None) == []
+
+
+class TestAsRankingVoteSplitting:
+    def test_uh_endpoints_split_votes_across_tags(self):
+        from repro.core import rank_suspect_ases
+        from repro.core.graph import InferredGraph
+        from repro.core.linkspace import UhNode, ip_link
+        from repro.core.result import DiagnosisResult
+
+        uh = UhNode("s", "d", "pre", 3)
+        token = ip_link("10.0.16.1", uh)
+        result = DiagnosisResult(
+            algorithm="nd-lg",
+            hypothesis=frozenset({token}),
+            graph=InferredGraph(),
+            details={"uh_tags": {uh: frozenset({7, 8})}},
+        )
+        ranked = rank_suspect_ases(result, {"10.0.16.1": 1}.get)
+        weights = {s.asn: s.weight for s in ranked}
+        # Identified endpoint: half a vote on AS 1; UH endpoint: half a
+        # vote split across {7, 8}.
+        assert weights[1] == 0.5
+        assert weights[7] == weights[8] == 0.25

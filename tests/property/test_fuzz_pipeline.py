@@ -1,0 +1,118 @@
+"""Pipeline fuzzing: random composite events must never crash diagnosis,
+and the system invariants must hold whatever happens.
+
+This is the robustness backstop: hypothesis drives random combinations of
+link failures, router failures, misconfigurations and TE weight changes
+into the Figure 2 world and asserts the pipeline's contracts — snapshots
+validate, diagnoses complete, hypotheses avoid exclusions, metrics stay in
+range — regardless of how pathological the combination is.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diagnoser import NetDiagnoser
+from repro.core.metrics import sensitivity, specificity
+from repro.errors import DiagnosisError
+from repro.measurement.collector import collect_control_plane, take_snapshot
+from repro.measurement.sensors import deploy_sensors
+from repro.netsim.builders import figure2_network
+from repro.netsim.events import (
+    CompositeEvent,
+    LinkFailureEvent,
+    MisconfigurationEvent,
+    RouterFailureEvent,
+    WeightChangeEvent,
+)
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import ExportFilter, NetworkState
+
+FIG = figure2_network()
+SIM = Simulator(FIG.net, [FIG.asn("A"), FIG.asn("B"), FIG.asn("C")])
+SENSORS = deploy_sensors(
+    FIG.net, [FIG.sensor_routers[s] for s in ("s1", "s2", "s3")]
+)
+GATEWAYS = {s.router_id for s in SENSORS}
+ALL_LINKS = [l.lid for l in FIG.net.links()]
+INTER_LINKS = [l.lid for l in FIG.net.inter_links()]
+NON_GATEWAY_ROUTERS = [
+    r.rid for r in FIG.net.routers() if r.rid not in GATEWAYS
+]
+PREFIXES = [a.prefix for a in FIG.net.ases()]
+
+
+@st.composite
+def random_event(draw):
+    pieces = []
+    for lid in draw(st.sets(st.sampled_from(ALL_LINKS), max_size=2)):
+        pieces.append(LinkFailureEvent((lid,)))
+    if draw(st.booleans()):
+        pieces.append(
+            RouterFailureEvent(draw(st.sampled_from(NON_GATEWAY_ROUTERS)))
+        )
+    if draw(st.booleans()):
+        lid = draw(st.sampled_from(INTER_LINKS))
+        link = FIG.net.link(lid)
+        pieces.append(
+            MisconfigurationEvent(
+                ExportFilter(
+                    link_id=lid,
+                    at_router=draw(st.sampled_from(link.endpoints())),
+                    prefixes=frozenset(
+                        draw(st.sets(st.sampled_from(PREFIXES), min_size=1,
+                                     max_size=2))
+                    ),
+                )
+            )
+        )
+    if draw(st.booleans()):
+        pieces.append(
+            WeightChangeEvent(
+                draw(st.sampled_from(ALL_LINKS)), draw(st.integers(1, 60))
+            )
+        )
+    if not pieces:
+        pieces.append(LinkFailureEvent((draw(st.sampled_from(ALL_LINKS)),)))
+    return CompositeEvent(tuple(pieces))
+
+
+@given(event=random_event())
+@settings(max_examples=50, deadline=None)
+def test_pipeline_survives_any_event_combination(event):
+    after = SIM.apply(event)
+    snapshot = take_snapshot(SIM, SENSORS, NetworkState.nominal(), after)
+    if not snapshot.any_failure():
+        return  # troubleshooter not invoked; nothing to assert
+    control = collect_control_plane(SIM, FIG.asn("X"), NetworkState.nominal(), after)
+    for variant in ("tomo", "nd-edge", "nd-bgpigp"):
+        result = NetDiagnoser(variant).diagnose(snapshot, control=control)
+        # Contracts that must hold for any input:
+        assert not result.hypothesis & result.excluded
+        assert result.physical_hypothesis() <= result.physical_universe()
+        truth = event.physical_ground_truth(FIG.net)
+        if truth:
+            universe = result.physical_universe()
+            hyp = result.physical_hypothesis()
+            from repro.experiments.runner import ground_truth_links
+
+            truth_tokens = ground_truth_links(FIG.net, event)
+            visible = truth_tokens & universe
+            if visible:
+                assert 0.0 <= sensitivity(visible, hyp) <= 1.0
+            assert 0.0 <= specificity(universe, truth_tokens, hyp) <= 1.0
+
+
+@given(event=random_event())
+@settings(max_examples=25, deadline=None)
+def test_no_failure_means_no_invocation(event):
+    after = SIM.apply(event)
+    snapshot = take_snapshot(SIM, SENSORS, NetworkState.nominal(), after)
+    if snapshot.any_failure():
+        return
+    # The facade refuses to diagnose a healthy mesh — by contract.
+    import pytest
+
+    with pytest.raises(DiagnosisError):
+        NetDiagnoser("tomo").diagnose(snapshot)

@@ -1,0 +1,88 @@
+"""Property-based tests for the hitting-set solvers (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hitting_set import exact_hitting_set, greedy_hitting_set
+from repro.core.linkspace import ip_link
+
+# A small universe of link tokens.
+TOKENS = [ip_link(f"10.0.0.{i}", f"10.0.1.{i}") for i in range(12)]
+
+token_sets = st.lists(
+    st.sets(st.sampled_from(TOKENS), min_size=1, max_size=5),
+    min_size=0,
+    max_size=8,
+)
+
+
+@given(sets=token_sets)
+def test_greedy_hits_every_set_when_feasible(sets):
+    result = greedy_hitting_set(sets)
+    # No exclusions: every set has candidates, so everything is explained.
+    assert result.fully_explained
+    for s in sets:
+        assert s & result.hypothesis
+
+
+@given(sets=token_sets, excluded=st.sets(st.sampled_from(TOKENS), max_size=6))
+def test_greedy_never_selects_excluded_links(sets, excluded):
+    result = greedy_hitting_set(sets, excluded=excluded)
+    assert not (result.hypothesis - result.preseeded) & excluded
+    # Sets whose candidates were all excluded are reported, not hidden.
+    for unexplained in result.unexplained_failures:
+        assert unexplained <= frozenset(excluded) | result.hypothesis
+        assert not unexplained & result.hypothesis
+
+
+@given(sets=token_sets)
+def test_greedy_hypothesis_is_subset_of_candidates(sets):
+    result = greedy_hitting_set(sets)
+    universe = set().union(*sets) if sets else set()
+    assert result.hypothesis <= universe
+
+
+@given(sets=token_sets, preseed=st.sets(st.sampled_from(TOKENS), max_size=3))
+def test_preseed_always_lands_in_hypothesis(sets, preseed):
+    result = greedy_hitting_set(sets, preseed=preseed)
+    assert frozenset(preseed) <= result.hypothesis
+
+
+@given(sets=token_sets)
+def test_greedy_is_deterministic(sets):
+    a = greedy_hitting_set(sets)
+    b = greedy_hitting_set(list(sets))
+    assert a.hypothesis == b.hypothesis
+    assert a.iterations == b.iterations
+
+
+@given(
+    sets=st.lists(
+        st.sets(st.sampled_from(TOKENS[:8]), min_size=1, max_size=4),
+        min_size=1,
+        max_size=6,
+    )
+)
+@settings(max_examples=60)
+def test_exact_is_minimal_and_greedy_is_valid(sets):
+    exact = exact_hitting_set(sets)
+    greedy = greedy_hitting_set(sets)
+    assert exact is not None
+    # Exact hits everything.
+    for s in sets:
+        assert s & exact
+    # Greedy is a valid hitting set and never smaller than the optimum.
+    assert len(exact) <= len(greedy.hypothesis)
+
+
+@given(
+    sets=token_sets,
+    reroutes=st.lists(
+        st.sets(st.sampled_from(TOKENS), min_size=1, max_size=4), max_size=4
+    ),
+)
+def test_reroute_sets_are_also_explained(sets, reroutes):
+    result = greedy_hitting_set(sets, reroute_sets=reroutes)
+    assert result.fully_explained
+    for s in reroutes:
+        assert s & result.hypothesis

@@ -1,0 +1,122 @@
+"""Property-based tests for the logical-link expansion (§3.1)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.linkspace import (
+    ORIGIN_TAG,
+    UNKNOWN_TAG,
+    IpLink,
+    LogicalLink,
+    undirected_projection,
+)
+from repro.core.logical import logicalize
+from repro.core.pathset import ProbePath
+
+
+@st.composite
+def random_as_path_world(draw):
+    """A random hop sequence with a consistent hop->AS mapping.
+
+    Hops are grouped into runs of the same AS (as real paths are); the AS
+    sequence never immediately repeats.
+    """
+    n_segments = draw(st.integers(min_value=1, max_value=5))
+    asns = []
+    previous = None
+    for _ in range(n_segments):
+        asn = draw(st.integers(min_value=1, max_value=9).filter(
+            lambda a: a != previous
+        ))
+        asns.append(asn)
+        previous = asn
+    hops = []
+    mapping = {}
+    counter = [0]
+
+    def fresh_address(asn):
+        counter[0] += 1
+        address = f"10.{asn}.0.{counter[0]}"
+        mapping[address] = asn
+        return address
+
+    for asn in asns:
+        run = draw(st.integers(min_value=1, max_value=3))
+        for _ in range(run):
+            hops.append(fresh_address(asn))
+    return hops, mapping
+
+
+@given(world=random_as_path_world())
+@settings(max_examples=80)
+def test_token_count_matches_hop_pairs(world):
+    hops, mapping = world
+    if len(hops) < 2:
+        return
+    path = ProbePath(src=hops[0], dst=hops[-1], hops=tuple(hops), reached=True)
+    tokens = logicalize(path, mapping.get)
+    assert len(tokens) == len(hops) - 1
+
+
+@given(world=random_as_path_world())
+@settings(max_examples=80)
+def test_intradomain_pairs_stay_physical_interdomain_get_tagged(world):
+    hops, mapping = world
+    if len(hops) < 2:
+        return
+    path = ProbePath(src=hops[0], dst=hops[-1], hops=tuple(hops), reached=True)
+    for token, (u, v) in zip(logicalize(path, mapping.get), zip(hops, hops[1:])):
+        same_as = mapping[u] == mapping[v]
+        if same_as:
+            assert isinstance(token, IpLink)
+            assert (token.src, token.dst) == (u, v)
+        else:
+            assert isinstance(token, LogicalLink)
+            assert (token.src, token.dst) == (u, v)
+            assert token.tag == ORIGIN_TAG or token.tag >= 1
+
+
+@given(world=random_as_path_world())
+@settings(max_examples=80)
+def test_terminal_interdomain_token_is_origin_tagged(world):
+    hops, mapping = world
+    if len(hops) < 2:
+        return
+    path = ProbePath(src=hops[0], dst=hops[-1], hops=tuple(hops), reached=True)
+    tokens = logicalize(path, mapping.get)
+    logical = [t for t in tokens if isinstance(t, LogicalLink)]
+    if logical:
+        assert logical[-1].tag == ORIGIN_TAG  # the last AS change ends the path
+
+
+@given(world=random_as_path_world())
+@settings(max_examples=80)
+def test_truncated_paths_never_claim_origin(world):
+    hops, mapping = world
+    if len(hops) < 2:
+        return
+    path = ProbePath(
+        src=hops[0], dst="10.99.0.1", hops=tuple(hops), reached=False
+    )
+    tokens = logicalize(path, mapping.get)
+    logical = [t for t in tokens if isinstance(t, LogicalLink)]
+    if logical:
+        # The trailing AS change's continuation was cut off: unknown.
+        assert logical[-1].tag == UNKNOWN_TAG
+        # Earlier AS changes observed their continuation: real tags.
+        for token in logical[:-1]:
+            assert token.tag != ORIGIN_TAG
+
+
+@given(world=random_as_path_world())
+@settings(max_examples=60)
+def test_projection_is_consistent_with_raw_links(world):
+    hops, mapping = world
+    if len(hops) < 2:
+        return
+    path = ProbePath(src=hops[0], dst=hops[-1], hops=tuple(hops), reached=True)
+    logical = undirected_projection(logicalize(path, mapping.get))
+    physical = undirected_projection(path.links())
+    assert logical == physical

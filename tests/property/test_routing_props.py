@@ -1,0 +1,136 @@
+"""Property-based tests on the routing substrate over random topologies.
+
+Random small internetworks (a provider core plus customer trees with
+random multihoming) are generated from hypothesis-drawn seeds; the
+properties assert the invariants every converged state must satisfy:
+loop-free AS paths, valley-freeness, data-plane/control-plane agreement,
+and monotonicity of failures.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.bgp import BgpEngine
+from repro.netsim.forwarding import data_path
+from repro.netsim.topology import (
+    Internetwork,
+    NetworkState,
+    Relationship,
+    Tier,
+)
+
+
+def random_internetwork(seed: int):
+    """A small random hierarchy: 2 peering cores, a few customer ASes."""
+    rng = random.Random(seed)
+    net = Internetwork()
+    net.add_as(1, "core1", Tier.CORE)
+    net.add_as(2, "core2", Tier.CORE)
+    cores = {
+        1: [net.add_router(1).rid for _ in range(2)],
+        2: [net.add_router(2).rid for _ in range(2)],
+    }
+    for asn, routers in cores.items():
+        net.add_link(routers[0], routers[1])
+    net.set_relationship(1, 2, Relationship.PEER)
+    net.add_link(cores[1][0], cores[2][0])
+    edge_asns = []
+    for index in range(rng.randint(2, 5)):
+        asn = 10 + index
+        net.add_as(asn, f"edge{index}", Tier.STUB)
+        router = net.add_router(asn).rid
+        providers = rng.sample([1, 2], rng.randint(1, 2))
+        for provider in providers:
+            net.set_relationship(asn, provider, Relationship.CUSTOMER_PROVIDER)
+            net.add_link(router, rng.choice(cores[provider]))
+        edge_asns.append(asn)
+    return net, edge_asns
+
+
+def relationship_sequence(net, as_path):
+    return [
+        net.relationship(a, b) for a, b in zip(as_path, as_path[1:])
+    ]
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_converged_paths_are_loop_free_and_valley_free(seed):
+    net, edges = random_internetwork(seed)
+    engine = BgpEngine.for_sensor_ases(net, edges)
+    routing = engine.converge(NetworkState.nominal())
+    for prefix in routing.prefixes:
+        for autsys in net.ases():
+            path = routing.as_path(autsys.asn, prefix)
+            if path is None:
+                continue
+            assert len(path) == len(set(path)), "AS-path loop"
+            rels = relationship_sequence(net, path)
+            # Valley-free: once the path goes down (provider->customer) or
+            # sideways (peer), it may never go up or sideways again.
+            descended = False
+            for rel in rels:
+                if descended:
+                    assert rel is Relationship.PROVIDER_CUSTOMER
+                if rel in (Relationship.PROVIDER_CUSTOMER, Relationship.PEER):
+                    descended = True
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_data_plane_agrees_with_control_plane(seed):
+    """If the source AS holds a route and no element is failed, the walk
+    reaches the destination and visits exactly the route's AS path."""
+    net, edges = random_internetwork(seed)
+    engine = BgpEngine.for_sensor_ases(net, edges)
+    state = NetworkState.nominal()
+    routing = engine.converge(state)
+    dst_asn = edges[0]
+    prefix = net.autonomous_system(dst_asn).prefix
+    dst_router = net.autonomous_system(dst_asn).router_ids[0]
+    for autsys in net.ases():
+        src_router = autsys.router_ids[0]
+        expected = routing.as_path(autsys.asn, prefix)
+        outcome = data_path(net, routing, state, src_router, dst_router)
+        assert outcome.reached
+        visited = []
+        for rid in outcome.router_path:
+            asn = net.asn_of_router(rid)
+            if not visited or visited[-1] != asn:
+                visited.append(asn)
+        assert tuple(visited) == expected
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    kill=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=30, deadline=None)
+def test_failures_only_shrink_reachability(seed, kill):
+    """Removing links can never create new routes."""
+    net, edges = random_internetwork(seed)
+    engine = BgpEngine.for_sensor_ases(net, edges)
+    nominal = engine.converge(NetworkState.nominal())
+    links = [l.lid for l in net.links()]
+    rng = random.Random(seed + 1)
+    dead = rng.sample(links, min(kill, len(links)))
+    failed = engine.converge(NetworkState.nominal().with_failed_links(dead))
+    for prefix in nominal.prefixes:
+        assert failed.reachable_ases(prefix) <= nominal.reachable_ases(prefix)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_convergence_is_deterministic(seed):
+    net_a, edges_a = random_internetwork(seed)
+    net_b, edges_b = random_internetwork(seed)
+    state = NetworkState.nominal()
+    routing_a = BgpEngine.for_sensor_ases(net_a, edges_a).converge(state)
+    routing_b = BgpEngine.for_sensor_ases(net_b, edges_b).converge(state)
+    for prefix in routing_a.prefixes:
+        for autsys in net_a.ases():
+            assert routing_a.as_path(autsys.asn, prefix) == routing_b.as_path(
+                autsys.asn, prefix
+            )

@@ -1,0 +1,82 @@
+"""Property-based serialization round-trips over random structures."""
+
+import json
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.topology import ExportFilter, NetworkState
+from repro.serialize import (
+    state_from_dict,
+    state_to_dict,
+    token_from_dict,
+    token_to_dict,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+from tests.property.test_routing_props import random_internetwork
+
+
+@given(seed=st.integers(min_value=0, max_value=5_000))
+@settings(max_examples=25, deadline=None)
+def test_random_topology_roundtrip(seed):
+    net, _edges = random_internetwork(seed)
+    data = topology_to_dict(net)
+    # JSON-stability: serialise through actual JSON text.
+    rebuilt = topology_from_dict(json.loads(json.dumps(data)))
+    assert topology_to_dict(rebuilt) == data
+
+
+@given(
+    failed_links=st.sets(st.integers(0, 50), max_size=5),
+    failed_routers=st.sets(st.integers(0, 50), max_size=3),
+    overrides=st.lists(
+        st.tuples(st.integers(0, 50), st.integers(1, 99)), max_size=4
+    ),
+    filters=st.lists(
+        st.tuples(
+            st.integers(0, 50),
+            st.integers(0, 50),
+            st.sets(st.sampled_from(["10.0.16.0/20", "10.0.32.0/20"]), min_size=1),
+        ),
+        max_size=3,
+    ),
+)
+def test_random_state_roundtrip(failed_links, failed_routers, overrides, filters):
+    state = NetworkState(
+        failed_links=frozenset(failed_links),
+        failed_routers=frozenset(failed_routers),
+        filters=tuple(
+            ExportFilter(link_id=l, at_router=r, prefixes=frozenset(p))
+            for l, r, p in filters
+        ),
+        weight_overrides=tuple(overrides),
+    )
+    data = json.loads(json.dumps(state_to_dict(state)))
+    assert state_from_dict(data) == state
+
+
+@st.composite
+def random_token(draw):
+    from repro.core.linkspace import IpLink, LogicalLink, PhysicalLink, UhNode
+
+    kind = draw(st.sampled_from(["ip", "uh", "logical", "physical"]))
+    address = st.integers(1, 200).map(lambda i: f"10.0.0.{i}")
+    if kind == "logical":
+        return LogicalLink(draw(address), draw(address), draw(st.integers(-1, 300)))
+    if kind == "physical":
+        return PhysicalLink(draw(address), draw(address))
+    a = draw(address)
+    if kind == "uh":
+        b = UhNode(draw(address), draw(address), draw(st.sampled_from(["pre", "post"])), draw(st.integers(0, 20)))
+    else:
+        b = draw(address)
+    return IpLink(a, b)
+
+
+@given(token=random_token())
+def test_random_token_roundtrip(token):
+    data = json.loads(json.dumps(token_to_dict(token)))
+    assert token_from_dict(data) == token
