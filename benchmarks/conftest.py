@@ -5,9 +5,11 @@ meaningful scale (the paper uses 10 placements x 100 failures; benches
 default to 2 x 8 so the whole suite finishes in minutes), renders the
 series to ``results/`` and asserts the figure's qualitative claims.
 
-Scale can be raised via environment variables::
+Scale can be raised via environment variables, and the placement batches
+can be fanned out over worker processes (results are identical)::
 
     REPRO_BENCH_PLACEMENTS=10 REPRO_BENCH_FAILURES=100 \
+    REPRO_BENCH_WORKERS=0 \
         pytest benchmarks/ --benchmark-only
 """
 
@@ -31,6 +33,7 @@ def bench_config() -> FigureConfig:
         placements=int(os.environ.get("REPRO_BENCH_PLACEMENTS", "2")),
         failures_per_placement=int(os.environ.get("REPRO_BENCH_FAILURES", "8")),
         n_sensors=int(os.environ.get("REPRO_BENCH_SENSORS", "10")),
+        workers=int(os.environ.get("REPRO_BENCH_WORKERS", "1")),
     )
 
 

@@ -1,0 +1,89 @@
+"""Speedup benchmark for the process-parallel experiment runner.
+
+Times the paper's research-Internet batch — the (22, 140) topology,
+random stub placements, single-link failures — serially and with 4
+worker processes, asserts the outputs are identical, and (on hardware
+with at least 4 cores) asserts a >= 1.8x wall-clock speedup.  On smaller
+machines the measured ratio is still reported, but only the determinism
+claim is enforced — a 1-core container cannot speed anything up.
+
+Run with the slow lane::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_parallel.py -m slow -s
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.diagnoser import NetDiagnoser
+from repro.experiments.jobs import ResearchTopoFactory, StubPlacement
+from repro.experiments.runner import RunnerStats, run_kind_batch
+
+BATCH = dict(
+    topo_factory=ResearchTopoFactory(topo_seed=100, n_tier2=22, n_stub=140),
+    placement_fn=StubPlacement(10),
+    kinds=("link-1",),
+    diagnosers={"nd-edge": NetDiagnoser("nd-edge")},
+    placements=4,
+    failures_per_placement=4,
+    seed=0,
+)
+
+WORKERS = 4
+REQUIRED_SPEEDUP = 1.8
+
+
+@pytest.mark.slow
+def test_parallel_speedup_research_internet():
+    started = time.perf_counter()
+    serial = run_kind_batch(**BATCH, workers=1)
+    serial_seconds = time.perf_counter() - started
+
+    stats = RunnerStats()
+    started = time.perf_counter()
+    parallel = run_kind_batch(**BATCH, workers=WORKERS, stats=stats)
+    parallel_seconds = time.perf_counter() - started
+
+    # Determinism is non-negotiable regardless of core count.
+    assert parallel == serial
+    assert stats.workers == WORKERS
+
+    speedup = serial_seconds / parallel_seconds
+    cores = os.cpu_count() or 1
+    print(
+        f"\n(22, 140) batch, {BATCH['placements']} placements: "
+        f"serial {serial_seconds:.2f}s, {WORKERS} workers "
+        f"{parallel_seconds:.2f}s -> {speedup:.2f}x on {cores} core(s)"
+    )
+    if cores >= WORKERS:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"expected >= {REQUIRED_SPEEDUP}x speedup at {WORKERS} workers "
+            f"on {cores} cores, measured {speedup:.2f}x"
+        )
+    else:
+        pytest.skip(
+            f"speedup assertion needs >= {WORKERS} cores (found {cores}); "
+            f"measured {speedup:.2f}x, determinism verified"
+        )
+
+
+@pytest.mark.slow
+def test_parallel_stats_overhead_is_bounded():
+    """RunnerStats accounting must not meaningfully slow the batch."""
+    started = time.perf_counter()
+    run_kind_batch(**BATCH, workers=1)
+    bare_seconds = time.perf_counter() - started
+
+    stats = RunnerStats()
+    started = time.perf_counter()
+    run_kind_batch(**BATCH, workers=1, stats=stats)
+    stats_seconds = time.perf_counter() - started
+
+    assert stats.placements == BATCH["placements"]
+    assert stats.setup_seconds + stats.scenario_seconds <= stats_seconds * 1.05
+    # Generous bound: accounting is a handful of counters per placement.
+    assert stats_seconds <= bare_seconds * 1.5 + 0.5

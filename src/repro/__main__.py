@@ -13,6 +13,9 @@ Examples::
     python -m repro diagnose --kind misconfig --save-scenario case.json
     python -m repro replay case.json --algorithms nd-edge
 
+    # Sweep topology sizes in parallel worker processes (§5.3 study)
+    python -m repro scaling --workers 0
+
     # Regenerate evaluation figures (delegates to repro.experiments)
     python -m repro.experiments --figure 6
 """
@@ -98,6 +101,47 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     return 0
 
 
+def _size_pair(text: str) -> tuple:
+    """argparse type for --sizes: ``T2xSTUB`` -> ``(tier2, stubs)``."""
+    try:
+        tier2, stubs = (int(part) for part in text.lower().split("x"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected T2xSTUB (e.g. 22x140), got {text!r}"
+        ) from None
+    if tier2 < 1 or stubs < 1:
+        raise argparse.ArgumentTypeError(f"sizes must be >= 1, got {text!r}")
+    return (tier2, stubs)
+
+
+def _worker_count(text: str) -> int:
+    """argparse type for --workers: non-negative int (0 = all cores)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0 (0 = all cores)")
+    return value
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.experiments.scaling import DEFAULT_SIZES, render_scaling, scaling_sweep
+
+    sizes = tuple(args.sizes) if args.sizes else DEFAULT_SIZES
+    points = scaling_sweep(
+        sizes=sizes,
+        n_sensors=args.sensors,
+        failures=args.failures,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    print(render_scaling(points))
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     archive = json.loads(Path(args.scenario).read_text())
     if archive.get("format") != "repro-scenario-v1":
@@ -171,6 +215,29 @@ def main(argv=None) -> int:
         help="archive the sampled scenario (topology + event) to this file",
     )
     diagnose.set_defaults(func=_cmd_diagnose)
+
+    scaling = sub.add_parser(
+        "scaling", help="run the §5.3 topology-size sweep"
+    )
+    scaling.add_argument(
+        "--sizes",
+        nargs="+",
+        type=_size_pair,
+        default=None,
+        metavar="T2xSTUB",
+        help="sizes as tier2xstub pairs, e.g. 6x40 22x140 (default: the "
+        "built-in sweep)",
+    )
+    scaling.add_argument("--sensors", type=int, default=10)
+    scaling.add_argument("--failures", type=int, default=5)
+    scaling.add_argument("--seed", type=int, default=0)
+    scaling.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=1,
+        help="worker processes, one size point each (0 = all cores)",
+    )
+    scaling.set_defaults(func=_cmd_scaling)
 
     replay = sub.add_parser(
         "replay", help="re-diagnose an archived scenario file"

@@ -63,6 +63,11 @@ class MetricPair(tuple):
     def __new__(cls, sens: float, spec: float) -> "MetricPair":
         return super().__new__(cls, (sens, spec))
 
+    def __getnewargs__(self):
+        # tuple subclasses with a custom __new__ signature need this to
+        # pickle (records cross process boundaries in parallel batches).
+        return (self[0], self[1])
+
     @property
     def sensitivity(self) -> float:
         return self[0]

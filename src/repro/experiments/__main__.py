@@ -19,6 +19,19 @@ from repro.experiments.figures import FIGURES, FigureConfig
 from repro.serialize import figure_result_to_dict
 
 
+def _worker_count(text: str) -> int:
+    """argparse type for --workers: non-negative int (0 = all cores)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0 (0 = all cores)")
+    return value
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -48,6 +61,13 @@ def main(argv=None) -> int:
         help="use the paper's 10 placements x 100 failures (slow)",
     )
     parser.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=1,
+        help="worker processes per batch (0 = all cores, 1 = serial); "
+        "results are identical to a serial run",
+    )
+    parser.add_argument(
         "--json-out",
         default=None,
         help="directory to additionally write <figure>.json series files to",
@@ -62,6 +82,7 @@ def main(argv=None) -> int:
         placements=placements,
         failures_per_placement=failures,
         n_sensors=args.sensors,
+        workers=args.workers,
     )
     wanted = sorted(FIGURES, key=int) if args.figure == "all" else [args.figure]
     for figure_id in wanted:

@@ -10,9 +10,10 @@ both the data and the claims it should be checked against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.report import render_figure
+from repro.experiments.runner import RunnerStats
 
 __all__ = ["FigureConfig", "Series", "FigureResult"]
 
@@ -25,6 +26,9 @@ class FigureConfig:
     deliberately small so benches finish in seconds.  Paper scale:
     ``FigureConfig(placements=10, failures_per_placement=100)`` (also
     reachable via ``python -m repro.experiments --paper-scale``).
+
+    ``workers`` fans each batch's placements out over that many processes
+    (``0`` = every core); results are bit-identical to ``workers=1``.
     """
 
     seed: int = 0
@@ -32,6 +36,7 @@ class FigureConfig:
     placements: int = 3
     failures_per_placement: int = 10
     n_sensors: int = 10
+    workers: int = 1
 
 
 @dataclass
@@ -53,6 +58,8 @@ class FigureResult:
     series: List[Series] = field(default_factory=list)
     summaries: Dict[str, Dict[str, float]] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    #: batch accounting (appended to the rendering when present).
+    runner_stats: Optional[RunnerStats] = None
 
     def series_by_name(self, name: str) -> Series:
         for series in self.series:

@@ -15,22 +15,26 @@ from __future__ import annotations
 from repro.core.diagnoser import NetDiagnoser
 from repro.errors import ScenarioError
 from repro.experiments.figures.base import FigureConfig, FigureResult, Series
-from repro.experiments.runner import run_kind_batch
+from repro.experiments.jobs import (
+    CoreAsx,
+    RandomStubAsx,
+    ResearchTopoFactory,
+    StubPlacement,
+)
+from repro.experiments.runner import RunnerStats, run_kind_batch
 from repro.experiments.stats import cdf, summarize
-from repro.measurement.sensors import random_stub_placement
-from repro.netsim.gen.internet import research_internet
 
 __all__ = ["run"]
 
 
 def _asx_selector(position: str):
     if position == "core":
-        return lambda topo, rng: topo.core_asns[0]
+        return CoreAsx()
     if position == "stub":
         # A stub AS-X still has eBGP sessions to learn withdrawals from;
         # it has no multi-link IGP to speak of, mirroring the paper's
         # "AS-X is a stub" case.
-        return lambda topo, rng: rng.choice(topo.stub_asns)
+        return RandomStubAsx()
     raise ScenarioError(f"unknown AS-X position {position!r}")
 
 
@@ -42,17 +46,18 @@ def run(
         "nd-edge": NetDiagnoser("nd-edge"),
         "nd-bgpigp": NetDiagnoser("nd-bgpigp"),
     }
+    stats = RunnerStats()
     records = run_kind_batch(
-        topo_factory=lambda i: research_internet(seed=config.topo_seed + i),
-        placement_fn=lambda topo, rng: random_stub_placement(
-            topo, config.n_sensors, rng
-        ),
+        topo_factory=ResearchTopoFactory(topo_seed=config.topo_seed),
+        placement_fn=StubPlacement(config.n_sensors),
         kinds=("link-3",),
         diagnosers=diagnosers,
         placements=config.placements,
         failures_per_placement=config.failures_per_placement,
         seed=config.seed,
         asx_selector=_asx_selector(asx_position),
+        workers=config.workers,
+        stats=stats,
     )
     result = FigureResult(
         figure_id="fig10",
@@ -86,4 +91,5 @@ def run(
         )
         result.summaries[f"{label}/sensitivity"] = summarize(sens)
         result.summaries[f"{label}/specificity"] = summarize(spec)
+    result.runner_stats = stats
     return result

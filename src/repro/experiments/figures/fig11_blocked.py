@@ -17,10 +17,9 @@ from typing import Sequence, Tuple
 
 from repro.core.diagnoser import NetDiagnoser
 from repro.experiments.figures.base import FigureConfig, FigureResult, Series
-from repro.experiments.runner import run_kind_batch
+from repro.experiments.jobs import CoreAsx, ResearchTopoFactory, StubPlacement
+from repro.experiments.runner import RunnerStats, run_kind_batch
 from repro.experiments.stats import mean
-from repro.measurement.sensors import random_stub_placement
-from repro.netsim.gen.internet import research_internet
 
 __all__ = ["run", "DEFAULT_BLOCKED_FRACTIONS"]
 
@@ -41,21 +40,22 @@ def run(
         for label in diagnosers
         for metric in ("as-sensitivity", "as-specificity")
     }
+    stats = RunnerStats()
     for fraction in blocked_fractions:
         records = run_kind_batch(
-            topo_factory=lambda i: research_internet(seed=config.topo_seed + i),
-            placement_fn=lambda topo, rng: random_stub_placement(
-                topo, config.n_sensors, rng
-            ),
+            topo_factory=ResearchTopoFactory(topo_seed=config.topo_seed),
+            placement_fn=StubPlacement(config.n_sensors),
             kinds=("link-1",),
             diagnosers=diagnosers,
             placements=config.placements,
             failures_per_placement=config.failures_per_placement,
             seed=config.seed,
-            asx_selector=lambda topo, rng: topo.core_asns[0],
+            asx_selector=CoreAsx(),
             blocked_fraction=fraction,
             lg_fraction=1.0,
             intra_failures_only=True,
+            workers=config.workers,
+            stats=stats,
         )
         recs = records["link-1"]
         if not recs:
@@ -85,4 +85,5 @@ def run(
                 y_label=name.split("/", 1)[1],
             )
         )
+    result.runner_stats = stats
     return result

@@ -14,10 +14,9 @@ from typing import Sequence, Tuple
 
 from repro.core.diagnoser import NetDiagnoser
 from repro.experiments.figures.base import FigureConfig, FigureResult, Series
-from repro.experiments.runner import run_kind_batch
+from repro.experiments.jobs import CoreAsx, ResearchTopoFactory, StubPlacement
+from repro.experiments.runner import RunnerStats, run_kind_batch
 from repro.experiments.stats import mean
-from repro.measurement.sensors import random_stub_placement
-from repro.netsim.gen.internet import research_internet
 
 __all__ = ["run", "DEFAULT_BLOCKED_FRACTIONS", "DEFAULT_LG_FRACTIONS"]
 
@@ -40,17 +39,14 @@ def run(
             "ND-bgpigp is independent of LG availability (flat reference)",
         ],
     )
+    stats = RunnerStats()
     for blocked in blocked_fractions:
         lg_curve = []
         reference_values = []
         for lg_fraction in lg_fractions:
             records = run_kind_batch(
-                topo_factory=lambda i: research_internet(
-                    seed=config.topo_seed + i
-                ),
-                placement_fn=lambda topo, rng: random_stub_placement(
-                    topo, config.n_sensors, rng
-                ),
+                topo_factory=ResearchTopoFactory(topo_seed=config.topo_seed),
+                placement_fn=StubPlacement(config.n_sensors),
                 kinds=("link-1",),
                 diagnosers={
                     "nd-lg": NetDiagnoser("nd-lg"),
@@ -59,10 +55,12 @@ def run(
                 placements=config.placements,
                 failures_per_placement=config.failures_per_placement,
                 seed=config.seed,
-                asx_selector=lambda topo, rng: topo.core_asns[0],
+                asx_selector=CoreAsx(),
                 blocked_fraction=blocked,
                 lg_fraction=lg_fraction,
                 intra_failures_only=True,
+                workers=config.workers,
+                stats=stats,
             )
             recs = records["link-1"]
             if not recs:
@@ -94,4 +92,5 @@ def run(
                     y_label="AS-sensitivity",
                 )
             )
+    result.runner_stats = stats
     return result

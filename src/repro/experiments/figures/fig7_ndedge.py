@@ -10,10 +10,9 @@ from __future__ import annotations
 
 from repro.core.diagnoser import NetDiagnoser
 from repro.experiments.figures.base import FigureConfig, FigureResult, Series
-from repro.experiments.runner import run_kind_batch
+from repro.experiments.jobs import ResearchTopoFactory, StubPlacement
+from repro.experiments.runner import RunnerStats, run_kind_batch
 from repro.experiments.stats import cdf, summarize
-from repro.measurement.sensors import random_stub_placement
-from repro.netsim.gen.internet import research_internet
 
 __all__ = ["run", "KINDS"]
 
@@ -26,16 +25,17 @@ def run(config: FigureConfig = FigureConfig()) -> FigureResult:
         "tomo": NetDiagnoser("tomo"),
         "nd-edge": NetDiagnoser("nd-edge"),
     }
+    stats = RunnerStats()
     records = run_kind_batch(
-        topo_factory=lambda i: research_internet(seed=config.topo_seed + i),
-        placement_fn=lambda topo, rng: random_stub_placement(
-            topo, config.n_sensors, rng
-        ),
+        topo_factory=ResearchTopoFactory(topo_seed=config.topo_seed),
+        placement_fn=StubPlacement(config.n_sensors),
         kinds=KINDS,
         diagnosers=diagnosers,
         placements=config.placements,
         failures_per_placement=config.failures_per_placement,
         seed=config.seed,
+        workers=config.workers,
+        stats=stats,
     )
     result = FigureResult(
         figure_id="fig7",
@@ -61,4 +61,5 @@ def run(config: FigureConfig = FigureConfig()) -> FigureResult:
                 )
             )
             result.summaries[name] = summarize(values)
+    result.runner_stats = stats
     return result

@@ -13,10 +13,9 @@ from typing import Sequence, Tuple
 
 from repro.core.diagnoser import NetDiagnoser
 from repro.experiments.figures.base import FigureConfig, FigureResult, Series
-from repro.experiments.runner import run_kind_batch
+from repro.experiments.jobs import ResearchTopoFactory, StubPlacement
+from repro.experiments.runner import RunnerStats, run_kind_batch
 from repro.experiments.stats import binned_means, summarize
-from repro.measurement.sensors import random_stub_placement
-from repro.netsim.gen.internet import research_internet
 
 __all__ = ["run", "DEFAULT_SENSOR_COUNTS"]
 
@@ -29,17 +28,18 @@ def run(
 ) -> FigureResult:
     """Regenerate Figure 9: (diagnosability, specificity) scatter."""
     points = []
+    stats = RunnerStats()
     for n_sensors in sensor_counts:
         records = run_kind_batch(
-            topo_factory=lambda i: research_internet(seed=config.topo_seed + i),
-            placement_fn=lambda topo, rng: random_stub_placement(
-                topo, n_sensors, rng
-            ),
+            topo_factory=ResearchTopoFactory(topo_seed=config.topo_seed),
+            placement_fn=StubPlacement(n_sensors),
             kinds=("link-1",),
             diagnosers={"nd-edge": NetDiagnoser("nd-edge")},
             placements=config.placements,
             failures_per_placement=config.failures_per_placement,
             seed=config.seed + n_sensors,
+            workers=config.workers,
+            stats=stats,
         )
         for record in records["link-1"]:
             points.append(
@@ -71,4 +71,5 @@ def run(
     )
     result.summaries["specificity"] = summarize([y for _x, y in points])
     result.summaries["diagnosability"] = summarize([x for x, _y in points])
+    result.runner_stats = stats
     return result

@@ -1,0 +1,75 @@
+"""Picklable callables for parallel placement jobs.
+
+:func:`~repro.experiments.runner.run_kind_batch` ships its
+:class:`~repro.experiments.runner.PlacementJob` work units to worker
+processes, so the job callables (topology factory, placement function,
+AS-X selector) must survive pickling.  Lambdas don't; these small frozen
+dataclasses do, and they cover every configuration the figure harnesses
+use.  Anything with the same call signature works too — a module-level
+function, a ``functools.partial`` of one, or your own dataclass.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.measurement.sensors import random_stub_placement
+from repro.netsim.gen.internet import ResearchInternet, research_internet
+
+__all__ = [
+    "ResearchTopoFactory",
+    "StubPlacement",
+    "CoreAsx",
+    "RandomStubAsx",
+]
+
+
+@dataclass(frozen=True)
+class ResearchTopoFactory:
+    """``topo_factory``: a fresh research Internet per placement.
+
+    Seeds ``topo_seed + placement_index`` so every placement gets its own
+    topology draw, like the historical per-figure lambdas did.
+    """
+
+    topo_seed: int = 100
+    n_tier2: int = 22
+    n_stub: int = 140
+    tier2_style: str = "hubspoke"
+
+    def __call__(self, placement_index: int) -> ResearchInternet:
+        return research_internet(
+            n_tier2=self.n_tier2,
+            n_stub=self.n_stub,
+            seed=self.topo_seed + placement_index,
+            tier2_style=self.tier2_style,
+        )
+
+
+@dataclass(frozen=True)
+class StubPlacement:
+    """``placement_fn``: sensors at ``n_sensors`` random stub ASes."""
+
+    n_sensors: int = 10
+
+    def __call__(self, topo: ResearchInternet, rng: random.Random):
+        return random_stub_placement(topo, self.n_sensors, rng)
+
+
+@dataclass(frozen=True)
+class CoreAsx:
+    """``asx_selector``: AS-X is the ``index``-th core AS."""
+
+    index: int = 0
+
+    def __call__(self, topo: ResearchInternet, rng: random.Random) -> int:
+        return topo.core_asns[self.index]
+
+
+@dataclass(frozen=True)
+class RandomStubAsx:
+    """``asx_selector``: AS-X is a random stub AS (the §5.3 stub case)."""
+
+    def __call__(self, topo: ResearchInternet, rng: random.Random) -> int:
+        return rng.choice(topo.stub_asns)

@@ -14,8 +14,9 @@ from typing import TYPE_CHECKING, List, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.experiments.figures.base import FigureResult, Series
+    from repro.experiments.runner import RunnerStats
 
-__all__ = ["render_figure", "render_ascii_chart"]
+__all__ = ["render_figure", "render_ascii_chart", "render_runner_stats"]
 
 #: Marker characters assigned to series in order.
 _MARKERS = "ox+*#@%&"
@@ -61,6 +62,33 @@ def render_ascii_chart(
     return "\n".join(lines)
 
 
+def render_runner_stats(stats: "RunnerStats") -> str:
+    """Aligned accounting block for one batch's :class:`RunnerStats`.
+
+    Not part of a figure's golden output: every timing in it is
+    wall-clock, so it is rendered as an appendix after the series data.
+    """
+    speedup = (
+        (stats.setup_seconds + stats.scenario_seconds) / stats.wall_seconds
+        if stats.wall_seconds > 0
+        else 0.0
+    )
+    lines = [
+        "-- runner stats",
+        f"   workers={stats.workers}  placements={stats.placements}  "
+        f"records={stats.records}",
+        f"   scenarios: sampled={stats.scenarios_sampled}  "
+        f"rejected={stats.scenarios_rejected}  "
+        f"budget-exhaustions={stats.budget_exhaustions}",
+        f"   caches: trace={stats.trace_cache_entries}  "
+        f"routing={stats.routing_cache_entries}",
+        f"   time: setup={stats.setup_seconds:.2f}s  "
+        f"scenarios={stats.scenario_seconds:.2f}s  "
+        f"wall={stats.wall_seconds:.2f}s  (cpu/wall={speedup:.2f}x)",
+    ]
+    return "\n".join(lines)
+
+
 def render_figure(result: "FigureResult", chart: bool = True) -> str:
     """Render one figure's series, summaries and notes as text."""
     lines: List[str] = []
@@ -87,4 +115,7 @@ def render_figure(result: "FigureResult", chart: bool = True) -> str:
         lines.append("-- expected shape (from the paper)")
         for note in result.notes:
             lines.append(f"   * {note}")
+    if result.runner_stats is not None:
+        lines.append("")
+        lines.append(render_runner_stats(result.runner_stats))
     return "\n".join(lines)

@@ -4,14 +4,28 @@ One :class:`Session` is a sensor deployment over a topology (the paper's
 "sensor placement"); :func:`run_scenario` executes a sampled failure
 against it with a set of configured diagnosers and scores every diagnosis
 at link and AS granularity.  Figure modules drive batches of these runs.
+
+Batches are embarrassingly parallel across placements: each placement
+builds its own topology, session and RNG (seeded ``f"{seed}/{i}"``), so
+:func:`run_kind_batch` packages every placement as a self-contained
+:class:`PlacementJob` and can execute them through a
+``ProcessPoolExecutor`` (``workers=`` knob) with bit-identical results to
+the serial path.  Parallel execution requires the job callables
+(``topo_factory`` etc.) to be picklable — use the ready-made callables in
+:mod:`repro.experiments.jobs`; unpicklable jobs fall back to serial with
+a warning.
 """
 
 from __future__ import annotations
 
 import logging
+import os
+import pickle
 import random
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.diagnosability import diagnosability
 from repro.core.diagnoser import NetDiagnoser
@@ -39,12 +53,18 @@ __all__ = [
     "Session",
     "AlgorithmScore",
     "RunRecord",
+    "PlacementJob",
+    "PlacementResult",
+    "PlacementStats",
+    "RunnerStats",
     "make_session",
     "choose_blocked_ases",
     "ground_truth_links",
     "covered_ases",
     "run_scenario",
+    "build_placement_jobs",
     "run_kind_batch",
+    "resolve_workers",
 ]
 
 
@@ -258,6 +278,211 @@ def _score(
     )
 
 
+@dataclass
+class PlacementStats:
+    """Timing and accounting of one placement job."""
+
+    placement_index: int
+    records: int = 0
+    scenarios_sampled: int = 0
+    scenarios_rejected: int = 0
+    budget_exhaustions: int = 0
+    trace_cache_entries: int = 0
+    routing_cache_entries: int = 0
+    setup_seconds: float = 0.0
+    scenario_seconds: float = 0.0
+
+
+@dataclass
+class RunnerStats:
+    """Aggregated accounting of one :func:`run_kind_batch` call.
+
+    ``setup_seconds``/``scenario_seconds`` are summed over placements
+    (CPU-phase time); ``wall_seconds`` is the batch's wall clock, so under
+    ``workers > 1`` the phase sums exceed the wall time — that gap is the
+    parallel speedup.
+    """
+
+    workers: int = 1
+    placements: int = 0
+    records: int = 0
+    scenarios_sampled: int = 0
+    scenarios_rejected: int = 0
+    budget_exhaustions: int = 0
+    trace_cache_entries: int = 0
+    routing_cache_entries: int = 0
+    setup_seconds: float = 0.0
+    scenario_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    per_placement: List[PlacementStats] = field(default_factory=list)
+
+    def absorb(self, stats: PlacementStats) -> None:
+        """Fold one placement's accounting into the aggregate."""
+        self.placements += 1
+        self.records += stats.records
+        self.scenarios_sampled += stats.scenarios_sampled
+        self.scenarios_rejected += stats.scenarios_rejected
+        self.budget_exhaustions += stats.budget_exhaustions
+        self.trace_cache_entries += stats.trace_cache_entries
+        self.routing_cache_entries += stats.routing_cache_entries
+        self.setup_seconds += stats.setup_seconds
+        self.scenario_seconds += stats.scenario_seconds
+        self.per_placement.append(stats)
+
+
+@dataclass
+class PlacementResult:
+    """Records and accounting one :class:`PlacementJob` produced."""
+
+    placement_index: int
+    records: Dict[str, List[RunRecord]]
+    stats: PlacementStats
+
+
+@dataclass
+class PlacementJob:
+    """One placement of the paper's standard batch, self-contained.
+
+    Carries everything needed to build the topology, deploy the sensors
+    and run the failures-per-kind loop — so it can execute in a worker
+    process.  The RNG is seeded ``f"{seed}/{placement_index}"``, exactly
+    as the historical serial loop did, which is what makes parallel and
+    serial batches bit-identical.
+    """
+
+    placement_index: int
+    seed: int
+    topo_factory: object
+    placement_fn: object
+    kinds: Tuple[str, ...]
+    diagnosers: Mapping[str, NetDiagnoser]
+    failures_per_placement: int
+    asx_selector: object = None
+    blocked_fraction: float = 0.0
+    lg_fraction: Optional[float] = None
+    intra_failures_only: bool = False
+
+    def run(self) -> PlacementResult:
+        """Build the session and run every kind's sampling loop."""
+        started = time.perf_counter()
+        rng = random.Random(f"{self.seed}/{self.placement_index}")
+        topo = self.topo_factory(self.placement_index)
+        session = make_session(
+            topo,
+            self.placement_fn(topo, rng),
+            rng,
+            intra_failures_only=self.intra_failures_only,
+        )
+        asx = (
+            self.asx_selector(topo, rng)
+            if self.asx_selector is not None
+            else None
+        )
+        blocked = choose_blocked_ases(
+            session,
+            self.blocked_fraction,
+            rng,
+            protected=frozenset() if asx is None else frozenset({asx}),
+        )
+        lg_service = None
+        if self.lg_fraction is not None:
+            all_asns = [a.asn for a in session.net.ases()]
+            count = round(self.lg_fraction * len(all_asns))
+            lg_service = LookingGlassService(
+                session.net, rng.sample(all_asns, count)
+            )
+        stats = PlacementStats(placement_index=self.placement_index)
+        stats.setup_seconds = time.perf_counter() - started
+
+        records: Dict[str, List[RunRecord]] = {kind: [] for kind in self.kinds}
+        started = time.perf_counter()
+        for kind in self.kinds:
+            produced = 0
+            resample_budget = 5 * self.failures_per_placement
+            while produced < self.failures_per_placement and resample_budget > 0:
+                resample_budget -= 1
+                try:
+                    scenario = session.sampler.sample(kind)
+                except ScenarioError:
+                    break  # this placement cannot produce this kind at all
+                stats.scenarios_sampled += 1
+                try:
+                    record = run_scenario(
+                        session,
+                        scenario,
+                        self.diagnosers,
+                        asx=asx,
+                        blocked_ases=blocked,
+                        lg_service=lg_service,
+                    )
+                except ScenarioError:
+                    stats.scenarios_rejected += 1
+                    continue  # e.g. no failed link was probed: resample
+                records[kind].append(record)
+                produced += 1
+            if produced < self.failures_per_placement and resample_budget == 0:
+                stats.budget_exhaustions += 1
+        stats.scenario_seconds = time.perf_counter() - started
+        stats.records = sum(len(lst) for lst in records.values())
+        stats.trace_cache_entries = len(session.sim._trace_cache)
+        stats.routing_cache_entries = len(session.sim.engine._cache)
+        return PlacementResult(self.placement_index, records, stats)
+
+
+def _execute_placement_job(job: PlacementJob) -> PlacementResult:
+    """Module-level trampoline so executors pickle the job, not a method."""
+    return job.run()
+
+
+def build_placement_jobs(
+    topo_factory,
+    placement_fn,
+    kinds: Sequence[str],
+    diagnosers: Mapping[str, NetDiagnoser],
+    placements: int,
+    failures_per_placement: int,
+    seed: int,
+    asx_selector=None,
+    blocked_fraction: float = 0.0,
+    lg_fraction: Optional[float] = None,
+    intra_failures_only: bool = False,
+) -> List[PlacementJob]:
+    """The batch's work units, one per placement index."""
+    return [
+        PlacementJob(
+            placement_index=index,
+            seed=seed,
+            topo_factory=topo_factory,
+            placement_fn=placement_fn,
+            kinds=tuple(kinds),
+            diagnosers=dict(diagnosers),
+            failures_per_placement=failures_per_placement,
+            asx_selector=asx_selector,
+            blocked_fraction=blocked_fraction,
+            lg_fraction=lg_fraction,
+            intra_failures_only=intra_failures_only,
+        )
+        for index in range(placements)
+    ]
+
+
+def resolve_workers(workers: int, n_jobs: int) -> int:
+    """Effective worker count: ``0`` means all cores, capped at the jobs."""
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    return max(1, min(workers, n_jobs))
+
+
+def _jobs_picklable(jobs: Sequence[PlacementJob]) -> bool:
+    try:
+        pickle.dumps(list(jobs))
+    except (pickle.PicklingError, TypeError, AttributeError):
+        return False
+    return True
+
+
 def run_kind_batch(
     topo_factory,
     placement_fn,
@@ -270,6 +495,8 @@ def run_kind_batch(
     blocked_fraction: float = 0.0,
     lg_fraction: Optional[float] = None,
     intra_failures_only: bool = False,
+    workers: int = 1,
+    stats: Optional[RunnerStats] = None,
 ) -> Dict[str, List[RunRecord]]:
     """Run the paper's standard batch: placements × failures per kind.
 
@@ -279,51 +506,52 @@ def run_kind_batch(
     ``asx_selector(topo, rng)`` optionally returns AS-X's ASN;
     ``lg_fraction`` (when not None) equips that fraction of ASes with
     Looking Glasses and enables ND-LG inputs.
+
+    ``workers`` selects the execution backend: ``1`` (default) runs the
+    placements serially in-process, ``0`` uses every core, and ``n > 1``
+    fans the placement jobs out over a ``ProcessPoolExecutor``.  Results
+    are merged in placement order, so the record lists are bit-identical
+    to a serial run.  Callables must be picklable for ``workers != 1``
+    (see :mod:`repro.experiments.jobs`); unpicklable batches fall back to
+    serial execution with a warning.  ``stats`` (a :class:`RunnerStats`)
+    is populated with per-placement accounting when given.
     """
+    jobs = build_placement_jobs(
+        topo_factory,
+        placement_fn,
+        kinds,
+        diagnosers,
+        placements,
+        failures_per_placement,
+        seed,
+        asx_selector=asx_selector,
+        blocked_fraction=blocked_fraction,
+        lg_fraction=lg_fraction,
+        intra_failures_only=intra_failures_only,
+    )
+    wall_started = time.perf_counter()
+    n_workers = resolve_workers(workers, len(jobs))
+    if n_workers > 1 and not _jobs_picklable(jobs):
+        logger.warning(
+            "placement jobs are not picklable (lambda callables?); "
+            "falling back to serial execution — use the callables in "
+            "repro.experiments.jobs to enable workers=%d",
+            n_workers,
+        )
+        n_workers = 1
+    if n_workers > 1:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            results = list(pool.map(_execute_placement_job, jobs))
+    else:
+        results = [job.run() for job in jobs]
+
     records: Dict[str, List[RunRecord]] = {kind: [] for kind in kinds}
-    for placement_index in range(placements):
-        rng = random.Random(f"{seed}/{placement_index}")
-        topo = topo_factory(placement_index)
-        session = make_session(
-            topo,
-            placement_fn(topo, rng),
-            rng,
-            intra_failures_only=intra_failures_only,
-        )
-        asx = asx_selector(topo, rng) if asx_selector is not None else None
-        blocked = choose_blocked_ases(
-            session,
-            blocked_fraction,
-            rng,
-            protected=frozenset() if asx is None else frozenset({asx}),
-        )
-        lg_service = None
-        if lg_fraction is not None:
-            all_asns = [a.asn for a in session.net.ases()]
-            count = round(lg_fraction * len(all_asns))
-            lg_service = LookingGlassService(
-                session.net, rng.sample(all_asns, count)
-            )
+    for result in results:
         for kind in kinds:
-            produced = 0
-            resample_budget = 5 * failures_per_placement
-            while produced < failures_per_placement and resample_budget > 0:
-                resample_budget -= 1
-                try:
-                    scenario = session.sampler.sample(kind)
-                except ScenarioError:
-                    break  # this placement cannot produce this kind at all
-                try:
-                    record = run_scenario(
-                        session,
-                        scenario,
-                        diagnosers,
-                        asx=asx,
-                        blocked_ases=blocked,
-                        lg_service=lg_service,
-                    )
-                except ScenarioError:
-                    continue  # e.g. no failed link was probed: resample
-                records[kind].append(record)
-                produced += 1
+            records[kind].extend(result.records[kind])
+        if stats is not None:
+            stats.absorb(result.stats)
+    if stats is not None:
+        stats.workers = n_workers
+        stats.wall_seconds += time.perf_counter() - wall_started
     return records

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import random
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Sequence, Tuple
 
 from repro.core.diagnoser import NetDiagnoser
@@ -54,91 +56,111 @@ class ScalePoint:
     bgpigp_specificity: float
 
 
+def _scale_point(
+    size: Tuple[int, int], n_sensors: int, failures: int, seed: int
+) -> ScalePoint:
+    """Measure one topology size (self-contained: safe in a worker)."""
+    n_tier2, n_stub = size
+    rng = random.Random(f"scaling/{seed}/{n_tier2}/{n_stub}")
+    topo = research_internet(n_tier2=n_tier2, n_stub=n_stub, seed=seed)
+    session = make_session(
+        topo, random_stub_placement(topo, n_sensors, rng), rng
+    )
+
+    # Time a *fresh* engine: the session's own is already converged
+    # (the sampler probed the mesh during construction).
+    from repro.netsim.bgp import BgpEngine
+
+    sensor_asns = sorted(
+        topo.net.asn_of_router(s.router_id) for s in session.sensors
+    )
+    started = time.perf_counter()
+    BgpEngine.for_sensor_ases(topo.net, sensor_asns).converge(
+        NetworkState.nominal()
+    )
+    convergence = time.perf_counter() - started
+
+    started = time.perf_counter()
+    # The sampler already probed the mesh; time a fresh walk.
+    session.sim._trace_cache.clear()
+    for src in session.sensors:
+        for dst in session.sensors:
+            if src.sensor_id != dst.sensor_id:
+                session.sim.trace(
+                    session.base_state, src.router_id, dst.router_id
+                )
+    mesh = time.perf_counter() - started
+
+    diagnosers = {
+        "nd-edge": NetDiagnoser("nd-edge"),
+        "nd-bgpigp": NetDiagnoser("nd-bgpigp"),
+    }
+    sens, spec, bgpigp_spec, diag = [], [], [], []
+    diagnosis_time = 0.0
+    produced = 0
+    while produced < failures:
+        try:
+            scenario = session.sampler.sample("link-1")
+        except ScenarioError:
+            break
+        started = time.perf_counter()
+        try:
+            record = run_scenario(
+                session, scenario, diagnosers, asx=topo.core_asns[0]
+            )
+        except ScenarioError:
+            continue
+        diagnosis_time += time.perf_counter() - started
+        produced += 1
+        sens.append(record.scores["nd-edge"].link.sensitivity)
+        spec.append(record.scores["nd-edge"].link.specificity)
+        bgpigp_spec.append(record.scores["nd-bgpigp"].link.specificity)
+        diag.append(record.diagnosability)
+    if not produced:
+        raise ScenarioError(
+            f"no admissible failures at size ({n_tier2}, {n_stub})"
+        )
+    return ScalePoint(
+        n_tier2=n_tier2,
+        n_stub=n_stub,
+        n_ases=topo.net.num_ases,
+        n_routers=topo.net.num_routers,
+        n_links=topo.net.num_links,
+        convergence_seconds=convergence,
+        mesh_seconds=mesh,
+        diagnosis_seconds=diagnosis_time / produced,
+        diagnosability=mean(diag),
+        nd_edge_sensitivity=mean(sens),
+        nd_edge_specificity=mean(spec),
+        bgpigp_specificity=mean(bgpigp_spec),
+    )
+
+
 def scaling_sweep(
     sizes: Sequence[Tuple[int, int]] = DEFAULT_SIZES,
     n_sensors: int = 10,
     failures: int = 5,
     seed: int = 0,
+    workers: int = 1,
 ) -> List[ScalePoint]:
-    """Measure substrate cost and diagnosis quality across sizes."""
-    points: List[ScalePoint] = []
-    for n_tier2, n_stub in sizes:
-        rng = random.Random(f"scaling/{seed}/{n_tier2}/{n_stub}")
-        topo = research_internet(n_tier2=n_tier2, n_stub=n_stub, seed=seed)
-        session = make_session(
-            topo, random_stub_placement(topo, n_sensors, rng), rng
-        )
+    """Measure substrate cost and diagnosis quality across sizes.
 
-        # Time a *fresh* engine: the session's own is already converged
-        # (the sampler probed the mesh during construction).
-        from repro.netsim.bgp import BgpEngine
+    Each size is seeded independently (``f"scaling/{seed}/{size}"``), so
+    with ``workers > 1`` the points are computed in parallel processes;
+    every non-timing field matches the serial sweep exactly (the
+    ``*_seconds`` fields are wall-clock measurements and naturally vary
+    run to run).  ``workers=0`` uses every core.
+    """
+    from repro.experiments.runner import resolve_workers
 
-        sensor_asns = sorted(
-            topo.net.asn_of_router(s.router_id) for s in session.sensors
-        )
-        started = time.perf_counter()
-        BgpEngine.for_sensor_ases(topo.net, sensor_asns).converge(
-            NetworkState.nominal()
-        )
-        convergence = time.perf_counter() - started
-
-        started = time.perf_counter()
-        # The sampler already probed the mesh; time a fresh walk.
-        session.sim._trace_cache.clear()
-        for src in session.sensors:
-            for dst in session.sensors:
-                if src.sensor_id != dst.sensor_id:
-                    session.sim.trace(
-                        session.base_state, src.router_id, dst.router_id
-                    )
-        mesh = time.perf_counter() - started
-
-        diagnosers = {
-            "nd-edge": NetDiagnoser("nd-edge"),
-            "nd-bgpigp": NetDiagnoser("nd-bgpigp"),
-        }
-        sens, spec, bgpigp_spec, diag = [], [], [], []
-        diagnosis_time = 0.0
-        produced = 0
-        while produced < failures:
-            try:
-                scenario = session.sampler.sample("link-1")
-            except ScenarioError:
-                break
-            started = time.perf_counter()
-            try:
-                record = run_scenario(
-                    session, scenario, diagnosers, asx=topo.core_asns[0]
-                )
-            except ScenarioError:
-                continue
-            diagnosis_time += time.perf_counter() - started
-            produced += 1
-            sens.append(record.scores["nd-edge"].link.sensitivity)
-            spec.append(record.scores["nd-edge"].link.specificity)
-            bgpigp_spec.append(record.scores["nd-bgpigp"].link.specificity)
-            diag.append(record.diagnosability)
-        if not produced:
-            raise ScenarioError(
-                f"no admissible failures at size ({n_tier2}, {n_stub})"
-            )
-        points.append(
-            ScalePoint(
-                n_tier2=n_tier2,
-                n_stub=n_stub,
-                n_ases=topo.net.num_ases,
-                n_routers=topo.net.num_routers,
-                n_links=topo.net.num_links,
-                convergence_seconds=convergence,
-                mesh_seconds=mesh,
-                diagnosis_seconds=diagnosis_time / produced,
-                diagnosability=mean(diag),
-                nd_edge_sensitivity=mean(sens),
-                nd_edge_specificity=mean(spec),
-                bgpigp_specificity=mean(bgpigp_spec),
-            )
-        )
-    return points
+    point_fn = partial(
+        _scale_point, n_sensors=n_sensors, failures=failures, seed=seed
+    )
+    n_workers = resolve_workers(workers, len(list(sizes)))
+    if n_workers > 1:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            return list(pool.map(point_fn, sizes))
+    return [point_fn(size) for size in sizes]
 
 
 def render_scaling(points: Sequence[ScalePoint]) -> str:

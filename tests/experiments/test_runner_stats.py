@@ -58,6 +58,21 @@ class TestCoverage:
         }
         assert not blocked & sensor_asns
 
+    def test_blocked_choice_honors_multi_as_protected_set(
+        self, research_session
+    ):
+        rng = random.Random(2)
+        protected = frozenset(
+            covered_ases(research_session, research_session.base_state)
+        )
+        # Protecting the whole covered set leaves nothing to block, even
+        # at fraction 1.0 — AS-X never hides from itself, however large
+        # the protected set grows.
+        assert (
+            choose_blocked_ases(research_session, 1.0, rng, protected=protected)
+            == frozenset()
+        )
+
     def test_blocked_fraction_zero_is_empty(self, research_session):
         assert (
             choose_blocked_ases(research_session, 0.0, random.Random(1))

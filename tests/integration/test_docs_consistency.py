@@ -109,8 +109,10 @@ class TestReadmeCommandsAreReal:
             # by validating known subcommands/flags.
             if line.startswith("python -m repro.experiments"):
                 known = {"--figure", "--paper-scale", "--placements",
-                         "--failures", "--sensors", "--seed", "--topo-seed"}
+                         "--failures", "--sensors", "--seed", "--topo-seed",
+                         "--workers", "--json-out"}
                 flags = {a for a in argv if a.startswith("--")}
                 assert flags <= known, f"README documents unknown flag in: {line}"
             else:
-                assert argv[0] in {"topology", "diagnose", "replay"}, line
+                assert argv[0] in {"topology", "diagnose", "replay",
+                                   "scaling"}, line

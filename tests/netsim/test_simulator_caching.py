@@ -14,6 +14,46 @@ class TestCaches:
         assert state_a is not state_b
         assert fig2_sim.routing(state_a) is fig2_sim.routing(state_b)
 
+    def test_trace_cache_keyed_on_state_value(self, fig2, fig2_sim, nominal):
+        # Two distinct NetworkState objects with equal content must hit
+        # the same cache entry — the parallel runner relies on per-state
+        # value keying, not object identity.
+        lid = fig2.link_between("b1", "b2").lid
+        state_a = nominal.with_failed_links([lid])
+        state_b = nominal.with_failed_links([lid])
+        assert state_a is not state_b
+        src = fig2.sensor_routers["s1"]
+        dst = fig2.sensor_routers["s2"]
+        first = fig2_sim.trace(state_a, src, dst)
+        assert fig2_sim.trace(state_b, src, dst) is first
+
+    def test_mutated_state_does_not_return_stale_trace(
+        self, fig2, fig2_sim, nominal
+    ):
+        src = fig2.sensor_routers["s1"]
+        dst = fig2.sensor_routers["s2"]
+        healthy = fig2_sim.trace(nominal, src, dst)
+        # Fail a link on the healthy path: the changed state must miss
+        # the cache and the new trace must not walk the dead link.
+        on_path = {
+            frozenset(hop) for hop in zip(healthy.router_path(), healthy.router_path()[1:])
+        }
+        lid = next(
+            link.lid
+            for link in fig2.net.links()
+            if frozenset((link.a, link.b)) in on_path
+        )
+        failed = nominal.with_failed_links([lid])
+        rerouted = fig2_sim.trace(failed, src, dst)
+        assert rerouted is not healthy
+        dead = fig2.net.link(lid)
+        hops = list(zip(rerouted.router_path(), rerouted.router_path()[1:]))
+        assert frozenset((dead.a, dead.b)) not in {
+            frozenset(hop) for hop in hops
+        }
+        # The healthy entry stays cached and unclobbered.
+        assert fig2_sim.trace(nominal, src, dst) is healthy
+
     def test_trace_cache_distinguishes_blocked_sets(self, fig2, fig2_sim, nominal):
         src = fig2.sensor_routers["s1"]
         dst = fig2.sensor_routers["s2"]
