@@ -127,6 +127,7 @@ def greedy_hitting_set(
         iterations += 1
         best_score = 0
         scores: Dict[LinkToken, int] = {}
+        hit_sets: Dict[LinkToken, FrozenSet[int]] = {}
         for token in candidates:
             hit = ids_hit_by(token) & unexplained
             if not hit:
@@ -135,19 +136,41 @@ def greedy_hitting_set(
             for set_id in hit:
                 score += failure_weight if set_id < n_failures else reroute_weight
             scores[token] = score
+            # Equivalence class on *scored* evidence only: a set whose
+            # weight is zero contributes nothing to the ranking, so it
+            # must not make two otherwise-identical winners look
+            # distinguishable either.
+            hit_sets[token] = frozenset(
+                set_id
+                for set_id in hit
+                if (failure_weight if set_id < n_failures else reroute_weight)
+            )
             if score > best_score:
                 best_score = score
         if best_score <= 0:
             break  # remaining sets have no admissible candidate
-        # Algorithm 1 lines 13-17: add *every* maximum-score link.
+        # Algorithm 1 lines 13-17: add *every* maximum-score link.  Tied
+        # winners with the *same* hit-set are indistinguishable on the
+        # evidence and are all blamed (that is the point of the all-ties
+        # rule: the true link must not be dropped in favour of a peer of
+        # its equivalence class).  But a tied winner whose sets were all
+        # explained by *distinguishably different* earlier winners of the
+        # same iteration carries no evidence of its own — re-scored, it
+        # would no longer win — so adding it would inflate |H| beyond
+        # Algorithm 1's intent.
         winners = sorted(
             (t for t, score in scores.items() if score == best_score),
             key=sort_key,
         )
+        added_classes: Set[FrozenSet[int]] = set()
         for token in winners:
+            explains_new = bool(ids_hit_by(token) & unexplained)
+            if not explains_new and hit_sets[token] not in added_classes:
+                continue
             hypothesis.add(token)
             candidates.discard(token)
             unexplained -= ids_hit_by(token)
+            added_classes.add(hit_sets[token])
 
     all_sets = failures + reroutes
     leftover_f = [
@@ -173,9 +196,14 @@ def exact_hitting_set(
     """Exact minimum hitting set via branch and bound.
 
     Returns ``None`` when no admissible hitting set exists (every candidate
-    of some set is excluded) or when the expansion budget runs out —
-    callers treat both as "fall back to greedy".  Deterministic: branches
-    explore candidates in :func:`~repro.core.linkspace.sort_key` order.
+    of some set is excluded) or when the expansion budget truncated the
+    search — callers treat both as "fall back to greedy".  A truncated
+    search returns ``None`` even if *some* hitting set had already been
+    found: an unexplored branch could still hold a smaller one, so
+    returning the interim ``best`` would pass off a possibly non-minimal
+    set as the optimum (the optimality-gap ablation would then understate
+    greedy's gap).  Deterministic: branches explore candidates in
+    :func:`~repro.core.linkspace.sort_key` order.
     """
     excluded_set = frozenset(excluded)
     sets: List[TokenSet] = []
@@ -189,9 +217,11 @@ def exact_hitting_set(
 
     best: List[Optional[FrozenSet[LinkToken]]] = [None]
     budget = [max_expansions]
+    truncated = [False]
 
     def search(chosen: Set[LinkToken], remaining: List[TokenSet]) -> None:
         if budget[0] <= 0:
+            truncated[0] = True  # a branch was cut: `best` is unproven
             return
         budget[0] -= 1
         if best[0] is not None and len(chosen) >= len(best[0]):
@@ -207,6 +237,6 @@ def exact_hitting_set(
             chosen.discard(token)
 
     search(set(), sets)
-    if budget[0] <= 0 and best[0] is None:
+    if truncated[0]:
         return None
     return best[0]

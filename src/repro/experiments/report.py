@@ -67,11 +67,24 @@ def render_runner_stats(stats: "RunnerStats") -> str:
 
     Not part of a figure's golden output: every timing in it is
     wall-clock, so it is rendered as an appendix after the series data.
+    Phase times are labelled *CPU seconds* because they are summed over
+    every placement's (worker) process; only ``wall`` is the batch's
+    elapsed time, and under ``workers > 1`` the CPU total legitimately
+    exceeds it — their ratio is the realised parallel speedup.
     """
-    speedup = (
-        (stats.setup_seconds + stats.scenario_seconds) / stats.wall_seconds
-        if stats.wall_seconds > 0
-        else 0.0
+    from repro.experiments.stats import ratio
+
+    cpu_seconds = stats.setup_seconds + stats.scenario_seconds
+    speedup = ratio(cpu_seconds, stats.wall_seconds)
+    trace_rate = ratio(
+        stats.trace_cache_hits, stats.trace_cache_hits + stats.trace_cache_misses
+    )
+    routing_rate = ratio(
+        stats.routing_cache_hits,
+        stats.routing_cache_hits + stats.routing_cache_misses,
+    )
+    reuse_rate = ratio(
+        stats.prefixes_reused, stats.prefixes_reused + stats.prefixes_converged
     )
     lines = [
         "-- runner stats",
@@ -80,11 +93,23 @@ def render_runner_stats(stats: "RunnerStats") -> str:
         f"   scenarios: sampled={stats.scenarios_sampled}  "
         f"rejected={stats.scenarios_rejected}  "
         f"budget-exhaustions={stats.budget_exhaustions}",
-        f"   caches: trace={stats.trace_cache_entries}  "
-        f"routing={stats.routing_cache_entries}",
-        f"   time: setup={stats.setup_seconds:.2f}s  "
-        f"scenarios={stats.scenario_seconds:.2f}s  "
-        f"wall={stats.wall_seconds:.2f}s  (cpu/wall={speedup:.2f}x)",
+        f"   trace cache: entries={stats.trace_cache_entries}  "
+        f"hits={stats.trace_cache_hits}  misses={stats.trace_cache_misses}  "
+        f"evictions={stats.trace_cache_evictions}  "
+        f"(hit-rate={trace_rate:.2f})",
+        f"   routing cache: entries={stats.routing_cache_entries}  "
+        f"hits={stats.routing_cache_hits}  "
+        f"misses={stats.routing_cache_misses}  "
+        f"evictions={stats.routing_cache_evictions}  "
+        f"(hit-rate={routing_rate:.2f})",
+        f"   convergence: full={stats.full_converges}  "
+        f"incremental={stats.incremental_converges}  "
+        f"prefixes converged={stats.prefixes_converged}  "
+        f"reused={stats.prefixes_reused}  (reuse-rate={reuse_rate:.2f})",
+        f"   time: setup-cpu={stats.setup_seconds:.2f}s  "
+        f"scenarios-cpu={stats.scenario_seconds:.2f}s  "
+        f"(aggregate CPU seconds across {stats.workers} worker(s))",
+        f"   wall={stats.wall_seconds:.2f}s  (cpu/wall={speedup:.2f}x)",
     ]
     return "\n".join(lines)
 

@@ -280,7 +280,16 @@ def _score(
 
 @dataclass
 class PlacementStats:
-    """Timing and accounting of one placement job."""
+    """Timing and accounting of one placement job.
+
+    ``setup_seconds``/``scenario_seconds`` are CPU-phase time measured
+    inside the (possibly child) process running the placement.  The cache
+    and convergence counters mirror
+    :meth:`~repro.netsim.simulator.Simulator.cache_stats`:
+    ``prefixes_converged`` counts expensive per-prefix fixpoint runs,
+    ``prefixes_reused`` counts baseline RIBs shared by the engine's
+    incremental path.
+    """
 
     placement_index: int
     records: int = 0
@@ -288,19 +297,37 @@ class PlacementStats:
     scenarios_rejected: int = 0
     budget_exhaustions: int = 0
     trace_cache_entries: int = 0
+    trace_cache_hits: int = 0
+    trace_cache_misses: int = 0
+    trace_cache_evictions: int = 0
     routing_cache_entries: int = 0
+    routing_cache_hits: int = 0
+    routing_cache_misses: int = 0
+    routing_cache_evictions: int = 0
+    full_converges: int = 0
+    incremental_converges: int = 0
+    prefixes_converged: int = 0
+    prefixes_reused: int = 0
     setup_seconds: float = 0.0
     scenario_seconds: float = 0.0
+
+    def record_cache_stats(self, cache_stats: Mapping[str, int]) -> None:
+        """Copy a simulator's ``cache_stats()`` snapshot into the fields."""
+        for key, value in cache_stats.items():
+            if hasattr(self, key):
+                setattr(self, key, value)
 
 
 @dataclass
 class RunnerStats:
     """Aggregated accounting of one :func:`run_kind_batch` call.
 
-    ``setup_seconds``/``scenario_seconds`` are summed over placements
-    (CPU-phase time); ``wall_seconds`` is the batch's wall clock, so under
-    ``workers > 1`` the phase sums exceed the wall time — that gap is the
-    parallel speedup.
+    ``setup_seconds``/``scenario_seconds`` are **aggregate CPU seconds**:
+    per-phase time summed over every placement's (worker) process.
+    ``wall_seconds`` is the batch's wall clock as seen by the caller — the
+    only number comparable to "how long did it take".  Under
+    ``workers > 1`` the CPU sums legitimately exceed the wall time, and
+    the cpu/wall ratio is the realised parallel speedup.
     """
 
     workers: int = 1
@@ -310,23 +337,48 @@ class RunnerStats:
     scenarios_rejected: int = 0
     budget_exhaustions: int = 0
     trace_cache_entries: int = 0
+    trace_cache_hits: int = 0
+    trace_cache_misses: int = 0
+    trace_cache_evictions: int = 0
     routing_cache_entries: int = 0
+    routing_cache_hits: int = 0
+    routing_cache_misses: int = 0
+    routing_cache_evictions: int = 0
+    full_converges: int = 0
+    incremental_converges: int = 0
+    prefixes_converged: int = 0
+    prefixes_reused: int = 0
     setup_seconds: float = 0.0
     scenario_seconds: float = 0.0
     wall_seconds: float = 0.0
     per_placement: List[PlacementStats] = field(default_factory=list)
 
+    _SUMMED_FIELDS = (
+        "records",
+        "scenarios_sampled",
+        "scenarios_rejected",
+        "budget_exhaustions",
+        "trace_cache_entries",
+        "trace_cache_hits",
+        "trace_cache_misses",
+        "trace_cache_evictions",
+        "routing_cache_entries",
+        "routing_cache_hits",
+        "routing_cache_misses",
+        "routing_cache_evictions",
+        "full_converges",
+        "incremental_converges",
+        "prefixes_converged",
+        "prefixes_reused",
+        "setup_seconds",
+        "scenario_seconds",
+    )
+
     def absorb(self, stats: PlacementStats) -> None:
         """Fold one placement's accounting into the aggregate."""
         self.placements += 1
-        self.records += stats.records
-        self.scenarios_sampled += stats.scenarios_sampled
-        self.scenarios_rejected += stats.scenarios_rejected
-        self.budget_exhaustions += stats.budget_exhaustions
-        self.trace_cache_entries += stats.trace_cache_entries
-        self.routing_cache_entries += stats.routing_cache_entries
-        self.setup_seconds += stats.setup_seconds
-        self.scenario_seconds += stats.scenario_seconds
+        for name in self._SUMMED_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(stats, name))
         self.per_placement.append(stats)
 
 
@@ -424,8 +476,7 @@ class PlacementJob:
                 stats.budget_exhaustions += 1
         stats.scenario_seconds = time.perf_counter() - started
         stats.records = sum(len(lst) for lst in records.values())
-        stats.trace_cache_entries = len(session.sim._trace_cache)
-        stats.routing_cache_entries = len(session.sim.engine._cache)
+        stats.record_cache_stats(session.sim.cache_stats())
         return PlacementResult(self.placement_index, records, stats)
 
 

@@ -11,7 +11,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ReproError
 
-__all__ = ["cdf", "mean", "summarize", "binned_means"]
+__all__ = ["cdf", "mean", "ratio", "summarize", "binned_means"]
 
 
 def mean(values: Sequence[float]) -> float:
@@ -20,6 +20,16 @@ def mean(values: Sequence[float]) -> float:
     if not values:
         raise ReproError("mean of an empty value list")
     return sum(values) / len(values)
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator``, or ``0.0`` for an empty denominator.
+
+    Accounting rates (cache hit rates, cpu/wall speedups) legitimately
+    have zero denominators on empty batches — unlike :func:`mean`, a zero
+    is the honest rendering there, not a masked error.
+    """
+    return numerator / denominator if denominator else 0.0
 
 
 def cdf(values: Sequence[float]) -> List[Tuple[float, float]]:

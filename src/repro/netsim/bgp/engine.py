@@ -13,22 +13,66 @@ Each prefix converges independently, so the engine iterates per prefix:
 within a sweep every AS (in ascending ASN order) recomputes its best route
 from its neighbours' *current* selections; sweeps repeat until a full pass
 changes nothing.
+
+**Incremental re-convergence.**  The experiment loop converges a baseline
+state once and then many failure states derived from it.  A failure only
+perturbs the prefixes whose converged routes actually traverse the failed
+element: for Gao-Rexford-safe policies the stable state is *unique*, and
+removing links/routers/announcements that no selected route of a prefix
+uses leaves that prefix's old fixpoint a fixpoint of the degraded network
+— hence *the* solution.  The engine therefore records, per prefix, the
+inter-AS links its baseline routes were learned over (plus their endpoint
+routers and the origin AS's routers), and on a state that is a pure
+degradation of the baseline re-runs :meth:`_converge_prefix` only for
+prefixes whose dependency set intersects the newly failed/filtered
+elements; every other prefix shares the baseline's per-prefix RIB object.
+IGP weight overrides never enter the BGP decision process here, so they
+never trigger re-convergence.  Setting ``REPRO_FULL_CONVERGE=1`` in the
+environment forces the historical full recomputation for every state.
 """
 
 from __future__ import annotations
 
 import logging
+import os
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from repro.errors import ConvergenceError, RoutingError
 from repro.netsim.bgp import policy
 from repro.netsim.bgp.rib import RoutingState
 from repro.netsim.bgp.route import BgpRoute
+from repro.netsim.cache import LruCache
 from repro.netsim.topology import Internetwork, NetworkState, Relationship
 
-__all__ = ["BgpEngine"]
+__all__ = ["BgpEngine", "ConvergenceCounters", "DEFAULT_ROUTING_CACHE_CAPACITY"]
 
 logger = logging.getLogger(__name__)
+
+#: Converged states kept per engine; one baseline plus the live working set
+#: of failure states of a batch fit comfortably.
+DEFAULT_ROUTING_CACHE_CAPACITY = 256
+
+
+def full_converge_forced() -> bool:
+    """True when ``REPRO_FULL_CONVERGE`` disables the incremental path."""
+    return os.environ.get("REPRO_FULL_CONVERGE", "") not in ("", "0")
+
+
+@dataclass
+class ConvergenceCounters:
+    """Accounting of one engine's convergence work.
+
+    ``prefixes_converged`` counts :meth:`BgpEngine._converge_prefix` runs
+    (the expensive fixpoint sweeps); ``prefixes_reused`` counts prefixes
+    whose baseline routes were shared instead.  Their ratio is the direct
+    measure of what incremental re-convergence saves.
+    """
+
+    full_converges: int = 0
+    incremental_converges: int = 0
+    prefixes_converged: int = 0
+    prefixes_reused: int = 0
 
 
 class BgpEngine:
@@ -44,9 +88,22 @@ class BgpEngine:
         destinations the paper's measurements ever exercise — which keeps
         convergence cheap without changing any observable the algorithms
         consume.
+    cache_capacity:
+        Converged states kept in the LRU cache (``0`` = unbounded).  The
+        baseline state is pinned outside the cache and never evicted.
+    incremental:
+        Enables baseline-relative incremental re-convergence (see the
+        module docstring).  ``REPRO_FULL_CONVERGE=1`` overrides this at
+        call time.
     """
 
-    def __init__(self, net: Internetwork, prefixes: Mapping[str, int]) -> None:
+    def __init__(
+        self,
+        net: Internetwork,
+        prefixes: Mapping[str, int],
+        cache_capacity: int = DEFAULT_ROUTING_CACHE_CAPACITY,
+        incremental: bool = True,
+    ) -> None:
         self.net = net
         self._prefixes: Dict[str, int] = dict(prefixes)
         for prefix, asn in self._prefixes.items():
@@ -59,17 +116,30 @@ class BgpEngine:
                     f"prefix {prefix} is not the allocated prefix of AS {asn}"
                 )
         self._sessions = self._enumerate_sessions()
-        self._cache: Dict[NetworkState, RoutingState] = {}
+        self._cache: LruCache[NetworkState, RoutingState] = LruCache(
+            cache_capacity
+        )
+        self.incremental = incremental
+        self.counters = ConvergenceCounters()
+        # (state, routing) of the first converged state; dependency sets are
+        # derived from it lazily (prefix -> (inter link ids, router ids)).
+        self._baseline: Optional[Tuple[NetworkState, RoutingState]] = None
+        self._deps: Optional[
+            Dict[str, Tuple[FrozenSet[int], FrozenSet[int]]]
+        ] = None
 
     @classmethod
     def for_sensor_ases(
-        cls, net: Internetwork, asns: Mapping[int, None] | List[int]
+        cls,
+        net: Internetwork,
+        asns: Mapping[int, None] | List[int],
+        **kwargs,
     ) -> "BgpEngine":
         """Convenience constructor: converge the prefixes of ``asns``."""
         prefixes = {
             net.autonomous_system(asn).prefix: asn for asn in sorted(set(asns))
         }
-        return cls(net, prefixes)
+        return cls(net, prefixes, **kwargs)
 
     # ----------------------------------------------------------------- public
 
@@ -79,19 +149,120 @@ class BgpEngine:
         return dict(self._prefixes)
 
     def converge(self, state: NetworkState) -> RoutingState:
-        """Return the stable routing state under ``state`` (cached)."""
+        """Return the stable routing state under ``state`` (cached).
+
+        The first state ever converged becomes the engine's *baseline*:
+        it is pinned (never evicted) and later states that only add
+        failures/filters on top of it re-converge only the affected
+        prefixes (see the module docstring).
+        """
+        if self._baseline is not None and state == self._baseline[0]:
+            self._cache.hits += 1  # the pinned entry is logically cached
+            return self._baseline[1]
         cached = self._cache.get(state)
         if cached is not None:
             return cached
-        ribs: Dict[str, Dict[int, BgpRoute]] = {}
-        for prefix in sorted(self._prefixes):
-            ribs[prefix] = self._converge_prefix(prefix, state)
-        adj_out = self._compute_adj_out(ribs, state)
-        routing = RoutingState(ribs, adj_out, dict(self._prefixes))
-        self._cache[state] = routing
+        if self._baseline is None:
+            routing = self._full_converge(state)
+            self._baseline = (state, routing)
+            return routing
+        if (
+            self.incremental
+            and not full_converge_forced()
+            and self._is_degradation_of_baseline(state)
+        ):
+            routing = self._incremental_converge(state)
+        else:
+            routing = self._full_converge(state)
+        self._cache.put(state, routing)
         return routing
 
     # --------------------------------------------------------------- internal
+
+    def _full_converge(self, state: NetworkState) -> RoutingState:
+        """The historical path: fixpoint every prefix from scratch."""
+        ribs: Dict[str, Dict[int, BgpRoute]] = {}
+        for prefix in sorted(self._prefixes):
+            ribs[prefix] = self._converge_prefix(prefix, state)
+            self.counters.prefixes_converged += 1
+        adj_out = self._compute_adj_out(ribs, state)
+        self.counters.full_converges += 1
+        return RoutingState(ribs, adj_out, dict(self._prefixes))
+
+    def _is_degradation_of_baseline(self, state: NetworkState) -> bool:
+        """True when ``state`` only *adds* failures/filters to the baseline.
+
+        Monotone degradations are the only states the dependency argument
+        covers: elements coming back up could create routes anywhere, so
+        anything else falls back to a full recomputation.  IGP weight
+        overrides are ignored — the AS-level decision process never reads
+        them.
+        """
+        base = self._baseline[0]
+        return (
+            base.failed_links <= state.failed_links
+            and base.failed_routers <= state.failed_routers
+            and set(base.filters) <= set(state.filters)
+        )
+
+    def _dependencies(self) -> Dict[str, Tuple[FrozenSet[int], FrozenSet[int]]]:
+        """Per-prefix dependency sets derived from the baseline routing.
+
+        For each prefix: the inter-AS link ids its selected routes were
+        learned over (at fixpoint every AS's path is its ingress session
+        plus its neighbour's selected path, so the union of ``ingress_link``
+        over the RIB covers every link any selected route traverses), and
+        the router ids whose failure could perturb the prefix (endpoints of
+        those links, plus the origin AS's routers for origin aliveness).
+        """
+        if self._deps is None:
+            _, base_routing = self._baseline
+            deps: Dict[str, Tuple[FrozenSet[int], FrozenSet[int]]] = {}
+            for prefix, origin in self._prefixes.items():
+                links = {
+                    route.ingress_link
+                    for route in base_routing.rib(prefix).values()
+                    if route.ingress_link is not None
+                }
+                routers = set(self.net.autonomous_system(origin).router_ids)
+                for lid in links:
+                    link = self.net.link(lid)
+                    routers.add(link.a)
+                    routers.add(link.b)
+                deps[prefix] = (frozenset(links), frozenset(routers))
+            self._deps = deps
+        return self._deps
+
+    def _incremental_converge(self, state: NetworkState) -> RoutingState:
+        """Re-converge only the prefixes the state's new failures touch."""
+        base_state, base_routing = self._baseline
+        added_links = state.failed_links - base_state.failed_links
+        added_routers = state.failed_routers - base_state.failed_routers
+        base_filters = set(base_state.filters)
+        added_filters = [f for f in state.filters if f not in base_filters]
+        deps = self._dependencies()
+
+        ribs: Dict[str, Dict[int, BgpRoute]] = {}
+        for prefix in sorted(self._prefixes):
+            dep_links, dep_routers = deps[prefix]
+            affected = (
+                bool(added_links & dep_links)
+                or bool(added_routers & dep_routers)
+                or any(
+                    f.link_id in dep_links and prefix in f.prefixes
+                    for f in added_filters
+                )
+            )
+            if affected:
+                ribs[prefix] = self._converge_prefix(prefix, state)
+                self.counters.prefixes_converged += 1
+            else:
+                # Shares the baseline's per-prefix RIB object (read-only).
+                ribs[prefix] = base_routing.rib(prefix)
+                self.counters.prefixes_reused += 1
+        adj_out = self._compute_adj_out(ribs, state)
+        self.counters.incremental_converges += 1
+        return RoutingState(ribs, adj_out, dict(self._prefixes))
 
     def _enumerate_sessions(self) -> Dict[int, List[Tuple[int, int, int]]]:
         """Per-AS import sessions: asn -> [(link id, neighbor asn, own router)].

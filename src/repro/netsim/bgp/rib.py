@@ -48,6 +48,39 @@ class RoutingState:
             raise RoutingError(f"prefix {prefix} was not part of this convergence")
         return self._ribs[prefix].get(asn)
 
+    def rib(self, prefix: str) -> Dict[int, BgpRoute]:
+        """The per-prefix RIB: ``asn -> selected route`` (read-only).
+
+        The engine's incremental path *shares* these dicts between the
+        baseline and derived routing states, so callers must never mutate
+        the returned mapping.
+        """
+        if prefix not in self._ribs:
+            raise RoutingError(f"prefix {prefix} was not part of this convergence")
+        return self._ribs[prefix]
+
+    def shares_rib_with(self, other: "RoutingState", prefix: str) -> bool:
+        """True when both states hold the *same object* as ``prefix``'s RIB.
+
+        Object identity (not equality): this is how tests observe that
+        incremental re-convergence reused the baseline's routing objects
+        for an unaffected prefix.
+        """
+        return self.rib(prefix) is other.rib(prefix)
+
+    def equivalent_to(self, other: "RoutingState") -> bool:
+        """Value equality of the full routing content.
+
+        Compares every per-prefix RIB, the per-session Adj-RIB-Out and the
+        prefix origins — the exact identity the incremental engine must
+        preserve against a full recomputation.
+        """
+        return (
+            self._prefixes == other._prefixes
+            and self._ribs == other._ribs
+            and self._adj_out == other._adj_out
+        )
+
     def has_route(self, asn: int, prefix: str) -> bool:
         """True when ``asn`` holds any route towards ``prefix``."""
         return self.best(asn, prefix) is not None

@@ -12,16 +12,25 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional
 
-from repro.netsim.bgp.engine import BgpEngine
+from repro.netsim.bgp.engine import (
+    DEFAULT_ROUTING_CACHE_CAPACITY,
+    BgpEngine,
+)
 from repro.netsim.bgp.messages import BgpWithdrawal, withdrawals_observed_by
 from repro.netsim.bgp.rib import RoutingState
+from repro.netsim.cache import LruCache
 from repro.netsim.events import Event
 from repro.netsim.forwarding import IgpCache
 from repro.netsim.igp import igp_link_down_events
 from repro.netsim.topology import Internetwork, Link, NetworkState
 from repro.netsim.traceroute import TraceResult, trace_route
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "DEFAULT_TRACE_CACHE_CAPACITY"]
+
+#: Cached traceroutes kept per simulator.  A batch touches
+#: ``O(pairs × states)`` distinct keys; this default holds the working set
+#: of the standard figure batches while bounding week-long sweeps.
+DEFAULT_TRACE_CACHE_CAPACITY = 65536
 
 
 class Simulator:
@@ -36,14 +45,36 @@ class Simulator:
         (and AS-X).  Restricting convergence to the prefixes measurements
         actually target keeps the fixpoint cheap without changing any
         observable (see :class:`~repro.netsim.bgp.engine.BgpEngine`).
+    trace_cache_capacity:
+        Traceroutes kept in the LRU cache (``0`` = unbounded).
+    routing_cache_capacity:
+        Converged routing states kept by the BGP engine (``0`` =
+        unbounded; the baseline state is pinned regardless).
+    incremental:
+        Enables the engine's incremental re-convergence; overridden by
+        ``REPRO_FULL_CONVERGE=1``.
     """
 
-    def __init__(self, net: Internetwork, destination_asns: Iterable[int]) -> None:
+    def __init__(
+        self,
+        net: Internetwork,
+        destination_asns: Iterable[int],
+        trace_cache_capacity: int = DEFAULT_TRACE_CACHE_CAPACITY,
+        routing_cache_capacity: int = DEFAULT_ROUTING_CACHE_CAPACITY,
+        incremental: bool = True,
+    ) -> None:
         self.net = net
         self._dest_asns = tuple(sorted(set(destination_asns)))
-        self.engine = BgpEngine.for_sensor_ases(net, list(self._dest_asns))
+        self.engine = BgpEngine.for_sensor_ases(
+            net,
+            list(self._dest_asns),
+            cache_capacity=routing_cache_capacity,
+            incremental=incremental,
+        )
         self.igp_cache = IgpCache(net)
-        self._trace_cache: Dict[tuple, TraceResult] = {}
+        self._trace_cache: LruCache[tuple, TraceResult] = LruCache(
+            trace_cache_capacity
+        )
         self._mapper = net.ip_to_as_mapper()
 
     @property
@@ -89,8 +120,37 @@ class Simulator:
                 blocked_ases=blocked_ases,
                 igp_cache=self.igp_cache,
             )
-            self._trace_cache[key] = cached
+            self._trace_cache.put(key, cached)
         return cached
+
+    # ---------------------------------------------------------- accounting
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Flat counter snapshot of both caches and the convergence work.
+
+        Keys are prefixed ``trace_cache_*`` / ``routing_cache_*`` plus the
+        engine's :class:`~repro.netsim.bgp.engine.ConvergenceCounters`
+        fields — the exact numbers
+        :class:`~repro.experiments.runner.PlacementStats` records.
+        """
+        stats = {
+            f"trace_cache_{key}": value
+            for key, value in self._trace_cache.counters().items()
+        }
+        stats.update(
+            {
+                f"routing_cache_{key}": value
+                for key, value in self.engine._cache.counters().items()
+            }
+        )
+        counters = self.engine.counters
+        stats.update(
+            full_converges=counters.full_converges,
+            incremental_converges=counters.incremental_converges,
+            prefixes_converged=counters.prefixes_converged,
+            prefixes_reused=counters.prefixes_reused,
+        )
+        return stats
 
     # ------------------------------------------------------- control plane
 

@@ -57,13 +57,24 @@ class TraceResult:
     reached: bool
     failure_reason: Optional[str] = None
 
+    def __post_init__(self) -> None:
+        # Results live in the simulator's LRU cache and are re-read by every
+        # scenario that hits them, so the derived sequences are materialised
+        # once here instead of on every addresses()/router_path() call.
+        object.__setattr__(
+            self, "_addresses", tuple(hop.address for hop in self.hops)
+        )
+        object.__setattr__(
+            self, "_router_path", tuple(hop.router_id for hop in self.hops)
+        )
+
     def addresses(self) -> Tuple[Optional[str], ...]:
         """The address sequence as the sensor records it."""
-        return tuple(hop.address for hop in self.hops)
+        return self._addresses
 
     def router_path(self) -> Tuple[int, ...]:
         """Ground-truth router id sequence."""
-        return tuple(hop.router_id for hop in self.hops)
+        return self._router_path
 
 
 def trace_route(

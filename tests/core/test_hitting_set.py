@@ -107,6 +107,30 @@ class TestGreedy:
         b = greedy_hitting_set([[L(2), L(3), L(1)]])
         assert a.hypothesis == b.hypothesis
 
+    def test_redundant_tied_winner_is_skipped(self):
+        """A tied winner whose sets were all explained by *distinguishable*
+        earlier winners of the same iteration is not added.
+
+        L(1), L(2) and L(9) all tie at score 2.  In sort order L(1) and
+        L(2) are added first and between them explain every set; L(9)'s
+        hit-set {0, 1} matches neither L(1)'s {0, 2} nor L(2)'s {1, 2},
+        so it carries no evidence of its own and must be dropped rather
+        than inflate |H|.
+        """
+        sets = [[L(1), L(9)], [L(2), L(9)], [L(1), L(2)]]
+        result = greedy_hitting_set(sets)
+        assert result.hypothesis == frozenset({L(1), L(2)})
+        assert result.iterations == 1
+        assert result.fully_explained
+
+    def test_equivalence_class_ties_are_all_added(self):
+        """Tied winners with *identical* hit-sets are indistinguishable on
+        the evidence; dropping any of them could drop the true failed
+        link, so the whole class is blamed (sensitivity guarantee)."""
+        sets = [[L(1), L(2)], [L(1), L(2)], [L(3)]]
+        result = greedy_hitting_set(sets)
+        assert {L(1), L(2)} <= result.hypothesis
+
 
 class TestExact:
     def test_optimal_on_small_instance(self):
@@ -140,3 +164,14 @@ class TestExact:
     def test_budget_exhaustion_returns_none(self):
         sets = [[L(i), L(i + 1), L(i + 2)] for i in range(0, 30, 2)]
         assert exact_hitting_set(sets, max_expansions=3) is None
+
+    def test_truncated_search_discards_interim_best(self):
+        """If the budget cuts any branch, even an already-found hitting
+        set must not be returned: the unexplored branches could hold a
+        smaller one, and an interim answer would be passed off as the
+        optimum.  Here 4 expansions suffice to find the non-minimal
+        {L(1), L(2), L(3)} but not to reach the optimum {L(9)}."""
+        sets = [[L(1), L(9)], [L(2), L(9)], [L(3), L(9)]]
+        assert exact_hitting_set(sets, max_expansions=4) is None
+        # With budget to spare the optimum is found.
+        assert exact_hitting_set(sets) == frozenset({L(9)})

@@ -84,7 +84,8 @@ class TestGreedyInternals:
     def test_winner_ties_all_added_even_if_redundant(self):
         """Algorithm 1 adds every maximum-score link of the iteration,
         including ones whose sets were explained by an earlier winner of
-        the same iteration."""
+        the same iteration *when their hit-sets are identical* — the
+        links are indistinguishable on the evidence, so all are blamed."""
         a = ip_link("10.0.0.1", "10.0.0.2")
         b = ip_link("10.0.0.3", "10.0.0.4")
         result = greedy_hitting_set([[a, b]])

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.experiments.figures.base import FigureConfig, FigureResult, Series
-from repro.experiments.report import render_ascii_chart, render_figure
+from repro.experiments.report import (
+    render_ascii_chart,
+    render_figure,
+    render_runner_stats,
+)
+from repro.experiments.runner import RunnerStats
 
 
 @pytest.fixture
@@ -76,3 +81,44 @@ class TestFigureConfigDefaults:
         assert config.placements < 10
         assert config.failures_per_placement < 100
         assert config.n_sensors == 10
+
+
+class TestRenderRunnerStats:
+    def test_reports_caches_convergence_and_times(self):
+        stats = RunnerStats(
+            workers=2,
+            placements=4,
+            records=40,
+            scenarios_sampled=50,
+            scenarios_rejected=10,
+            trace_cache_entries=100,
+            trace_cache_hits=75,
+            trace_cache_misses=25,
+            trace_cache_evictions=5,
+            routing_cache_entries=20,
+            routing_cache_hits=30,
+            routing_cache_misses=10,
+            routing_cache_evictions=2,
+            full_converges=4,
+            incremental_converges=36,
+            prefixes_converged=120,
+            prefixes_reused=280,
+            setup_seconds=4.0,
+            scenario_seconds=8.0,
+            wall_seconds=6.0,
+        )
+        text = render_runner_stats(stats)
+        assert "trace cache:" in text and "(hit-rate=0.75)" in text
+        assert "routing cache:" in text and "evictions=2" in text
+        assert "convergence: full=4  incremental=36" in text
+        assert "(reuse-rate=0.70)" in text
+        # Phase times are aggregate CPU seconds; wall is reported apart.
+        assert "setup-cpu=4.00s" in text
+        assert "aggregate CPU seconds across 2 worker(s)" in text
+        assert "wall=6.00s" in text and "(cpu/wall=2.00x)" in text
+
+    def test_zero_denominators_render_as_zero_rates(self):
+        text = render_runner_stats(RunnerStats())
+        assert "(hit-rate=0.00)" in text
+        assert "(reuse-rate=0.00)" in text
+        assert "(cpu/wall=0.00x)" in text

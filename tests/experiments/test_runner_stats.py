@@ -7,13 +7,15 @@ import pytest
 from repro.core.diagnoser import NetDiagnoser
 from repro.errors import ReproError
 from repro.experiments.runner import (
+    PlacementStats,
+    RunnerStats,
     choose_blocked_ases,
     covered_ases,
     ground_truth_ases,
     ground_truth_links,
     run_scenario,
 )
-from repro.experiments.stats import binned_means, cdf, mean, summarize
+from repro.experiments.stats import binned_means, cdf, mean, ratio, summarize
 from repro.netsim.events import LinkFailureEvent
 
 
@@ -139,3 +141,57 @@ class TestStats:
 
     def test_binned_means_degenerate_x(self):
         assert binned_means([(0.5, 1.0), (0.5, 0.0)]) == [(0.5, 0.5)]
+
+    def test_ratio_tolerates_zero_denominator(self):
+        assert ratio(3.0, 4.0) == 0.75
+        assert ratio(3.0, 0.0) == 0.0
+
+
+class TestStatsAccounting:
+    def test_record_cache_stats_copies_known_keys_only(self):
+        stats = PlacementStats(placement_index=0)
+        stats.record_cache_stats(
+            {
+                "trace_cache_hits": 7,
+                "routing_cache_evictions": 2,
+                "prefixes_reused": 40,
+                "not_a_field": 99,
+            }
+        )
+        assert stats.trace_cache_hits == 7
+        assert stats.routing_cache_evictions == 2
+        assert stats.prefixes_reused == 40
+        assert not hasattr(stats, "not_a_field")
+
+    def test_absorb_sums_cache_and_convergence_counters(self):
+        total = RunnerStats(workers=2)
+        for index in range(2):
+            placement = PlacementStats(
+                placement_index=index,
+                records=5,
+                trace_cache_hits=10,
+                trace_cache_evictions=1,
+                routing_cache_misses=3,
+                full_converges=1,
+                incremental_converges=4,
+                prefixes_converged=20,
+                prefixes_reused=60,
+                setup_seconds=1.5,
+                scenario_seconds=2.5,
+            )
+            total.absorb(placement)
+        assert total.placements == 2
+        assert total.records == 10
+        assert total.trace_cache_hits == 20
+        assert total.trace_cache_evictions == 2
+        assert total.routing_cache_misses == 6
+        assert total.full_converges == 2
+        assert total.incremental_converges == 8
+        assert total.prefixes_converged == 40
+        assert total.prefixes_reused == 120
+        # Phase times sum across placements: aggregate CPU seconds, while
+        # wall_seconds stays whatever the batch caller measured.
+        assert total.setup_seconds == 3.0
+        assert total.scenario_seconds == 5.0
+        assert total.wall_seconds == 0.0
+        assert len(total.per_placement) == 2

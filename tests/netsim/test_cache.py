@@ -1,0 +1,70 @@
+"""Unit tests for the bounded LRU cache behind the simulation caches."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.netsim.cache import LruCache
+
+
+class TestLruCache:
+    def test_get_put_roundtrip_and_counters(self):
+        cache = LruCache(capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.counters() == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "entries": 1,
+        }
+
+    def test_eviction_drops_least_recently_used(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a": "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_put_refreshes_recency_without_evicting(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert: nothing evicted
+        assert cache.evictions == 0
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 10
+
+    def test_zero_capacity_is_unbounded(self):
+        cache = LruCache(capacity=0)
+        for index in range(1000):
+            cache.put(index, index)
+        assert len(cache) == 1000
+        assert cache.evictions == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ReproError):
+            LruCache(capacity=-1)
+
+    def test_clear_preserves_counters(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_contains_does_not_touch_recency_or_counters(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" in cache  # must NOT refresh "a"
+        assert cache.hits == 0 and cache.misses == 0
+        cache.put("c", 3)
+        assert "a" not in cache  # "a" was still the LRU entry
