@@ -16,6 +16,11 @@ Examples::
     # Sweep topology sizes in parallel worker processes (§5.3 study)
     python -m repro scaling --workers 0
 
+    # Sweep measurement fault rates and plot each algorithm's decay,
+    # checkpointing every completed placement so the sweep can resume
+    python -m repro degradation --rates 0 0.1 0.2 0.3 0.4 0.5 \
+        --journal sweep.journal --resume
+
     # Regenerate evaluation figures (delegates to repro.experiments)
     python -m repro.experiments --figure 6
 """
@@ -142,6 +147,44 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_rate(text: str) -> float:
+    """argparse type for --rates: probability in [0, 1]."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {text!r}"
+        ) from None
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"fault rate must be within [0, 1], got {value}"
+        )
+    return value
+
+
+def _cmd_degradation(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import degradation
+    from repro.experiments.figures.base import FigureConfig
+
+    config = FigureConfig(
+        seed=args.seed,
+        topo_seed=args.topo_seed,
+        placements=args.placements,
+        failures_per_placement=args.failures,
+        n_sensors=args.sensors,
+        workers=args.workers,
+    )
+    result = degradation.run(
+        config,
+        fault_rates=tuple(args.rates),
+        job_timeout=args.job_timeout,
+        journal=args.journal,
+        resume=args.resume,
+    )
+    print(result.render())
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     archive = json.loads(Path(args.scenario).read_text())
     if archive.get("format") != "repro-scenario-v1":
@@ -238,6 +281,46 @@ def main(argv=None) -> int:
         help="worker processes, one size point each (0 = all cores)",
     )
     scaling.set_defaults(func=_cmd_scaling)
+
+    degradation = sub.add_parser(
+        "degradation",
+        help="sweep measurement fault rates and report each algorithm's decay",
+    )
+    degradation.add_argument(
+        "--rates",
+        nargs="+",
+        type=_fault_rate,
+        default=[0.0, 0.1, 0.2, 0.3, 0.4, 0.5],
+        help="uniform fault rates to sweep (each in [0, 1])",
+    )
+    degradation.add_argument("--placements", type=int, default=3)
+    degradation.add_argument("--failures", type=int, default=10)
+    degradation.add_argument("--sensors", type=int, default=10)
+    degradation.add_argument("--seed", type=int, default=0)
+    degradation.add_argument("--topo-seed", type=int, default=100)
+    degradation.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=1,
+        help="worker processes per batch (0 = all cores, 1 = serial)",
+    )
+    degradation.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="per-placement wall-clock budget in seconds (workers > 1 only)",
+    )
+    degradation.add_argument(
+        "--journal",
+        default=None,
+        help="checkpoint base path; each rate appends to <journal>.rate<r>",
+    )
+    degradation.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed placements from the journal files",
+    )
+    degradation.set_defaults(func=_cmd_degradation)
 
     replay = sub.add_parser(
         "replay", help="re-diagnose an archived scenario file"

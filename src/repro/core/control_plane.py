@@ -50,12 +50,33 @@ class WithdrawalObservation:
 
 @dataclass(frozen=True)
 class ControlPlaneView:
-    """Everything AS-X's control plane contributed for one event."""
+    """Everything AS-X's control plane contributed for one event.
+
+    A lossy collector feed can silently eat messages; the loss/delay
+    counters make that visible to the diagnosis layer and the reports.
+    ``withdrawals_lost``/``igp_lost`` messages never arrived at all;
+    ``*_delayed`` ones arrived after the diagnosis deadline — either
+    way they are absent from the observation tuples, and the algorithms
+    must (and do) treat the feed as best-effort rather than complete.
+    """
 
     asx_asn: int
     igp_link_down: Tuple[IgpLinkDownObservation, ...] = ()
     withdrawals: Tuple[WithdrawalObservation, ...] = ()
+    withdrawals_lost: int = 0
+    withdrawals_delayed: int = 0
+    igp_lost: int = 0
+    igp_delayed: int = 0
 
     def is_empty(self) -> bool:
         """True when the control plane saw nothing useful."""
         return not (self.igp_link_down or self.withdrawals)
+
+    def is_degraded(self) -> bool:
+        """True when the feed is known to have missed messages."""
+        return bool(
+            self.withdrawals_lost
+            or self.withdrawals_delayed
+            or self.igp_lost
+            or self.igp_delayed
+        )

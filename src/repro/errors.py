@@ -17,6 +17,9 @@ __all__ = [
     "MeasurementError",
     "DiagnosisError",
     "ScenarioError",
+    "FaultInjectionError",
+    "ControlPlaneFeedError",
+    "JobTimeoutError",
 ]
 
 
@@ -60,3 +63,23 @@ class ScenarioError(ReproError):
     """A failure-scenario sampler could not produce an admissible scenario
     (e.g. no sampled failure combination causes an unreachability within
     the attempt budget)."""
+
+
+class FaultInjectionError(MeasurementError):
+    """An injected measurement-plane fault fired: the fault subsystem
+    signals transient conditions (a flaky or rate-limited Looking Glass,
+    a dead collector feed) with this type so callers can distinguish
+    "the measurement plane is misbehaving, degrade gracefully" from a
+    misconfigured experiment."""
+
+
+class ControlPlaneFeedError(FaultInjectionError):
+    """AS-X's control-plane feed (IGP listener / BGP route monitor) was
+    unavailable for the whole event window; no
+    :class:`~repro.core.control_plane.ControlPlaneView` could be
+    assembled.  Diagnosis proceeds without control-plane inputs."""
+
+
+class JobTimeoutError(ReproError):
+    """A placement job exceeded its wall-clock budget and was abandoned
+    (and retried, attempts permitting) by the resilient runner."""

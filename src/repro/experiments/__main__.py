@@ -15,7 +15,7 @@ import pathlib
 import sys
 import time
 
-from repro.experiments.figures import FIGURES, FigureConfig
+from repro.experiments.figures import FIGURES, FigureConfig, figure_sort_key
 from repro.serialize import figure_result_to_dict
 
 
@@ -40,7 +40,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--figure",
         default="all",
-        help="figure id (5..12) or 'all'",
+        help="figure id (5..12), 'degradation', or 'all'",
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument(
@@ -84,7 +84,11 @@ def main(argv=None) -> int:
         n_sensors=args.sensors,
         workers=args.workers,
     )
-    wanted = sorted(FIGURES, key=int) if args.figure == "all" else [args.figure]
+    wanted = (
+        sorted(FIGURES, key=figure_sort_key)
+        if args.figure == "all"
+        else [args.figure]
+    )
     for figure_id in wanted:
         if figure_id not in FIGURES:
             parser.error(f"unknown figure {figure_id!r}; choose from {sorted(FIGURES)}")

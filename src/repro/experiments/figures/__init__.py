@@ -6,6 +6,7 @@ and the benchmark suite).
 """
 
 from repro.experiments.figures import (
+    degradation,
     fig5_placement,
     fig6_tomo,
     fig7_ndedge,
@@ -26,13 +27,22 @@ FIGURES = {
     "10": fig10_bgpigp.run,
     "11": fig11_blocked.run,
     "12": fig12_lg.run,
+    "degradation": degradation.run,
 }
+
+
+def figure_sort_key(figure_id: str):
+    """Numeric figures first in numeric order, named harnesses after."""
+    return (0, int(figure_id), "") if figure_id.isdigit() else (1, 0, figure_id)
+
 
 __all__ = [
     "FIGURES",
     "FigureConfig",
     "FigureResult",
     "Series",
+    "figure_sort_key",
+    "degradation",
     "fig5_placement",
     "fig6_tomo",
     "fig7_ndedge",

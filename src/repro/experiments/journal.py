@@ -1,0 +1,110 @@
+"""Checkpoint journal for experiment sweeps.
+
+A week-long sweep must survive its host: the runner appends every
+completed placement's :class:`~repro.experiments.runner.PlacementResult`
+to an on-disk journal, and a re-run with ``resume=True`` replays the
+completed placements from disk and executes only the missing ones.
+Because every placement is a pure function of its job (seed-derived
+RNGs, no shared state), a resumed sweep's merged output is bit-identical
+to an uninterrupted run.
+
+The journal is a header record followed by one pickle per placement.
+Appends are flushed and fsync'd, so a crash loses at most the placement
+being written; a truncated trailing record is detected and ignored on
+load.  The header carries a fingerprint of the batch parameters — a
+journal written by a *different* sweep refuses to resume instead of
+silently mixing results.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.errors import ReproError
+
+__all__ = ["RunJournal"]
+
+logger = logging.getLogger(__name__)
+
+_FORMAT = "repro-run-journal-v1"
+
+
+class RunJournal:
+    """Append-only checkpoint store for one sweep's placement results.
+
+    Parameters
+    ----------
+    path:
+        Journal file location (created on first append).
+    fingerprint:
+        Any picklable, equality-comparable description of the batch
+        (seed, sizes, kinds, fault config...).  Loading a journal whose
+        fingerprint differs raises :class:`~repro.errors.ReproError`.
+    """
+
+    def __init__(self, path: Union[str, Path], fingerprint: Any) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def append(self, result: Any) -> None:
+        """Durably append one completed placement result."""
+        new_file = not self.path.exists()
+        with open(self.path, "ab") as handle:
+            if new_file:
+                pickle.dump(
+                    {"format": _FORMAT, "fingerprint": self.fingerprint},
+                    handle,
+                )
+            pickle.dump(result, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load_completed(self) -> Dict[int, Any]:
+        """Completed results by placement index; ``{}`` when absent.
+
+        A truncated trailing record (crash mid-append) is dropped with a
+        warning; everything before it is recovered.
+        """
+        if not self.path.exists():
+            return {}
+        completed: Dict[int, Any] = {}
+        with open(self.path, "rb") as handle:
+            try:
+                header = pickle.load(handle)
+            except (EOFError, pickle.UnpicklingError, AttributeError):
+                logger.warning("journal %s has no readable header; ignoring", self.path)
+                return {}
+            if (
+                not isinstance(header, dict)
+                or header.get("format") != _FORMAT
+            ):
+                raise ReproError(
+                    f"{self.path} is not a repro run journal (header {header!r})"
+                )
+            if header.get("fingerprint") != self.fingerprint:
+                raise ReproError(
+                    f"journal {self.path} was written by a different sweep "
+                    "(fingerprint mismatch); refusing to resume from it"
+                )
+            while True:
+                try:
+                    result = pickle.load(handle)
+                except EOFError:
+                    break
+                except (pickle.UnpicklingError, AttributeError, IndexError,
+                        ValueError) as exc:
+                    logger.warning(
+                        "journal %s has a truncated trailing record (%s); "
+                        "recovered %d placements",
+                        self.path, exc, len(completed),
+                    )
+                    break
+                completed[result.placement_index] = result
+        return completed

@@ -111,6 +111,39 @@ def render_runner_stats(stats: "RunnerStats") -> str:
         f"(aggregate CPU seconds across {stats.workers} worker(s))",
         f"   wall={stats.wall_seconds:.2f}s  (cpu/wall={speedup:.2f}x)",
     ]
+    if stats.any_faults_seen():
+        lines[-1:-1] = [
+            f"   faults: probes dropped={stats.probes_dropped}  "
+            f"truncated={stats.probes_truncated}  "
+            f"hops anonymized={stats.hops_anonymized}  "
+            f"sensors down={stats.sensors_down}  "
+            f"pairs discarded={stats.pairs_discarded}  "
+            f"failures masked={stats.masked_failures}",
+            f"   looking glass: failures={stats.lg_failures}  "
+            f"retries={stats.lg_retries}  exhausted={stats.lg_exhausted}  "
+            f"rate-limited={stats.lg_rate_limited}",
+            f"   control feed: outages={stats.feed_outages}  "
+            f"withdrawals lost={stats.withdrawals_lost}  "
+            f"delayed={stats.withdrawals_delayed}  "
+            f"igp lost={stats.igp_lost}  delayed={stats.igp_delayed}",
+            f"   degraded diagnoses={stats.degraded_diagnoses}",
+        ]
+    resilience = (
+        stats.jobs_timed_out,
+        stats.jobs_crashed,
+        stats.jobs_retried,
+        stats.jobs_failed,
+        stats.serial_fallbacks,
+        stats.placements_resumed,
+    )
+    if any(resilience):
+        lines.append(
+            f"   resilience: timed out={stats.jobs_timed_out}  "
+            f"crashed={stats.jobs_crashed}  retried={stats.jobs_retried}  "
+            f"failed={stats.jobs_failed}  "
+            f"serial fallbacks={stats.serial_fallbacks}  "
+            f"resumed={stats.placements_resumed}"
+        )
     return "\n".join(lines)
 
 

@@ -23,9 +23,22 @@ import os
 import pickle
 import random
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.core.diagnosability import diagnosability
 from repro.core.diagnoser import NetDiagnoser
@@ -33,7 +46,8 @@ from repro.core.graph import InferredGraph
 from repro.core.linkspace import PhysicalLink, physical_link
 from repro.core.metrics import MetricPair, as_projection, sensitivity, specificity
 from repro.core.result import DiagnosisResult
-from repro.errors import ScenarioError
+from repro.errors import ControlPlaneFeedError, JobTimeoutError, ScenarioError
+from repro.faults import DegradationReport, FaultConfig, FaultPlan
 from repro.measurement.collector import (
     collect_control_plane,
     make_lg_lookup,
@@ -45,6 +59,7 @@ from repro.netsim.gen.internet import ResearchInternet
 from repro.netsim.lookingglass import LookingGlassService
 from repro.netsim.simulator import Simulator
 from repro.netsim.topology import Internetwork, NetworkState
+from repro.experiments.journal import RunJournal
 from repro.experiments.scenarios import Scenario, ScenarioSampler
 
 logger = logging.getLogger(__name__)
@@ -65,7 +80,16 @@ __all__ = [
     "build_placement_jobs",
     "run_kind_batch",
     "resolve_workers",
+    "DEFAULT_MAX_JOB_RETRIES",
+    "DEFAULT_RETRY_BACKOFF_SECONDS",
 ]
+
+#: Total attempts per placement job = 1 + this many retries.
+DEFAULT_MAX_JOB_RETRIES = 2
+
+#: Base of the exponential backoff between job retries, in seconds
+#: (retry ``k`` waits ``base * 2**(k-1)``).
+DEFAULT_RETRY_BACKOFF_SECONDS = 0.5
 
 
 @dataclass
@@ -97,7 +121,13 @@ class AlgorithmScore:
 
 @dataclass
 class RunRecord:
-    """Everything recorded about one (placement, failure) run."""
+    """Everything recorded about one (placement, failure) run.
+
+    ``degradation`` is populated when the run executed under an active
+    fault plan: it accounts for every measurement the faults took away
+    and every diagnoser that had to settle for an empty best-effort
+    hypothesis.
+    """
 
     kind: str
     description: str
@@ -105,6 +135,7 @@ class RunRecord:
     n_failed_pairs: int
     n_rerouted_pairs: int
     scores: Dict[str, AlgorithmScore] = field(default_factory=dict)
+    degradation: Optional[DegradationReport] = None
 
 
 def make_session(
@@ -192,17 +223,36 @@ def run_scenario(
     asx: Optional[int] = None,
     blocked_ases: FrozenSet[int] = frozenset(),
     lg_service: Optional[LookingGlassService] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> RunRecord:
-    """Measure, diagnose with every configured diagnoser, and score."""
+    """Measure, diagnose with every configured diagnoser, and score.
+
+    With an active fault plan the run is *best-effort*: measurement
+    faults degrade the inputs, a control-feed outage degrades to
+    ``control=None``, and a diagnoser that cannot cope with the partial
+    inputs is scored with an empty hypothesis instead of crashing the
+    sweep.  Everything taken away is accounted on the record's
+    :class:`~repro.faults.DegradationReport`.
+    """
     sim, sensors = session.sim, session.sensors
     before, after = session.base_state, scenario.after_state
+    report = DegradationReport() if faults is not None else None
 
-    snapshot = take_snapshot(sim, sensors, before, after, blocked_ases)
-    control = (
-        collect_control_plane(sim, asx, before, after) if asx is not None else None
+    snapshot = take_snapshot(
+        sim, sensors, before, after, blocked_ases, faults=faults, report=report
     )
+    control = None
+    if asx is not None:
+        try:
+            control = collect_control_plane(
+                sim, asx, before, after, faults=faults, report=report
+            )
+        except ControlPlaneFeedError:
+            control = None  # diagnose without control-plane inputs
     lg_lookup = (
-        make_lg_lookup(sim, lg_service, before, after, asx=asx)
+        make_lg_lookup(
+            sim, lg_service, before, after, asx=asx, faults=faults, report=report
+        )
         if lg_service is not None
         else None
     )
@@ -234,9 +284,36 @@ def run_scenario(
         diagnosability=diagnosability(before_graph),
         n_failed_pairs=len(snapshot.failed_pairs()),
         n_rerouted_pairs=len(snapshot.rerouted_pairs()),
+        degradation=report,
     )
+    masked = faults is not None and not snapshot.any_failure()
+    if masked:
+        # The event did break pairs (the sampler admitted it) but the
+        # surviving measurements no longer show any unreachability —
+        # the faults masked the failure.  Nothing to hand the
+        # algorithms; every diagnoser scores an empty hypothesis.
+        report.masked_failures += 1
+        report.note("failure masked by measurement faults")
     for label, diagnoser in diagnosers.items():
-        result = diagnoser.diagnose(snapshot, control=control, lg_lookup=lg_lookup)
+        if masked:
+            result = _empty_result(label, diagnoser, before_graph)
+        elif faults is not None:
+            try:
+                result = diagnoser.diagnose(
+                    snapshot, control=control, lg_lookup=lg_lookup
+                )
+            except Exception as exc:  # best-effort: degrade, never crash
+                logger.debug(
+                    "%s failed on degraded inputs (%s: %s); scoring an "
+                    "empty hypothesis",
+                    label, type(exc).__name__, exc,
+                )
+                report.record_diagnoser_error(label)
+                result = _empty_result(label, diagnoser, before_graph)
+        else:
+            result = diagnoser.diagnose(
+                snapshot, control=control, lg_lookup=lg_lookup
+            )
         record.scores[label] = _score(
             result, snapshot.asn_of, visible_truth, truth_ases, universe_ases
         )
@@ -249,6 +326,18 @@ def run_scenario(
             record.scores[label].hypothesis_size,
         )
     return record
+
+
+def _empty_result(
+    label: str, diagnoser: NetDiagnoser, graph: InferredGraph
+) -> DiagnosisResult:
+    """Best-effort stand-in when a diagnosis could not run at all."""
+    return DiagnosisResult(
+        algorithm=diagnoser.variant,
+        hypothesis=frozenset(),
+        graph=graph,
+        details={"degraded": True},
+    )
 
 
 def _score(
@@ -308,6 +397,22 @@ class PlacementStats:
     incremental_converges: int = 0
     prefixes_converged: int = 0
     prefixes_reused: int = 0
+    probes_dropped: int = 0
+    probes_truncated: int = 0
+    hops_anonymized: int = 0
+    sensors_down: int = 0
+    pairs_discarded: int = 0
+    masked_failures: int = 0
+    lg_failures: int = 0
+    lg_retries: int = 0
+    lg_exhausted: int = 0
+    lg_rate_limited: int = 0
+    withdrawals_lost: int = 0
+    withdrawals_delayed: int = 0
+    igp_lost: int = 0
+    igp_delayed: int = 0
+    feed_outages: int = 0
+    degraded_diagnoses: int = 0
     setup_seconds: float = 0.0
     scenario_seconds: float = 0.0
 
@@ -316,6 +421,13 @@ class PlacementStats:
         for key, value in cache_stats.items():
             if hasattr(self, key):
                 setattr(self, key, value)
+
+    def record_degradation(self, report: Optional[DegradationReport]) -> None:
+        """Add one run's fault accounting into the placement counters."""
+        if report is None:
+            return
+        for key, value in report.as_dict().items():
+            setattr(self, key, getattr(self, key) + value)
 
 
 @dataclass
@@ -328,6 +440,14 @@ class RunnerStats:
     only number comparable to "how long did it take".  Under
     ``workers > 1`` the CPU sums legitimately exceed the wall time, and
     the cpu/wall ratio is the realised parallel speedup.
+
+    The resilience counters account for the batch executor itself:
+    placements that timed out (``jobs_timed_out``), died with their
+    worker process (``jobs_crashed``), were re-submitted
+    (``jobs_retried``), exhausted their retry budget (``jobs_failed``),
+    were replayed from a resume journal (``placements_resumed``), and
+    whole batches that degraded to serial because the jobs were not
+    picklable (``serial_fallbacks``).
     """
 
     workers: int = 1
@@ -348,6 +468,28 @@ class RunnerStats:
     incremental_converges: int = 0
     prefixes_converged: int = 0
     prefixes_reused: int = 0
+    probes_dropped: int = 0
+    probes_truncated: int = 0
+    hops_anonymized: int = 0
+    sensors_down: int = 0
+    pairs_discarded: int = 0
+    masked_failures: int = 0
+    lg_failures: int = 0
+    lg_retries: int = 0
+    lg_exhausted: int = 0
+    lg_rate_limited: int = 0
+    withdrawals_lost: int = 0
+    withdrawals_delayed: int = 0
+    igp_lost: int = 0
+    igp_delayed: int = 0
+    feed_outages: int = 0
+    degraded_diagnoses: int = 0
+    jobs_timed_out: int = 0
+    jobs_crashed: int = 0
+    jobs_retried: int = 0
+    jobs_failed: int = 0
+    serial_fallbacks: int = 0
+    placements_resumed: int = 0
     setup_seconds: float = 0.0
     scenario_seconds: float = 0.0
     wall_seconds: float = 0.0
@@ -370,9 +512,32 @@ class RunnerStats:
         "incremental_converges",
         "prefixes_converged",
         "prefixes_reused",
+        "probes_dropped",
+        "probes_truncated",
+        "hops_anonymized",
+        "sensors_down",
+        "pairs_discarded",
+        "masked_failures",
+        "lg_failures",
+        "lg_retries",
+        "lg_exhausted",
+        "lg_rate_limited",
+        "withdrawals_lost",
+        "withdrawals_delayed",
+        "igp_lost",
+        "igp_delayed",
+        "feed_outages",
+        "degraded_diagnoses",
         "setup_seconds",
         "scenario_seconds",
     )
+
+    def any_faults_seen(self) -> bool:
+        """True when any fault-injection counter is non-zero."""
+        return any(
+            getattr(self, name)
+            for name in DegradationReport._COUNTER_FIELDS
+        )
 
     def absorb(self, stats: PlacementStats) -> None:
         """Fold one placement's accounting into the aggregate."""
@@ -400,6 +565,13 @@ class PlacementJob:
     process.  The RNG is seeded ``f"{seed}/{placement_index}"``, exactly
     as the historical serial loop did, which is what makes parallel and
     serial batches bit-identical.
+
+    ``fault_config`` (when set and non-trivial) activates measurement
+    fault injection: the job derives a
+    :class:`~repro.faults.FaultPlan` seeded
+    ``f"{seed}/{placement_index}"`` and re-scopes it per sampled
+    scenario, so every fault draw is a pure function of the batch seed —
+    independent of worker count, scheduling, or resume.
     """
 
     placement_index: int
@@ -413,6 +585,7 @@ class PlacementJob:
     blocked_fraction: float = 0.0
     lg_fraction: Optional[float] = None
     intra_failures_only: bool = False
+    fault_config: Optional[FaultConfig] = None
 
     def run(self) -> PlacementResult:
         """Build the session and run every kind's sampling loop."""
@@ -443,6 +616,11 @@ class PlacementJob:
             lg_service = LookingGlassService(
                 session.net, rng.sample(all_asns, count)
             )
+        plan = (
+            FaultPlan(f"{self.seed}/{self.placement_index}", self.fault_config)
+            if self.fault_config is not None and self.fault_config.any_faults()
+            else None
+        )
         stats = PlacementStats(placement_index=self.placement_index)
         stats.setup_seconds = time.perf_counter() - started
 
@@ -458,6 +636,14 @@ class PlacementJob:
                 except ScenarioError:
                     break  # this placement cannot produce this kind at all
                 stats.scenarios_sampled += 1
+                # Each sampled scenario gets its own fault scope so the
+                # draws for scenario n never depend on how many probes
+                # scenario n-1 happened to send.
+                faults = (
+                    plan.scoped(f"{kind}/{stats.scenarios_sampled}")
+                    if plan is not None
+                    else None
+                )
                 try:
                     record = run_scenario(
                         session,
@@ -466,10 +652,12 @@ class PlacementJob:
                         asx=asx,
                         blocked_ases=blocked,
                         lg_service=lg_service,
+                        faults=faults,
                     )
                 except ScenarioError:
                     stats.scenarios_rejected += 1
                     continue  # e.g. no failed link was probed: resample
+                stats.record_degradation(record.degradation)
                 records[kind].append(record)
                 produced += 1
             if produced < self.failures_per_placement and resample_budget == 0:
@@ -497,6 +685,7 @@ def build_placement_jobs(
     blocked_fraction: float = 0.0,
     lg_fraction: Optional[float] = None,
     intra_failures_only: bool = False,
+    fault_config: Optional[FaultConfig] = None,
 ) -> List[PlacementJob]:
     """The batch's work units, one per placement index."""
     return [
@@ -512,6 +701,7 @@ def build_placement_jobs(
             blocked_fraction=blocked_fraction,
             lg_fraction=lg_fraction,
             intra_failures_only=intra_failures_only,
+            fault_config=fault_config,
         )
         for index in range(placements)
     ]
@@ -534,6 +724,209 @@ def _jobs_picklable(jobs: Sequence[PlacementJob]) -> bool:
     return True
 
 
+class _JobTracker:
+    """Retry accounting shared by the serial and parallel backends.
+
+    An attempt is charged when a job *fails* (crash, timeout, or
+    in-worker exception), never when it is merely re-submitted after a
+    pool rebuild took innocent bystanders down with it.  A job whose
+    charged attempts exceed ``max_retries`` is dropped from the sweep:
+    its absence costs one placement's records, not the batch.
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[PlacementJob],
+        max_retries: int,
+        backoff_base: float,
+        stats: Optional[RunnerStats],
+        journal: Optional[RunJournal],
+        sleep: Callable[[float], None],
+    ) -> None:
+        self.queue: List[PlacementJob] = list(jobs)
+        self.attempts: Dict[int, int] = {}
+        self.results: Dict[int, PlacementResult] = {}
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.stats = stats
+        self.journal = journal
+        self.sleep = sleep
+
+    def accept(self, result: PlacementResult) -> None:
+        self.results[result.placement_index] = result
+        if self.journal is not None:
+            self.journal.append(result)
+
+    def charge_failure(self, job: PlacementJob, reason: str) -> None:
+        """Count one failed attempt; requeue with backoff or drop."""
+        index = job.placement_index
+        self.attempts[index] = self.attempts.get(index, 0) + 1
+        if self.attempts[index] > self.max_retries:
+            if self.stats is not None:
+                self.stats.jobs_failed += 1
+            logger.error(
+                "placement %d failed permanently after %d attempts (%s); "
+                "continuing the sweep without it",
+                index, self.attempts[index], reason,
+            )
+            return
+        if self.stats is not None:
+            self.stats.jobs_retried += 1
+        logger.warning(
+            "placement %d attempt %d failed (%s); retrying",
+            index, self.attempts[index], reason,
+        )
+        if self.backoff_base > 0:
+            self.sleep(self.backoff_base * 2 ** (self.attempts[index] - 1))
+        self.queue.append(job)
+
+
+def _run_jobs_serial(tracker: _JobTracker) -> None:
+    """In-process execution with bounded retries.
+
+    A hard worker crash (``os._exit``) cannot be isolated without a
+    subprocess; serial mode only guards against exceptions.
+    """
+    while tracker.queue:
+        job = tracker.queue.pop(0)
+        try:
+            result = job.run()
+        except Exception as exc:
+            tracker.charge_failure(job, f"{type(exc).__name__}: {exc}")
+            continue
+        tracker.accept(result)
+
+
+def _rebuild_pool(
+    pool: ProcessPoolExecutor, n_workers: int
+) -> ProcessPoolExecutor:
+    """Replace a broken or clogged pool, reclaiming its worker processes.
+
+    ``shutdown(wait=True)`` would join workers that may be stuck in an
+    endless placement, so the processes are terminated first.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        proc.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+    return ProcessPoolExecutor(max_workers=n_workers)
+
+
+def _run_jobs_parallel(
+    tracker: _JobTracker, n_workers: int, job_timeout: Optional[float]
+) -> None:
+    """Crash-isolating, deadline-enforcing ProcessPoolExecutor loop.
+
+    A dead worker breaks the whole pool and fails every in-flight
+    future, so blame needs care: when more than one job was in flight,
+    all of them are re-run one at a time (``isolate``) — an innocent
+    job simply completes, and the culprit crashes alone, which is when
+    its retry budget is charged.  A job that exceeds ``job_timeout``
+    is charged immediately and its stuck worker is reclaimed by
+    rebuilding the pool; the other in-flight jobs are re-submitted
+    uncharged.
+    """
+    stats = tracker.stats
+    pool = ProcessPoolExecutor(max_workers=n_workers)
+    in_flight: Dict[object, Tuple[PlacementJob, Optional[float]]] = {}
+    isolate: List[PlacementJob] = []
+    try:
+        while tracker.queue or isolate or in_flight:
+            if isolate:
+                if not in_flight:
+                    job = isolate.pop(0)
+                    future = pool.submit(_execute_placement_job, job)
+                    deadline = (
+                        time.monotonic() + job_timeout if job_timeout else None
+                    )
+                    in_flight[future] = (job, deadline)
+            else:
+                while tracker.queue and len(in_flight) < n_workers:
+                    job = tracker.queue.pop(0)
+                    future = pool.submit(_execute_placement_job, job)
+                    deadline = (
+                        time.monotonic() + job_timeout if job_timeout else None
+                    )
+                    in_flight[future] = (job, deadline)
+            deadlines = [d for (_, d) in in_flight.values() if d is not None]
+            wait_timeout = (
+                max(0.0, min(deadlines) - time.monotonic())
+                if deadlines
+                else None
+            )
+            done, _ = wait(
+                set(in_flight), timeout=wait_timeout, return_when=FIRST_COMPLETED
+            )
+            broken = False
+            for future in done:
+                job, _deadline = in_flight.pop(future)
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    if len(done) == 1 and not in_flight:
+                        # The job was alone in flight: it is the culprit.
+                        tracker.charge_failure(job, "worker process died")
+                    else:
+                        isolate.append(job)
+                except Exception as exc:
+                    tracker.charge_failure(
+                        job, f"{type(exc).__name__}: {exc}"
+                    )
+                else:
+                    tracker.accept(result)
+            if broken:
+                # The pool is unusable and every remaining in-flight
+                # future is doomed; move the survivors to the isolation
+                # queue (uncharged) and start a fresh pool.
+                if stats is not None:
+                    stats.jobs_crashed += 1
+                for future, (job, _deadline) in list(in_flight.items()):
+                    isolate.append(job)
+                in_flight.clear()
+                pool = _rebuild_pool(pool, n_workers)
+                continue
+            # Enforce deadlines on whatever is still running.
+            now = time.monotonic()
+            expired = [
+                (future, job)
+                for future, (job, deadline) in in_flight.items()
+                if deadline is not None and now >= deadline and not future.done()
+            ]
+            if expired:
+                # The stuck workers can only be reclaimed by rebuilding
+                # the pool; innocent in-flight jobs are re-queued
+                # without touching their retry budget.
+                for future, job in expired:
+                    del in_flight[future]
+                    if stats is not None:
+                        stats.jobs_timed_out += 1
+                    tracker.charge_failure(
+                        job,
+                        str(
+                            JobTimeoutError(
+                                f"placement {job.placement_index} exceeded "
+                                f"its {job_timeout:g}s wall-clock budget"
+                            )
+                        ),
+                    )
+                for future, (job, _deadline) in list(in_flight.items()):
+                    if not future.done():
+                        tracker.queue.insert(0, job)
+                    else:
+                        # Completed in the window between wait() and now.
+                        try:
+                            tracker.accept(future.result())
+                        except Exception as exc:
+                            tracker.charge_failure(
+                                job, f"{type(exc).__name__}: {exc}"
+                            )
+                in_flight.clear()
+                pool = _rebuild_pool(pool, n_workers)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
 def run_kind_batch(
     topo_factory,
     placement_fn,
@@ -546,8 +939,15 @@ def run_kind_batch(
     blocked_fraction: float = 0.0,
     lg_fraction: Optional[float] = None,
     intra_failures_only: bool = False,
+    fault_config: Optional[FaultConfig] = None,
     workers: int = 1,
     stats: Optional[RunnerStats] = None,
+    job_timeout: Optional[float] = None,
+    max_job_retries: int = DEFAULT_MAX_JOB_RETRIES,
+    retry_backoff_seconds: float = DEFAULT_RETRY_BACKOFF_SECONDS,
+    journal: Union[RunJournal, str, Path, None] = None,
+    resume: bool = False,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> Dict[str, List[RunRecord]]:
     """Run the paper's standard batch: placements × failures per kind.
 
@@ -556,7 +956,9 @@ def run_kind_batch(
     ``placement_fn(topo, rng)`` returns gateway router ids;
     ``asx_selector(topo, rng)`` optionally returns AS-X's ASN;
     ``lg_fraction`` (when not None) equips that fraction of ASes with
-    Looking Glasses and enables ND-LG inputs.
+    Looking Glasses and enables ND-LG inputs; ``fault_config`` (when not
+    None and non-trivial) injects deterministic measurement-plane faults
+    into every run (see :mod:`repro.faults`).
 
     ``workers`` selects the execution backend: ``1`` (default) runs the
     placements serially in-process, ``0`` uses every core, and ``n > 1``
@@ -566,6 +968,17 @@ def run_kind_batch(
     (see :mod:`repro.experiments.jobs`); unpicklable batches fall back to
     serial execution with a warning.  ``stats`` (a :class:`RunnerStats`)
     is populated with per-placement accounting when given.
+
+    Resilience knobs: ``job_timeout`` bounds each placement's wall clock
+    (parallel backend only — serial mode cannot pre-empt itself);
+    ``max_job_retries`` re-runs a crashed/timed-out/raising placement
+    with exponential backoff (``retry_backoff_seconds * 2**k``) before
+    dropping it; a worker death fails at most the placements it was
+    running, never the sweep.  ``journal`` (a path or a
+    :class:`~repro.experiments.journal.RunJournal`) appends every
+    completed placement to disk; ``resume=True`` replays completed
+    placements from it and executes only the missing ones — merged
+    output is bit-identical to an uninterrupted run.
     """
     jobs = build_placement_jobs(
         topo_factory,
@@ -579,8 +992,29 @@ def run_kind_batch(
         blocked_fraction=blocked_fraction,
         lg_fraction=lg_fraction,
         intra_failures_only=intra_failures_only,
+        fault_config=fault_config,
     )
     wall_started = time.perf_counter()
+
+    if journal is not None and not isinstance(journal, RunJournal):
+        # Fingerprint every parameter that shapes the results; object
+        # identities (factories, diagnoser instances) are reduced to
+        # stable descriptions so resuming from another process works.
+        fingerprint = {
+            "seed": seed,
+            "placements": placements,
+            "failures_per_placement": failures_per_placement,
+            "kinds": tuple(kinds),
+            "diagnosers": tuple(
+                (label, d.variant) for label, d in diagnosers.items()
+            ),
+            "blocked_fraction": blocked_fraction,
+            "lg_fraction": lg_fraction,
+            "intra_failures_only": intra_failures_only,
+            "fault_config": fault_config,
+        }
+        journal = RunJournal(journal, fingerprint)
+
     n_workers = resolve_workers(workers, len(jobs))
     if n_workers > 1 and not _jobs_picklable(jobs):
         logger.warning(
@@ -589,15 +1023,35 @@ def run_kind_batch(
             "repro.experiments.jobs to enable workers=%d",
             n_workers,
         )
+        if stats is not None:
+            stats.serial_fallbacks += 1
         n_workers = 1
+
+    tracker = _JobTracker(
+        jobs, max_job_retries, retry_backoff_seconds, stats, journal, sleep
+    )
+    if resume and journal is not None:
+        completed = journal.load_completed()
+        if completed:
+            tracker.queue = [
+                job for job in jobs
+                if job.placement_index not in completed
+            ]
+            tracker.results.update(completed)
+            if stats is not None:
+                stats.placements_resumed += len(completed)
+            logger.info(
+                "resumed %d completed placements from %s; %d to run",
+                len(completed), journal.path, len(tracker.queue),
+            )
     if n_workers > 1:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            results = list(pool.map(_execute_placement_job, jobs))
+        _run_jobs_parallel(tracker, n_workers, job_timeout)
     else:
-        results = [job.run() for job in jobs]
+        _run_jobs_serial(tracker)
 
     records: Dict[str, List[RunRecord]] = {kind: [] for kind in kinds}
-    for result in results:
+    for index in sorted(tracker.results):
+        result = tracker.results[index]
         for kind in kinds:
             records[kind].extend(result.records[kind])
         if stats is not None:

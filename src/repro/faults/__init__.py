@@ -1,0 +1,21 @@
+"""Deterministic measurement-plane fault injection.
+
+The substrate normally hands every algorithm clean, complete inputs; the
+paper's realistic regime is the opposite — partial traceroutes, dead
+sensors, flaky Looking Glasses, lossy control-plane feeds.  This package
+supplies:
+
+* :class:`FaultConfig` — per-mode fault rates;
+* :class:`FaultPlan` — a seeded, order-independent fault schedule
+  (parallel sweeps inject bit-for-bit the same faults as serial ones);
+* :class:`DegradationReport` — per-run accounting of what was missing.
+
+Injection happens at the measurement seams (probing, sensors, Looking
+Glass, collector feeds); the diagnosis layer never sees this package,
+only the degraded inputs — exactly like a real deployment.
+"""
+
+from repro.faults.plan import FAULT_MODES, FaultConfig, FaultPlan
+from repro.faults.report import DegradationReport
+
+__all__ = ["FAULT_MODES", "FaultConfig", "FaultPlan", "DegradationReport"]

@@ -1,0 +1,253 @@
+"""Deterministic measurement-plane fault schedules.
+
+NetDiagnoser's evaluation assumes an imperfect measurement plane — ASes
+that block traceroute are only one fault mode (§3.4).  This module makes
+every other realistic imperfection injectable *and reproducible*: dropped
+and truncated traceroutes, anonymous ``'*'`` hops, sensor dropout, flaky
+or rate-limited Looking Glass servers, and lost/delayed control-plane
+feed messages.
+
+Determinism is the design constraint.  Every decision is a pure function
+of ``(plan seed, fault kind, decision key)``: the plan derives one
+:class:`random.Random` per decision from ``f"{seed}/{kind}/{key}"`` —
+the same seed-derivation idiom the experiment runner uses for its
+per-placement RNGs (``f"{seed}/{placement_index}"``) — so decisions do
+not depend on call order, process boundaries, or how many other faults
+fired first.  A parallel sweep therefore injects bit-for-bit the same
+faults as a serial one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+from typing import Optional, Tuple
+
+from repro.errors import FaultInjectionError
+
+__all__ = ["FaultConfig", "FaultPlan", "FAULT_MODES"]
+
+#: The five injectable fault modes, as named in reports and docs.
+FAULT_MODES = (
+    "traceroute",  # dropped/truncated probes, anonymous hops
+    "sensor",      # sensor dropout
+    "lg",          # flaky / rate-limited Looking Glasses
+    "bgp-feed",    # lost/delayed BGP withdrawal messages
+    "igp-feed",    # lost/delayed IGP link-down messages
+)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-mode fault rates, all probabilities in ``[0, 1]``.
+
+    The default instance injects nothing; :meth:`uniform` drives every
+    mode at one shared rate (the degradation-curve sweep's x axis).
+
+    Attributes
+    ----------
+    trace_drop_rate:
+        Probability that one (src, dst, epoch) traceroute is lost
+        entirely (probe host offline, ICMP filtered end-to-end).
+    trace_truncate_rate:
+        Probability that a traceroute stops mid-path: only a prefix of
+        its hops is reported and reachability becomes unknown (reported
+        as not reached — what a real truncated probe looks like).
+    hop_anon_rate:
+        Per-hop probability that an otherwise identified router answers
+        anonymously — an extra ``'*'`` on top of AS-level blocking.
+    sensor_dropout_rate:
+        Per-sensor probability that a sensor is down for the whole
+        event (contributes no probes in either epoch).
+    lg_failure_rate:
+        Per-attempt probability that a Looking Glass query fails
+        transiently (the collector retries with backoff).
+    lg_query_budget:
+        Maximum queries one AS's Looking Glass accepts per event before
+        rate-limiting every further query (``0`` = unlimited).
+    feed_outage_rate:
+        Probability that AS-X's whole control-plane feed is down for
+        the event (:class:`~repro.errors.ControlPlaneFeedError`).
+    withdrawal_loss_rate / withdrawal_delay_rate:
+        Per-message probability that a BGP withdrawal never reaches the
+        collector / arrives after the diagnosis deadline.
+    igp_loss_rate / igp_delay_rate:
+        The same for IGP link-down messages.
+    """
+
+    trace_drop_rate: float = 0.0
+    trace_truncate_rate: float = 0.0
+    hop_anon_rate: float = 0.0
+    sensor_dropout_rate: float = 0.0
+    lg_failure_rate: float = 0.0
+    lg_query_budget: int = 0
+    feed_outage_rate: float = 0.0
+    withdrawal_loss_rate: float = 0.0
+    withdrawal_delay_rate: float = 0.0
+    igp_loss_rate: float = 0.0
+    igp_delay_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if field.name == "lg_query_budget":
+                if value < 0:
+                    raise FaultInjectionError(
+                        f"lg_query_budget must be >= 0, got {value}"
+                    )
+            elif not 0.0 <= value <= 1.0:
+                raise FaultInjectionError(
+                    f"{field.name} must be a probability in [0, 1], got {value}"
+                )
+
+    @classmethod
+    def uniform(cls, rate: float) -> "FaultConfig":
+        """Every fault mode at the same rate (the degradation sweep)."""
+        return cls(
+            trace_drop_rate=rate,
+            trace_truncate_rate=rate,
+            hop_anon_rate=rate,
+            sensor_dropout_rate=rate,
+            lg_failure_rate=rate,
+            feed_outage_rate=rate,
+            withdrawal_loss_rate=rate,
+            withdrawal_delay_rate=rate,
+            igp_loss_rate=rate,
+            igp_delay_rate=rate,
+        )
+
+    def any_faults(self) -> bool:
+        """True when at least one mode can fire."""
+        return any(
+            getattr(self, field.name)
+            for field in fields(self)
+            if field.name != "lg_query_budget"
+        ) or bool(self.lg_query_budget)
+
+
+class FaultPlan:
+    """One deterministic fault schedule, derived from a seed.
+
+    A plan is cheap (seed string + config), picklable, and safe to share
+    or re-derive across processes: the decisions it hands out are a pure
+    function of its seed, never of its call history.  The runner builds
+    one plan per placement (``f"{seed}/{placement_index}"``) and scopes
+    it per sampled scenario (:meth:`scoped`), which is exactly what
+    keeps a ``workers=N`` sweep bit-identical to a serial one.
+    """
+
+    def __init__(self, seed: object, config: FaultConfig) -> None:
+        self.seed = str(seed)
+        self.config = config
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"FaultPlan(seed={self.seed!r}, config={self.config!r})"
+
+    def scoped(self, suffix: object) -> "FaultPlan":
+        """A sub-plan with an extended seed (per scenario, per kind...)."""
+        return FaultPlan(f"{self.seed}/{suffix}", self.config)
+
+    # ------------------------------------------------------------ decisions
+
+    def _rng(self, kind: str, *key: object) -> random.Random:
+        parts = "/".join(str(part) for part in key)
+        return random.Random(f"{self.seed}/{kind}/{parts}")
+
+    def _fires(self, rate: float, kind: str, *key: object) -> bool:
+        if rate <= 0.0:
+            return False
+        return self._rng(kind, *key).random() < rate
+
+    # -- traceroute plane
+
+    def drop_trace(self, src: str, dst: str, epoch: str) -> bool:
+        """Lose the (src, dst) traceroute of ``epoch`` entirely?"""
+        return self._fires(
+            self.config.trace_drop_rate, "trace-drop", src, dst, epoch
+        )
+
+    def truncate_trace(
+        self, src: str, dst: str, epoch: str, n_hops: int
+    ) -> Optional[int]:
+        """Hops to keep when this trace is truncated, else ``None``.
+
+        A truncated trace keeps a uniform non-empty strict prefix of its
+        hops, so there is always at least the first hop and never the
+        full path.
+        """
+        if n_hops < 2:
+            return None
+        rng = self._rng("trace-truncate", src, dst, epoch)
+        if self.config.trace_truncate_rate <= 0.0:
+            return None
+        if rng.random() >= self.config.trace_truncate_rate:
+            return None
+        return rng.randint(1, n_hops - 1)
+
+    def anonymize_hop(self, src: str, dst: str, epoch: str, index: int) -> bool:
+        """Does hop ``index`` of this trace answer anonymously?"""
+        return self._fires(
+            self.config.hop_anon_rate, "hop-anon", src, dst, epoch, index
+        )
+
+    # -- sensor plane
+
+    def sensor_down(self, address: str) -> bool:
+        """Is the sensor at ``address`` down for this event?"""
+        return self._fires(
+            self.config.sensor_dropout_rate, "sensor-down", address
+        )
+
+    # -- Looking Glass plane
+
+    def lg_attempt_fails(
+        self, asn: int, dst_address: str, epoch: str, attempt: int
+    ) -> bool:
+        """Does attempt number ``attempt`` of this LG query fail?"""
+        return self._fires(
+            self.config.lg_failure_rate, "lg-fail", asn, dst_address, epoch, attempt
+        )
+
+    # -- control-plane feeds
+
+    def feed_outage(self) -> bool:
+        """Is AS-X's whole control-plane feed down for this event?"""
+        return self._fires(self.config.feed_outage_rate, "feed-outage")
+
+    def lose_withdrawal(self, prefix: str, at: str, frm: str) -> bool:
+        return self._fires(
+            self.config.withdrawal_loss_rate, "wd-loss", prefix, at, frm
+        )
+
+    def delay_withdrawal(self, prefix: str, at: str, frm: str) -> bool:
+        return self._fires(
+            self.config.withdrawal_delay_rate, "wd-delay", prefix, at, frm
+        )
+
+    def lose_igp(self, address_a: str, address_b: str) -> bool:
+        return self._fires(
+            self.config.igp_loss_rate, "igp-loss", address_a, address_b
+        )
+
+    def delay_igp(self, address_a: str, address_b: str) -> bool:
+        return self._fires(
+            self.config.igp_delay_rate, "igp-delay", address_a, address_b
+        )
+
+    # ------------------------------------------------------------ plumbing
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FaultPlan)
+            and self.seed == other.seed
+            and self.config == other.config
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.seed, self.config))
+
+    def __getstate__(self) -> Tuple[str, FaultConfig]:
+        return (self.seed, self.config)
+
+    def __setstate__(self, state: Tuple[str, FaultConfig]) -> None:
+        self.seed, self.config = state

@@ -1,0 +1,97 @@
+"""Per-run accounting of what the fault plan took away.
+
+Graceful degradation is only trustworthy when it is *legible*: a run
+that silently lost half its probes reads like a bad algorithm instead of
+a bad measurement plane.  Every faulted measurement step increments a
+counter here; the report travels on the
+:class:`~repro.experiments.runner.RunRecord` and is folded into the
+batch-level :class:`~repro.experiments.runner.RunnerStats`, whose
+rendering surfaces the totals next to the accuracy numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, List
+
+__all__ = ["DegradationReport"]
+
+
+@dataclass
+class DegradationReport:
+    """What one diagnosis run had to live without.
+
+    ``diagnoser_errors`` maps algorithm label to the number of times its
+    diagnosis failed outright and an empty best-effort hypothesis was
+    scored instead; ``notes`` carries free-form one-liners ("control
+    feed outage") for humans reading a single run.
+    """
+
+    probes_dropped: int = 0
+    probes_truncated: int = 0
+    hops_anonymized: int = 0
+    sensors_down: int = 0
+    pairs_discarded: int = 0
+    masked_failures: int = 0
+    lg_failures: int = 0
+    lg_retries: int = 0
+    lg_exhausted: int = 0
+    lg_rate_limited: int = 0
+    withdrawals_lost: int = 0
+    withdrawals_delayed: int = 0
+    igp_lost: int = 0
+    igp_delayed: int = 0
+    feed_outages: int = 0
+    degraded_diagnoses: int = 0
+    diagnoser_errors: Dict[str, int] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    _COUNTER_FIELDS = (
+        "probes_dropped",
+        "probes_truncated",
+        "hops_anonymized",
+        "sensors_down",
+        "pairs_discarded",
+        "masked_failures",
+        "lg_failures",
+        "lg_retries",
+        "lg_exhausted",
+        "lg_rate_limited",
+        "withdrawals_lost",
+        "withdrawals_delayed",
+        "igp_lost",
+        "igp_delayed",
+        "feed_outages",
+        "degraded_diagnoses",
+    )
+
+    def is_degraded(self) -> bool:
+        """True when any fault actually fired on this run."""
+        return any(
+            getattr(self, name) for name in self._COUNTER_FIELDS
+        ) or bool(self.diagnoser_errors)
+
+    def note(self, message: str) -> None:
+        """Record a human-readable degradation event (deduplicated)."""
+        if message not in self.notes:
+            self.notes.append(message)
+
+    def record_diagnoser_error(self, label: str) -> None:
+        """One diagnoser failed on this run's partial inputs."""
+        self.degraded_diagnoses += 1
+        self.diagnoser_errors[label] = self.diagnoser_errors.get(label, 0) + 1
+
+    def merge(self, other: "DegradationReport") -> None:
+        """Fold another report's counters into this one."""
+        for name in self._COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for label, count in other.diagnoser_errors.items():
+            self.diagnoser_errors[label] = (
+                self.diagnoser_errors.get(label, 0) + count
+            )
+        for message in other.notes:
+            self.note(message)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat counter snapshot (the fields RunnerStats accumulates)."""
+        return {name: getattr(self, name) for name in self._COUNTER_FIELDS}

@@ -5,11 +5,22 @@ gathers the sensors' before/after meshes into a
 :class:`~repro.core.pathset.MeasurementSnapshot`, converts AS-X's routing
 messages into a :class:`~repro.core.control_plane.ControlPlaneView`, and
 binds Looking Glass queries into the callback signature ND-LG expects.
+
+The collector is also where graceful degradation is enforced.  Under an
+active :class:`~repro.faults.FaultPlan` the raw inputs are partial:
+probes vanish or truncate, sensors are down, feed messages are lost,
+Looking Glasses flake out.  The collector reconciles what survives into
+inputs that still satisfy the diagnosis layer's invariants — pairs
+without a clean T- baseline are discarded (and counted), LG queries are
+retried with exponential backoff under a max-attempts budget, and a
+whole-feed outage surfaces as a typed
+:class:`~repro.errors.ControlPlaneFeedError` instead of a crash deep in
+an algorithm.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional, Sequence, Tuple
+from typing import Callable, FrozenSet, Optional, Sequence, Tuple
 
 from repro.core.control_plane import (
     ControlPlaneView,
@@ -17,15 +28,69 @@ from repro.core.control_plane import (
     WithdrawalObservation,
 )
 from repro.core.nd_lg import LgLookup
-from repro.core.pathset import EPOCH_POST, EPOCH_PRE, MeasurementSnapshot
-from repro.errors import MeasurementError
+from repro.core.pathset import (
+    EPOCH_POST,
+    EPOCH_PRE,
+    MeasurementSnapshot,
+    PathStore,
+)
+from repro.errors import ControlPlaneFeedError, MeasurementError
+from repro.faults import DegradationReport, FaultPlan
 from repro.measurement.probing import probe_mesh
-from repro.measurement.sensors import Sensor
-from repro.netsim.lookingglass import LookingGlassService
+from repro.measurement.sensors import Sensor, surviving_sensors
+from repro.netsim.lookingglass import (
+    FlakyLookingGlassService,
+    LookingGlassRateLimited,
+    LookingGlassService,
+    LookingGlassUnavailable,
+)
 from repro.netsim.simulator import Simulator
 from repro.netsim.topology import NetworkState
 
-__all__ = ["take_snapshot", "collect_control_plane", "make_lg_lookup"]
+__all__ = [
+    "take_snapshot",
+    "collect_control_plane",
+    "make_lg_lookup",
+    "DEFAULT_LG_MAX_ATTEMPTS",
+    "DEFAULT_LG_BACKOFF_BASE",
+]
+
+#: Retry budget per Looking Glass query: first attempt + 3 retries.
+DEFAULT_LG_MAX_ATTEMPTS = 4
+
+#: Base of the exponential backoff schedule between LG retries, in
+#: seconds: attempt ``k`` waits ``base * 2**k``.  The simulation does not
+#: actually sleep unless a ``sleep`` callable is supplied.
+DEFAULT_LG_BACKOFF_BASE = 0.1
+
+
+def _reconcile_rounds(
+    before: PathStore, after: PathStore, report: Optional[DegradationReport]
+) -> Tuple[PathStore, PathStore]:
+    """Keep only pairs with a clean T- baseline measured in both rounds.
+
+    The troubleshooter is only invoked on previously-working pairs, and
+    the snapshot invariant requires both rounds to cover the same pairs.
+    Faults break both: a probe may be dropped in one epoch only, and a
+    truncated T- probe has no usable baseline.  Such pairs are discarded
+    from both rounds and counted — the diagnosis runs best-effort on
+    what remains.
+    """
+    kept = [
+        pair
+        for pair in before.pairs()
+        if pair in after and before.get(pair).reached
+    ]
+    discarded = len(set(before.pairs()) | set(after.pairs())) - len(kept)
+    if report is not None:
+        report.pairs_discarded += discarded
+    if not discarded:
+        return before, after
+    new_before, new_after = PathStore(), PathStore()
+    for pair in kept:
+        new_before.add(before.get(pair))
+        new_after.add(after.get(pair))
+    return new_before, new_after
 
 
 def take_snapshot(
@@ -34,14 +99,26 @@ def take_snapshot(
     before_state: NetworkState,
     after_state: NetworkState,
     blocked_ases: FrozenSet[int] = frozenset(),
+    faults: Optional[FaultPlan] = None,
+    report: Optional[DegradationReport] = None,
 ) -> MeasurementSnapshot:
-    """Probe the mesh at T- and T+ and assemble the snapshot."""
+    """Probe the mesh at T- and T+ and assemble the snapshot.
+
+    Under an active fault plan the surviving-sensor mesh is probed, the
+    scheduled traceroute faults applied, and the two rounds reconciled
+    so the snapshot invariants hold on whatever measurements survive.
+    """
     mapper = sim.mapper
-    return MeasurementSnapshot(
-        before=probe_mesh(sim, sensors, before_state, blocked_ases, EPOCH_PRE),
-        after=probe_mesh(sim, sensors, after_state, blocked_ases, EPOCH_POST),
-        asn_of=mapper.asn_of,
+    up = surviving_sensors(sensors, faults, report)
+    before = probe_mesh(
+        sim, up, before_state, blocked_ases, EPOCH_PRE, faults, report
     )
+    after = probe_mesh(
+        sim, up, after_state, blocked_ases, EPOCH_POST, faults, report
+    )
+    if faults is not None:
+        before, after = _reconcile_rounds(before, after, report)
+    return MeasurementSnapshot(before=before, after=after, asn_of=mapper.asn_of)
 
 
 def collect_control_plane(
@@ -49,27 +126,74 @@ def collect_control_plane(
     asx: int,
     before_state: NetworkState,
     after_state: NetworkState,
+    faults: Optional[FaultPlan] = None,
+    report: Optional[DegradationReport] = None,
 ) -> ControlPlaneView:
-    """AS-X's IGP link-down messages and BGP withdrawal log for one event."""
+    """AS-X's IGP link-down messages and BGP withdrawal log for one event.
+
+    A lossy feed drops or delays individual messages (counted on the
+    view and the report); a whole-feed outage raises
+    :class:`~repro.errors.ControlPlaneFeedError` — callers degrade to
+    diagnosing without control-plane inputs.
+    """
+    if faults is not None and faults.feed_outage():
+        if report is not None:
+            report.feed_outages += 1
+            report.note("control-plane feed outage")
+        raise ControlPlaneFeedError(
+            f"AS{asx}'s control-plane feed was down for this event"
+        )
     net = sim.net
-    igp_down = tuple(
-        IgpLinkDownObservation(
-            address_a=net.router(link.a).address,
-            address_b=net.router(link.b).address,
+    igp_down = []
+    igp_lost = igp_delayed = 0
+    for link in sim.igp_link_down(asx, after_state):
+        address_a = net.router(link.a).address
+        address_b = net.router(link.b).address
+        if faults is not None and faults.lose_igp(address_a, address_b):
+            igp_lost += 1
+            continue
+        if faults is not None and faults.delay_igp(address_a, address_b):
+            igp_delayed += 1
+            continue
+        igp_down.append(
+            IgpLinkDownObservation(address_a=address_a, address_b=address_b)
         )
-        for link in sim.igp_link_down(asx, after_state)
-    )
-    withdrawals = tuple(
-        WithdrawalObservation(
-            prefix=w.prefix,
-            at_address=net.router(w.at_router).address,
-            from_address=net.router(w.from_router).address,
-            from_asn=w.from_asn,
+    withdrawals = []
+    wd_lost = wd_delayed = 0
+    for w in sim.withdrawals(asx, before_state, after_state):
+        at_address = net.router(w.at_router).address
+        from_address = net.router(w.from_router).address
+        if faults is not None and faults.lose_withdrawal(
+            w.prefix, at_address, from_address
+        ):
+            wd_lost += 1
+            continue
+        if faults is not None and faults.delay_withdrawal(
+            w.prefix, at_address, from_address
+        ):
+            wd_delayed += 1
+            continue
+        withdrawals.append(
+            WithdrawalObservation(
+                prefix=w.prefix,
+                at_address=at_address,
+                from_address=from_address,
+                from_asn=w.from_asn,
+            )
         )
-        for w in sim.withdrawals(asx, before_state, after_state)
-    )
+    if report is not None:
+        report.igp_lost += igp_lost
+        report.igp_delayed += igp_delayed
+        report.withdrawals_lost += wd_lost
+        report.withdrawals_delayed += wd_delayed
     return ControlPlaneView(
-        asx_asn=asx, igp_link_down=igp_down, withdrawals=withdrawals
+        asx_asn=asx,
+        igp_link_down=tuple(igp_down),
+        withdrawals=tuple(withdrawals),
+        withdrawals_lost=wd_lost,
+        withdrawals_delayed=wd_delayed,
+        igp_lost=igp_lost,
+        igp_delayed=igp_delayed,
     )
 
 
@@ -79,6 +203,11 @@ def make_lg_lookup(
     before_state: NetworkState,
     after_state: NetworkState,
     asx: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
+    report: Optional[DegradationReport] = None,
+    max_attempts: int = DEFAULT_LG_MAX_ATTEMPTS,
+    backoff_base: float = DEFAULT_LG_BACKOFF_BASE,
+    sleep: Optional[Callable[[float], None]] = None,
 ) -> LgLookup:
     """Bind Looking Glass queries into ND-LG's callback signature.
 
@@ -87,9 +216,49 @@ def make_lg_lookup(
     prefix under the matching routing state.  AS-X itself needs no public
     LG — it reads its own BGP table — so queries for ``asx`` bypass the
     availability check.
+
+    Under an active fault plan the service is wrapped in a
+    :class:`~repro.netsim.lookingglass.FlakyLookingGlassService` and
+    each query is retried up to ``max_attempts`` times with exponential
+    backoff (``backoff_base * 2**attempt``; pass ``sleep=time.sleep`` to
+    wait in real time — the default records the schedule without
+    sleeping, since simulated Looking Glasses answer instantly).  A
+    rate-limited AS or an exhausted retry budget degrades to ``None`` —
+    to ND-LG, indistinguishable from an AS with no Looking Glass at all.
     """
+    if max_attempts < 1:
+        raise MeasurementError(
+            f"LG retry budget must allow at least one attempt, got {max_attempts}"
+        )
     mapper = sim.mapper
     states = {EPOCH_PRE: before_state, EPOCH_POST: after_state}
+    flaky = (
+        FlakyLookingGlassService(lg_service, faults)
+        if faults is not None
+        else None
+    )
+
+    def query_with_retries(asn, prefix, routing, dst_address, epoch):
+        for attempt in range(max_attempts):
+            try:
+                return flaky.query(
+                    asn, prefix, routing, dst_address, epoch, attempt
+                )
+            except LookingGlassRateLimited:
+                if report is not None:
+                    report.lg_rate_limited += 1
+                return None
+            except LookingGlassUnavailable:
+                if report is not None:
+                    report.lg_failures += 1
+                if attempt + 1 < max_attempts:
+                    if report is not None:
+                        report.lg_retries += 1
+                    if sleep is not None:
+                        sleep(backoff_base * (2 ** attempt))
+        if report is not None:
+            report.lg_exhausted += 1
+        return None
 
     def lookup(asn: int, dst_address: str, epoch: str) -> Optional[Tuple[int, ...]]:
         if epoch not in states:
@@ -98,10 +267,14 @@ def make_lg_lookup(
         if prefix is None:
             return None
         routing = sim.routing(states[epoch])
+        if asx is not None and asn == asx:
+            if prefix not in routing.prefixes:
+                return None
+            return routing.as_path(asn, prefix)
         if prefix not in routing.prefixes:
             return None
-        if asx is not None and asn == asx:
-            return routing.as_path(asn, prefix)
-        return lg_service.query(asn, prefix, routing)
+        if flaky is None:
+            return lg_service.query(asn, prefix, routing)
+        return query_with_retries(asn, prefix, routing, dst_address, epoch)
 
     return lookup

@@ -7,17 +7,26 @@ runs that mesh against the simulator and assembles the
 addresses with sensor endpoints attached, stars materialised as
 :class:`~repro.core.linkspace.UhNode` tokens carrying (pair, epoch,
 position) identity.
+
+When a :class:`~repro.faults.FaultPlan` is supplied, each probe passes
+through the measurement-plane faults it schedules — a dropped probe
+yields no path at all, a truncated one a strict prefix with unknown
+reachability, and anonymous hops become extra UH tokens — with every
+degradation counted on the caller's
+:class:`~repro.faults.DegradationReport`.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Sequence
+from typing import FrozenSet, List, Optional, Sequence
 
 from repro.core.linkspace import Endpoint, UhNode
 from repro.core.pathset import EPOCH_PRE, PathStore, ProbePath
+from repro.faults import DegradationReport, FaultPlan
 from repro.measurement.sensors import Sensor
 from repro.netsim.simulator import Simulator
 from repro.netsim.topology import NetworkState
+from repro.netsim.traceroute import degrade_trace
 
 __all__ = ["probe_mesh", "probe_pair"]
 
@@ -29,11 +38,39 @@ def probe_pair(
     state: NetworkState,
     blocked_ases: FrozenSet[int] = frozenset(),
     epoch: str = EPOCH_PRE,
-) -> ProbePath:
-    """One traceroute from sensor ``src`` to sensor ``dst``."""
+    faults: Optional[FaultPlan] = None,
+    report: Optional[DegradationReport] = None,
+) -> Optional[ProbePath]:
+    """One traceroute from sensor ``src`` to sensor ``dst``.
+
+    Returns ``None`` when the fault plan drops this probe entirely.
+    """
+    if faults is not None and faults.drop_trace(src.address, dst.address, epoch):
+        if report is not None:
+            report.probes_dropped += 1
+        return None
     trace = sim.trace(state, src.router_id, dst.router_id, blocked_ases)
-    raw: List[Endpoint] = [src.address]
-    raw.extend(hop.address for hop in trace.hops)  # type: ignore[arg-type]
+    if faults is not None:
+        keep = faults.truncate_trace(
+            src.address, dst.address, epoch, len(trace.hops)
+        )
+        anonymize = frozenset(
+            index
+            for index in range(len(trace.hops) if keep is None else keep)
+            if faults.anonymize_hop(src.address, dst.address, epoch, index)
+        )
+        degraded = degrade_trace(trace, truncate_at=keep, anonymize=anonymize)
+        if report is not None:
+            if keep is not None:
+                report.probes_truncated += 1
+            report.hops_anonymized += sum(
+                1
+                for clean, dirty in zip(trace.hops, degraded.hops)
+                if clean.identified and not dirty.identified
+            )
+        trace = degraded
+    raw: List[Optional[Endpoint]] = [src.address]
+    raw.extend(hop.address for hop in trace.hops)
     if trace.reached:
         raw.append(dst.address)
     hops: List[Endpoint] = []
@@ -59,12 +96,23 @@ def probe_mesh(
     state: NetworkState,
     blocked_ases: FrozenSet[int] = frozenset(),
     epoch: str = EPOCH_PRE,
+    faults: Optional[FaultPlan] = None,
+    report: Optional[DegradationReport] = None,
 ) -> PathStore:
-    """The full measurement mesh: one probe per ordered sensor pair."""
+    """The full measurement mesh: one probe per ordered sensor pair.
+
+    Probes the fault plan dropped are simply absent from the store — the
+    collector reconciles the before/after rounds over the surviving
+    pairs.
+    """
     store = PathStore()
     for src in sensors:
         for dst in sensors:
             if src.sensor_id == dst.sensor_id:
                 continue
-            store.add(probe_pair(sim, src, dst, state, blocked_ases, epoch))
+            path = probe_pair(
+                sim, src, dst, state, blocked_ases, epoch, faults, report
+            )
+            if path is not None:
+                store.add(path)
     return store

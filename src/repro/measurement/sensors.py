@@ -18,15 +18,19 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.errors import MeasurementError
 from repro.netsim.gen.internet import ResearchInternet
 from repro.netsim.topology import Internetwork
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.faults import DegradationReport, FaultPlan
+
 __all__ = [
     "Sensor",
     "deploy_sensors",
+    "surviving_sensors",
     "random_stub_placement",
     "same_as_placement",
     "distant_as_placement",
@@ -62,6 +66,25 @@ def deploy_sensors(net: Internetwork, router_ids: Sequence[int]) -> List[Sensor]
             )
         )
     return sensors
+
+
+def surviving_sensors(
+    sensors: Sequence[Sensor],
+    faults: Optional["FaultPlan"] = None,
+    report: Optional["DegradationReport"] = None,
+) -> List[Sensor]:
+    """The sensors still up under the fault plan's dropout schedule.
+
+    Dropout is decided once per sensor address per plan, so both
+    measurement epochs see the same surviving overlay — a sensor that is
+    down misses the whole event, it does not flap between T- and T+.
+    """
+    if faults is None:
+        return list(sensors)
+    up = [s for s in sensors if not faults.sensor_down(s.address)]
+    if report is not None:
+        report.sensors_down += len(sensors) - len(up)
+    return up
 
 
 def random_stub_placement(

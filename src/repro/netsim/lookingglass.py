@@ -10,13 +10,45 @@ as a constructor argument.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
-from repro.errors import MeasurementError
+from repro.errors import FaultInjectionError, MeasurementError
+from repro.faults import FaultPlan
 from repro.netsim.bgp.rib import RoutingState
 from repro.netsim.topology import Internetwork
 
-__all__ = ["LookingGlassService"]
+__all__ = [
+    "LookingGlassService",
+    "FlakyLookingGlassService",
+    "LookingGlassUnavailable",
+    "LookingGlassRateLimited",
+]
+
+
+class LookingGlassUnavailable(FaultInjectionError):
+    """One Looking Glass query attempt failed transiently (server
+    overloaded, request timed out).  Retrying may succeed — the collector
+    does so with exponential backoff."""
+
+    def __init__(self, asn: int, attempt: int) -> None:
+        super().__init__(
+            f"Looking Glass of AS{asn} did not answer (attempt {attempt})"
+        )
+        self.asn = asn
+        self.attempt = attempt
+
+
+class LookingGlassRateLimited(FaultInjectionError):
+    """An AS's Looking Glass exhausted its per-event query budget and
+    rejects every further query.  Retrying cannot succeed within this
+    event — the collector gives up immediately."""
+
+    def __init__(self, asn: int, budget: int) -> None:
+        super().__init__(
+            f"Looking Glass of AS{asn} rate-limited after {budget} queries"
+        )
+        self.asn = asn
+        self.budget = budget
 
 
 class LookingGlassService:
@@ -70,3 +102,58 @@ class LookingGlassService:
         if asn not in self._available:
             return None
         return routing.as_path(asn, prefix)
+
+
+class FlakyLookingGlassService:
+    """A :class:`LookingGlassService` behind an imperfect network.
+
+    Real Looking Glasses time out, shed load, and rate-limit scripted
+    clients; the paper's troubleshooter must keep working anyway.  This
+    wrapper consults a :class:`~repro.faults.FaultPlan` on every query:
+
+    * with probability ``lg_failure_rate`` a given attempt raises
+      :class:`LookingGlassUnavailable` (transient — retryable);
+    * after ``lg_query_budget`` answered queries to one AS within the
+      event, every further query raises :class:`LookingGlassRateLimited`
+      (permanent for this event).
+
+    Flakiness is deterministic per (asn, destination, epoch, attempt),
+    so a retry is a genuinely new draw yet the whole schedule replays
+    bit-for-bit under the same plan seed.  The rate-limit counter is the
+    only mutable state; it is local to this wrapper instance (one per
+    diagnosed event), never shared across processes.
+    """
+
+    def __init__(self, inner: LookingGlassService, faults: FaultPlan) -> None:
+        self.inner = inner
+        self.faults = faults
+        self._queries: Dict[int, int] = {}
+
+    @property
+    def available_ases(self) -> FrozenSet[int]:
+        return self.inner.available_ases
+
+    def has_lg(self, asn: int) -> bool:
+        return self.inner.has_lg(asn)
+
+    def query(
+        self,
+        asn: int,
+        prefix: str,
+        routing: RoutingState,
+        dst_address: str = "",
+        epoch: str = "",
+        attempt: int = 0,
+    ) -> Optional[Tuple[int, ...]]:
+        """One query attempt; raises on injected transient/permanent faults.
+
+        ``dst_address``/``epoch``/``attempt`` only key the deterministic
+        fault draws; the routing answer itself is the inner service's.
+        """
+        budget = self.faults.config.lg_query_budget
+        if budget and self._queries.get(asn, 0) >= budget:
+            raise LookingGlassRateLimited(asn, budget)
+        if self.faults.lg_attempt_fails(asn, dst_address, epoch, attempt):
+            raise LookingGlassUnavailable(asn, attempt)
+        self._queries[asn] = self._queries.get(asn, 0) + 1
+        return self.inner.query(asn, prefix, routing)

@@ -24,6 +24,8 @@ from repro.netsim.forwarding import IgpCache
 from repro.netsim.igp import igp_link_down_events
 from repro.netsim.topology import Internetwork, Link, NetworkState
 from repro.netsim.traceroute import TraceResult, trace_route
+from repro.netsim.validate import validate_gao_rexford
+from repro.errors import TopologyError
 
 __all__ = ["Simulator", "DEFAULT_TRACE_CACHE_CAPACITY"]
 
@@ -53,6 +55,13 @@ class Simulator:
     incremental:
         Enables the engine's incremental re-convergence; overridden by
         ``REPRO_FULL_CONVERGE=1``.
+    validate:
+        Run :func:`~repro.netsim.validate.validate_gao_rexford` on the
+        topology up front and raise a
+        :class:`~repro.errors.TopologyError` naming the offending
+        AS/link instead of failing later with a
+        :class:`~repro.errors.ConvergenceError` deep inside an
+        experiment.  Disable only for deliberately unsafe test fixtures.
     """
 
     def __init__(
@@ -62,7 +71,18 @@ class Simulator:
         trace_cache_capacity: int = DEFAULT_TRACE_CACHE_CAPACITY,
         routing_cache_capacity: int = DEFAULT_ROUTING_CACHE_CAPACITY,
         incremental: bool = True,
+        validate: bool = True,
     ) -> None:
+        if validate:
+            issues = validate_gao_rexford(net)
+            if issues:
+                details = "; ".join(
+                    f"[{issue.kind}] {issue.detail}" for issue in issues
+                )
+                raise TopologyError(
+                    f"topology failed validation with {len(issues)} "
+                    f"issue(s): {details}"
+                )
         self.net = net
         self._dest_asns = tuple(sorted(set(destination_asns)))
         self.engine = BgpEngine.for_sensor_ases(

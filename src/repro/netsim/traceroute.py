@@ -16,13 +16,13 @@ only ever look at ``address``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Optional, Tuple
+from typing import FrozenSet, Iterable, Optional, Tuple
 
 from repro.netsim.bgp.rib import RoutingState
 from repro.netsim.forwarding import ForwardingResult, IgpCache, data_path
 from repro.netsim.topology import Internetwork, NetworkState
 
-__all__ = ["TraceHop", "TraceResult", "trace_route"]
+__all__ = ["TraceHop", "TraceResult", "trace_route", "degrade_trace"]
 
 
 @dataclass(frozen=True)
@@ -113,4 +113,44 @@ def trace_route(
         hops=tuple(hops),
         reached=outcome.reached,
         failure_reason=outcome.failure_reason,
+    )
+
+
+def degrade_trace(
+    trace: TraceResult,
+    truncate_at: Optional[int] = None,
+    anonymize: Iterable[int] = (),
+) -> TraceResult:
+    """Apply measurement-plane faults to a clean traceroute.
+
+    ``truncate_at`` keeps only the first that-many hops and marks the
+    trace as not reached (a probe that dies mid-path cannot confirm the
+    destination); ``anonymize`` stars out the hops at those positions —
+    transient anonymous answers on top of AS-level blocking.  The input
+    is never mutated: clean traces stay cacheable and fault application
+    stays a pure function of the fault plan's decisions.
+    """
+    anonymize = frozenset(anonymize)
+    hops = trace.hops
+    reached = trace.reached
+    failure_reason = trace.failure_reason
+    if truncate_at is not None and 0 < truncate_at < len(hops):
+        hops = hops[:truncate_at]
+        reached = False
+        failure_reason = "fault:truncated"
+    if anonymize:
+        hops = tuple(
+            TraceHop(address=None, router_id=hop.router_id)
+            if index in anonymize and hop.identified
+            else hop
+            for index, hop in enumerate(hops)
+        )
+    if hops == trace.hops and reached == trace.reached:
+        return trace
+    return TraceResult(
+        src_router=trace.src_router,
+        dst_router=trace.dst_router,
+        hops=hops,
+        reached=reached,
+        failure_reason=failure_reason,
     )

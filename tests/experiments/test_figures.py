@@ -30,8 +30,12 @@ def fig6_result():
 
 
 class TestFigureRegistry:
-    def test_all_eight_figures_registered(self):
-        assert sorted(FIGURES, key=int) == ["5", "6", "7", "8", "9", "10", "11", "12"]
+    def test_all_figures_registered(self):
+        from repro.experiments.figures import figure_sort_key
+
+        assert sorted(FIGURES, key=figure_sort_key) == [
+            "5", "6", "7", "8", "9", "10", "11", "12", "degradation",
+        ]
 
 
 class TestFig5:

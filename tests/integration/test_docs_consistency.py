@@ -22,7 +22,7 @@ class TestApiDocMatchesCode:
     @pytest.mark.parametrize(
         "module_name",
         ["repro", "repro.core", "repro.netsim", "repro.measurement",
-         "repro.experiments", "repro.serialize"],
+         "repro.experiments", "repro.faults", "repro.serialize"],
     )
     def test_documented_names_exist(self, module_name):
         """Every `backticked` identifier under a module's section of
@@ -115,4 +115,4 @@ class TestReadmeCommandsAreReal:
                 assert flags <= known, f"README documents unknown flag in: {line}"
             else:
                 assert argv[0] in {"topology", "diagnose", "replay",
-                                   "scaling"}, line
+                                   "scaling", "degradation"}, line
