@@ -34,6 +34,7 @@ import sys
 from pathlib import Path
 
 from repro.core.diagnoser import VARIANTS, NetDiagnoser
+from repro.errors import ControlPlaneFeedError, TopologyError, ValidationError
 from repro.experiments.runner import ground_truth_links, make_session, run_scenario
 from repro.experiments.scenarios import SCENARIO_KINDS
 from repro.measurement.collector import collect_control_plane, take_snapshot
@@ -48,6 +49,7 @@ from repro.serialize import (
     topology_from_dict,
     topology_to_dict,
 )
+from repro.validate import POLICIES
 
 
 def _cmd_topology(args: argparse.Namespace) -> int:
@@ -174,12 +176,17 @@ def _cmd_degradation(args: argparse.Namespace) -> int:
         n_sensors=args.sensors,
         workers=args.workers,
     )
+    validation = args.validation
+    if args.corrupt and validation is None:
+        validation = "quarantine"
     result = degradation.run(
         config,
         fault_rates=tuple(args.rates),
         job_timeout=args.job_timeout,
         journal=args.journal,
         resume=args.resume,
+        corrupt=args.corrupt,
+        validation=validation,
     )
     print(result.render())
     return 0
@@ -320,6 +327,19 @@ def main(argv=None) -> int:
         action="store_true",
         help="replay completed placements from the journal files",
     )
+    degradation.add_argument(
+        "--corrupt",
+        action="store_true",
+        help="sweep corruption modes (lying data) instead of omission faults",
+    )
+    degradation.add_argument(
+        "--validation",
+        choices=POLICIES,
+        default=None,
+        help="screen inputs under this repro.validate policy "
+        "(--corrupt defaults to 'quarantine'; omit for undefended runs "
+        "only when --corrupt is not set)",
+    )
     degradation.set_defaults(func=_cmd_degradation)
 
     replay = sub.add_parser(
@@ -335,7 +355,13 @@ def main(argv=None) -> int:
     replay.set_defaults(func=_cmd_replay)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ControlPlaneFeedError, TopologyError, ValidationError) as error:
+        # Typed pipeline failures are user-diagnosable (bad inputs, strict
+        # validation): one line on stderr, nonzero exit, no traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -35,10 +35,15 @@ from repro.core.linkspace import (
     undirected_projection,
 )
 from repro.core.logical import logicalize
-from repro.core.pathset import MeasurementSnapshot, Pair
+from repro.core.pathset import MeasurementSnapshot, Pair, PathStore
 from repro.core.result import DiagnosisResult
 
-__all__ = ["SuspectReport", "suspect_working_pairs"]
+__all__ = [
+    "SuspectReport",
+    "suspect_working_pairs",
+    "implicated_sensors",
+    "exclude_sensor_reports",
+]
 
 
 @dataclass(frozen=True)
@@ -87,3 +92,44 @@ def suspect_working_pairs(
             )
     suspects.sort(key=lambda s: (-s.severity, s.pair))
     return suspects
+
+
+def implicated_sensors(suspects: List[SuspectReport]) -> Tuple[str, ...]:
+    """Sensor source addresses ranked by hard-contradiction involvement.
+
+    A suspect working-pair report is *authored* by its source sensor —
+    that is who measured, and claims, the contradictory path.  Summing
+    hard contradictions per source ranks the sensors most likely to be
+    stale or lying; ties break lexicographically so the ranking is
+    deterministic.  Soft directional overlaps never implicate anyone.
+    """
+    counts = {}
+    for suspect in suspects:
+        if not suspect.physical_contradictions:
+            continue
+        source = suspect.pair[0]
+        counts[source] = counts.get(source, 0) + suspect.severity
+    return tuple(sorted(counts, key=lambda address: (-counts[address], address)))
+
+
+def exclude_sensor_reports(
+    snapshot: MeasurementSnapshot, sensor_address: str
+) -> MeasurementSnapshot:
+    """The snapshot with every report *authored* by one sensor removed.
+
+    Drops all pairs sourced at ``sensor_address`` from both rounds
+    (reports *toward* the sensor were measured by others and stay).
+    The result satisfies the snapshot invariants by construction — it
+    is a pair-subset of a valid snapshot — and feeds the bounded
+    re-diagnosis pass: diagnose once more without the implicated
+    sensor's claims and see whether the contradiction dissolves.
+    """
+    before, after = PathStore(), PathStore()
+    for pair in snapshot.before.pairs():
+        if pair[0] == sensor_address:
+            continue
+        before.add(snapshot.before.get(pair))
+        after.add(snapshot.after.get(pair))
+    return MeasurementSnapshot(
+        before=before, after=after, asn_of=snapshot.asn_of
+    )

@@ -21,11 +21,15 @@ __all__ = ["IgpLinkDownObservation", "WithdrawalObservation", "ControlPlaneView"
 class IgpLinkDownObservation:
     """An IGP "link down" message for one intradomain link of AS-X.
 
-    Endpoints are the two routers' canonical addresses.
+    Endpoints are the two routers' canonical addresses.  ``seq`` is the
+    collector-assigned arrival sequence number (``-1`` = unsequenced);
+    :mod:`repro.validate` checks sequenced feed streams for monotonic
+    order and duplicates.
     """
 
     address_a: str
     address_b: str
+    seq: int = -1
 
 
 @dataclass(frozen=True)
@@ -36,12 +40,15 @@ class WithdrawalObservation:
     the neighbour router that sent the withdrawal, ``prefix`` the withdrawn
     destination block.  §3.3 only uses withdrawals "for the most specific
     prefix known for a destination"; the collector guarantees that.
+    ``seq`` is the collector-assigned arrival sequence number (``-1`` =
+    unsequenced), screened by :mod:`repro.validate`.
     """
 
     prefix: str
     at_address: str
     from_address: str
     from_asn: int
+    seq: int = -1
 
     def covers(self, address: str) -> bool:
         """True when ``address`` falls inside the withdrawn prefix."""

@@ -20,6 +20,7 @@ __all__ = [
     "FaultInjectionError",
     "ControlPlaneFeedError",
     "JobTimeoutError",
+    "ValidationError",
 ]
 
 
@@ -83,3 +84,24 @@ class ControlPlaneFeedError(FaultInjectionError):
 class JobTimeoutError(ReproError):
     """A placement job exceeded its wall-clock budget and was abandoned
     (and retried, attempts permitting) by the resilient runner."""
+
+
+class ValidationError(ReproError):
+    """A diagnosis input violated one of the typed invariants of
+    :mod:`repro.validate` under the ``strict`` policy.
+
+    The message names the offending record and the invariant, so an
+    operator can find the lying measurement instead of debugging a
+    corrupted hypothesis set.  ``invariant`` is the stable invariant id
+    (e.g. ``"trace-loop"``); ``record`` identifies the screened record
+    (e.g. ``"probe 10.0.0.1->10.0.9.2 [post]"``).
+    """
+
+    def __init__(self, invariant: str, record: str, detail: str = "") -> None:
+        message = f"invariant {invariant!r} violated by {record}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.invariant = invariant
+        self.record = record
+        self.detail = detail

@@ -15,6 +15,7 @@ import pathlib
 import sys
 import time
 
+from repro.errors import ControlPlaneFeedError, TopologyError, ValidationError
 from repro.experiments.figures import FIGURES, FigureConfig, figure_sort_key
 from repro.serialize import figure_result_to_dict
 
@@ -93,7 +94,13 @@ def main(argv=None) -> int:
         if figure_id not in FIGURES:
             parser.error(f"unknown figure {figure_id!r}; choose from {sorted(FIGURES)}")
         started = time.time()
-        result = FIGURES[figure_id](config)
+        try:
+            result = FIGURES[figure_id](config)
+        except (ControlPlaneFeedError, TopologyError, ValidationError) as error:
+            # Typed pipeline failures are user-diagnosable: one line on
+            # stderr, nonzero exit, no traceback.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         print(result.render())
         if args.json_out:
             out_dir = pathlib.Path(args.json_out)

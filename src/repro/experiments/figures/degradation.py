@@ -50,12 +50,25 @@ def run(
     job_timeout: Optional[float] = None,
     journal: Union[str, Path, None] = None,
     resume: bool = False,
+    corrupt: bool = False,
+    validation: Optional[str] = None,
 ) -> FigureResult:
     """Sweep the uniform fault rate and score every algorithm at each.
 
     ``journal``/``resume`` checkpoint each rate's batch to
     ``<journal>.rate<r>`` files; ``job_timeout`` bounds each placement
     (parallel backend only).
+
+    ``corrupt=True`` switches the swept axis from *omission* faults
+    (:meth:`~repro.faults.FaultConfig.uniform`) to *corruption* modes
+    (:meth:`~repro.faults.FaultConfig.corruption` — forged/duplicated
+    hops, injected loops, flipped reachability bits, stale replayed
+    rounds, duplicated/misordered feed messages, stale LG answers).
+    ``validation`` screens every run's inputs under the named
+    :mod:`repro.validate` policy; a corruption sweep without validation
+    shows what lying data does to undefended algorithms, while
+    ``validation="quarantine"`` (the CI smoke configuration) must
+    complete every rate with zero unhandled exceptions.
     """
     diagnosers = {
         "tomo": NetDiagnoser("tomo"),
@@ -79,9 +92,18 @@ def run(
             failures_per_placement=config.failures_per_placement,
             seed=config.seed,
             asx_selector=CoreAsx(),
+            # The corruption axis needs ND-LG to actually *query* external
+            # Looking Glasses (lg-stale answers) — blocked ASes force that;
+            # the omission axis keeps the historical all-visible setup.
+            blocked_fraction=0.3 if corrupt else 0.0,
             lg_fraction=1.0,
             intra_failures_only=True,
-            fault_config=FaultConfig.uniform(rate),
+            fault_config=(
+                FaultConfig.corruption(rate)
+                if corrupt
+                else FaultConfig.uniform(rate)
+            ),
+            validation=validation,
             workers=config.workers,
             stats=stats,
             job_timeout=job_timeout,
@@ -98,15 +120,30 @@ def run(
             curves[f"{label}/fp-rate"].append(
                 (rate, mean([1.0 - r.scores[label].link.specificity for r in recs]))
             )
-    result = FigureResult(
-        figure_id="degradation",
-        title="Diagnosis quality vs measurement fault rate (all fault modes)",
-        notes=[
+    if corrupt:
+        title = (
+            "Diagnosis quality vs measurement corruption rate "
+            f"(validation={validation or 'off'})"
+        )
+        notes = [
+            "all algorithms start at their clean-measurement accuracy",
+            "corrupt records lie instead of vanishing; without validation "
+            "they flow into the hypothesis set",
+            "under repair/quarantine every screened record is accounted in "
+            "the runner-stats block; no run crashes",
+        ]
+    else:
+        title = "Diagnosis quality vs measurement fault rate (all fault modes)"
+        notes = [
             "all algorithms start at their clean-measurement accuracy",
             "sensitivity decays as faults remove measurements; no run crashes",
             "ND-LG additionally degrades through flaky/rate-limited LGs",
             "the runner-stats block accounts for every fault injected",
-        ],
+        ]
+    result = FigureResult(
+        figure_id="degradation",
+        title=title,
+        notes=notes,
     )
     for name, points in curves.items():
         result.series.append(

@@ -128,6 +128,29 @@ def render_runner_stats(stats: "RunnerStats") -> str:
             f"igp lost={stats.igp_lost}  delayed={stats.igp_delayed}",
             f"   degraded diagnoses={stats.degraded_diagnoses}",
         ]
+    if stats.any_corruption_seen():
+        lines[-1:-1] = [
+            f"   corruption: hops forged={stats.hops_forged}  "
+            f"duplicated={stats.hops_duplicated}  "
+            f"loops injected={stats.loops_injected}  "
+            f"reach bits flipped={stats.reach_bits_flipped}  "
+            f"stale replays={stats.stale_replays}",
+            f"   corrupted feeds: duplicated={stats.feed_messages_duplicated}  "
+            f"misordered={stats.feed_messages_misordered}  "
+            f"lg stale answers={stats.lg_stale_answers}",
+        ]
+    if stats.any_validation_seen():
+        lines[-1:-1] = [
+            f"   validation: violations={stats.invariant_violations}  "
+            f"traces repaired={stats.traces_repaired}  "
+            f"quarantined={stats.traces_quarantined}  "
+            f"stale rounds dropped={stats.stale_rounds_dropped}",
+            f"   validated feeds: repaired={stats.feed_messages_repaired}  "
+            f"quarantined={stats.feed_messages_quarantined}  "
+            f"lg paths quarantined={stats.lg_paths_quarantined}",
+            f"   consistency: sensors excluded={stats.sensors_excluded}  "
+            f"re-diagnoses={stats.rediagnoses}",
+        ]
     resilience = (
         stats.jobs_timed_out,
         stats.jobs_crashed,

@@ -40,6 +40,11 @@ from typing import (
     Union,
 )
 
+from repro.core.consistency import (
+    exclude_sensor_reports,
+    implicated_sensors,
+    suspect_working_pairs,
+)
 from repro.core.diagnosability import diagnosability
 from repro.core.diagnoser import NetDiagnoser
 from repro.core.graph import InferredGraph
@@ -59,6 +64,7 @@ from repro.netsim.gen.internet import ResearchInternet
 from repro.netsim.lookingglass import LookingGlassService
 from repro.netsim.simulator import Simulator
 from repro.netsim.topology import Internetwork, NetworkState
+from repro.validate import Validator
 from repro.experiments.journal import RunJournal
 from repro.experiments.scenarios import Scenario, ScenarioSampler
 
@@ -224,6 +230,7 @@ def run_scenario(
     blocked_ases: FrozenSet[int] = frozenset(),
     lg_service: Optional[LookingGlassService] = None,
     faults: Optional[FaultPlan] = None,
+    validation: Optional[str] = None,
 ) -> RunRecord:
     """Measure, diagnose with every configured diagnoser, and score.
 
@@ -233,25 +240,63 @@ def run_scenario(
     inputs is scored with an empty hypothesis instead of crashing the
     sweep.  Everything taken away is accounted on the record's
     :class:`~repro.faults.DegradationReport`.
+
+    ``validation`` (a :mod:`repro.validate` policy name) screens every
+    measurement input against the typed invariants before diagnosis:
+    ``strict`` raises :class:`~repro.errors.ValidationError` on the
+    first lying record, ``repair``/``quarantine`` fix or drop records
+    with full accounting.  Under an active validation policy a diagnosis
+    whose hypothesis is physically contradicted by a working-pair report
+    triggers one bounded re-diagnosis with the most-implicated sensor's
+    reports excluded (the ``core.consistency`` loop).
     """
     sim, sensors = session.sim, session.sensors
     before, after = session.base_state, scenario.after_state
-    report = DegradationReport() if faults is not None else None
+    report = (
+        DegradationReport()
+        if faults is not None or validation is not None
+        else None
+    )
+    validator = (
+        Validator(validation, degradation=report)
+        if validation is not None
+        else None
+    )
 
     snapshot = take_snapshot(
-        sim, sensors, before, after, blocked_ases, faults=faults, report=report
+        sim,
+        sensors,
+        before,
+        after,
+        blocked_ases,
+        faults=faults,
+        report=report,
+        validator=validator,
     )
     control = None
     if asx is not None:
         try:
             control = collect_control_plane(
-                sim, asx, before, after, faults=faults, report=report
+                sim,
+                asx,
+                before,
+                after,
+                faults=faults,
+                report=report,
+                validator=validator,
             )
         except ControlPlaneFeedError:
             control = None  # diagnose without control-plane inputs
     lg_lookup = (
         make_lg_lookup(
-            sim, lg_service, before, after, asx=asx, faults=faults, report=report
+            sim,
+            lg_service,
+            before,
+            after,
+            asx=asx,
+            faults=faults,
+            report=report,
+            validator=validator,
         )
         if lg_service is not None
         else None
@@ -286,18 +331,19 @@ def run_scenario(
         n_rerouted_pairs=len(snapshot.rerouted_pairs()),
         degradation=report,
     )
-    masked = faults is not None and not snapshot.any_failure()
+    masked = report is not None and not snapshot.any_failure()
     if masked:
         # The event did break pairs (the sampler admitted it) but the
         # surviving measurements no longer show any unreachability —
-        # the faults masked the failure.  Nothing to hand the
-        # algorithms; every diagnoser scores an empty hypothesis.
+        # the faults (or the screening) masked or removed every failed
+        # pair.  Nothing to hand the algorithms; every diagnoser scores
+        # an empty hypothesis.
         report.masked_failures += 1
         report.note("failure masked by measurement faults")
     for label, diagnoser in diagnosers.items():
         if masked:
             result = _empty_result(label, diagnoser, before_graph)
-        elif faults is not None:
+        elif report is not None:
             try:
                 result = diagnoser.diagnose(
                     snapshot, control=control, lg_lookup=lg_lookup
@@ -310,6 +356,18 @@ def run_scenario(
                 )
                 report.record_diagnoser_error(label)
                 result = _empty_result(label, diagnoser, before_graph)
+            else:
+                if validator is not None:
+                    result = _rediagnose_on_contradiction(
+                        label,
+                        diagnoser,
+                        snapshot,
+                        control,
+                        lg_lookup,
+                        result,
+                        report,
+                        before_graph,
+                    )
         else:
             result = diagnoser.diagnose(
                 snapshot, control=control, lg_lookup=lg_lookup
@@ -338,6 +396,55 @@ def _empty_result(
         graph=graph,
         details={"degraded": True},
     )
+
+
+def _rediagnose_on_contradiction(
+    label: str,
+    diagnoser: NetDiagnoser,
+    snapshot,
+    control,
+    lg_lookup,
+    result: DiagnosisResult,
+    report: DegradationReport,
+    before_graph: InferredGraph,
+) -> DiagnosisResult:
+    """The validation-mode consistency loop: one bounded re-diagnosis.
+
+    A hard physical contradiction — a pair *reported working* whose
+    current path crosses a link the hypothesis claims broken — means a
+    measurement lied in a way input screening cannot catch (the lying
+    record is locally well-formed).  The most-implicated source sensor's
+    reports are excluded and the diagnoser runs once more; the pass is
+    bounded at one exclusion so a pathological snapshot cannot send the
+    sweep spiralling.  If the re-diagnosis cannot run on the reduced
+    snapshot, the original (contradicted) result stands — it is still
+    the best available answer, and the exclusion is accounted either way.
+    """
+    suspects = suspect_working_pairs(snapshot, result)
+    culprits = implicated_sensors(suspects)
+    if not culprits:
+        return result
+    culprit = culprits[0]
+    reduced = exclude_sensor_reports(snapshot, culprit)
+    report.sensors_excluded += 1
+    report.note(f"excluded sensor {culprit} after physical contradiction")
+    if not reduced.any_failure():
+        # Every failed pair was the excluded sensor's own claim; with
+        # its reports gone there is nothing left to diagnose.
+        return result
+    report.rediagnoses += 1
+    try:
+        return diagnoser.diagnose(
+            reduced, control=control, lg_lookup=lg_lookup
+        )
+    except Exception as exc:  # same best-effort contract as above
+        logger.debug(
+            "%s failed on the reduced snapshot (%s: %s); keeping the "
+            "original diagnosis",
+            label, type(exc).__name__, exc,
+        )
+        report.record_diagnoser_error(label)
+        return result
 
 
 def _score(
@@ -413,6 +520,23 @@ class PlacementStats:
     igp_delayed: int = 0
     feed_outages: int = 0
     degraded_diagnoses: int = 0
+    hops_forged: int = 0
+    hops_duplicated: int = 0
+    loops_injected: int = 0
+    reach_bits_flipped: int = 0
+    stale_replays: int = 0
+    feed_messages_duplicated: int = 0
+    feed_messages_misordered: int = 0
+    lg_stale_answers: int = 0
+    invariant_violations: int = 0
+    traces_repaired: int = 0
+    traces_quarantined: int = 0
+    stale_rounds_dropped: int = 0
+    feed_messages_repaired: int = 0
+    feed_messages_quarantined: int = 0
+    lg_paths_quarantined: int = 0
+    sensors_excluded: int = 0
+    rediagnoses: int = 0
     setup_seconds: float = 0.0
     scenario_seconds: float = 0.0
 
@@ -484,6 +608,23 @@ class RunnerStats:
     igp_delayed: int = 0
     feed_outages: int = 0
     degraded_diagnoses: int = 0
+    hops_forged: int = 0
+    hops_duplicated: int = 0
+    loops_injected: int = 0
+    reach_bits_flipped: int = 0
+    stale_replays: int = 0
+    feed_messages_duplicated: int = 0
+    feed_messages_misordered: int = 0
+    lg_stale_answers: int = 0
+    invariant_violations: int = 0
+    traces_repaired: int = 0
+    traces_quarantined: int = 0
+    stale_rounds_dropped: int = 0
+    feed_messages_repaired: int = 0
+    feed_messages_quarantined: int = 0
+    lg_paths_quarantined: int = 0
+    sensors_excluded: int = 0
+    rediagnoses: int = 0
     jobs_timed_out: int = 0
     jobs_crashed: int = 0
     jobs_retried: int = 0
@@ -528,8 +669,48 @@ class RunnerStats:
         "igp_delayed",
         "feed_outages",
         "degraded_diagnoses",
+        "hops_forged",
+        "hops_duplicated",
+        "loops_injected",
+        "reach_bits_flipped",
+        "stale_replays",
+        "feed_messages_duplicated",
+        "feed_messages_misordered",
+        "lg_stale_answers",
+        "invariant_violations",
+        "traces_repaired",
+        "traces_quarantined",
+        "stale_rounds_dropped",
+        "feed_messages_repaired",
+        "feed_messages_quarantined",
+        "lg_paths_quarantined",
+        "sensors_excluded",
+        "rediagnoses",
         "setup_seconds",
         "scenario_seconds",
+    )
+
+    _CORRUPTION_FIELDS = (
+        "hops_forged",
+        "hops_duplicated",
+        "loops_injected",
+        "reach_bits_flipped",
+        "stale_replays",
+        "feed_messages_duplicated",
+        "feed_messages_misordered",
+        "lg_stale_answers",
+    )
+
+    _VALIDATION_FIELDS = (
+        "invariant_violations",
+        "traces_repaired",
+        "traces_quarantined",
+        "stale_rounds_dropped",
+        "feed_messages_repaired",
+        "feed_messages_quarantined",
+        "lg_paths_quarantined",
+        "sensors_excluded",
+        "rediagnoses",
     )
 
     def any_faults_seen(self) -> bool:
@@ -538,6 +719,14 @@ class RunnerStats:
             getattr(self, name)
             for name in DegradationReport._COUNTER_FIELDS
         )
+
+    def any_corruption_seen(self) -> bool:
+        """True when any corruption-injection counter is non-zero."""
+        return any(getattr(self, name) for name in self._CORRUPTION_FIELDS)
+
+    def any_validation_seen(self) -> bool:
+        """True when input screening detected or acted on anything."""
+        return any(getattr(self, name) for name in self._VALIDATION_FIELDS)
 
     def absorb(self, stats: PlacementStats) -> None:
         """Fold one placement's accounting into the aggregate."""
@@ -572,6 +761,11 @@ class PlacementJob:
     ``f"{seed}/{placement_index}"`` and re-scopes it per sampled
     scenario, so every fault draw is a pure function of the batch seed —
     independent of worker count, scheduling, or resume.
+
+    ``validation`` (a :mod:`repro.validate` policy name, or ``None``)
+    screens every run's measurement inputs before diagnosis; the policy
+    string travels with the job so parallel workers validate exactly
+    like the serial path.
     """
 
     placement_index: int
@@ -586,6 +780,7 @@ class PlacementJob:
     lg_fraction: Optional[float] = None
     intra_failures_only: bool = False
     fault_config: Optional[FaultConfig] = None
+    validation: Optional[str] = None
 
     def run(self) -> PlacementResult:
         """Build the session and run every kind's sampling loop."""
@@ -653,6 +848,7 @@ class PlacementJob:
                         blocked_ases=blocked,
                         lg_service=lg_service,
                         faults=faults,
+                        validation=self.validation,
                     )
                 except ScenarioError:
                     stats.scenarios_rejected += 1
@@ -686,6 +882,7 @@ def build_placement_jobs(
     lg_fraction: Optional[float] = None,
     intra_failures_only: bool = False,
     fault_config: Optional[FaultConfig] = None,
+    validation: Optional[str] = None,
 ) -> List[PlacementJob]:
     """The batch's work units, one per placement index."""
     return [
@@ -702,6 +899,7 @@ def build_placement_jobs(
             lg_fraction=lg_fraction,
             intra_failures_only=intra_failures_only,
             fault_config=fault_config,
+            validation=validation,
         )
         for index in range(placements)
     ]
@@ -940,6 +1138,7 @@ def run_kind_batch(
     lg_fraction: Optional[float] = None,
     intra_failures_only: bool = False,
     fault_config: Optional[FaultConfig] = None,
+    validation: Optional[str] = None,
     workers: int = 1,
     stats: Optional[RunnerStats] = None,
     job_timeout: Optional[float] = None,
@@ -958,7 +1157,9 @@ def run_kind_batch(
     ``lg_fraction`` (when not None) equips that fraction of ASes with
     Looking Glasses and enables ND-LG inputs; ``fault_config`` (when not
     None and non-trivial) injects deterministic measurement-plane faults
-    into every run (see :mod:`repro.faults`).
+    into every run (see :mod:`repro.faults`); ``validation`` (a
+    :mod:`repro.validate` policy name) screens every run's inputs
+    against the typed invariants before diagnosis.
 
     ``workers`` selects the execution backend: ``1`` (default) runs the
     placements serially in-process, ``0`` uses every core, and ``n > 1``
@@ -993,6 +1194,7 @@ def run_kind_batch(
         lg_fraction=lg_fraction,
         intra_failures_only=intra_failures_only,
         fault_config=fault_config,
+        validation=validation,
     )
     wall_started = time.perf_counter()
 
@@ -1012,6 +1214,7 @@ def run_kind_batch(
             "lg_fraction": lg_fraction,
             "intra_failures_only": intra_failures_only,
             "fault_config": fault_config,
+            "validation": validation,
         }
         journal = RunJournal(journal, fingerprint)
 

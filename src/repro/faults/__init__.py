@@ -10,12 +10,33 @@ supplies:
   (parallel sweeps inject bit-for-bit the same faults as serial ones);
 * :class:`DegradationReport` — per-run accounting of what was missing.
 
+Beyond *omission* faults (data goes missing), the plan also drives
+*corruption* modes (:data:`CORRUPTION_MODES`): forged and duplicated
+hops, injected routing loops, stale pre-failure rounds replayed as
+current, flipped reachability bits, duplicated/misordered feed
+messages, and Looking Glass answers served from the wrong epoch.
+Corrupted records are screened by :mod:`repro.validate` before they
+reach a diagnoser.
+
 Injection happens at the measurement seams (probing, sensors, Looking
 Glass, collector feeds); the diagnosis layer never sees this package,
 only the degraded inputs — exactly like a real deployment.
 """
 
-from repro.faults.plan import FAULT_MODES, FaultConfig, FaultPlan
+from repro.faults.plan import (
+    CORRUPTION_MODES,
+    FAULT_MODES,
+    FORGED_ADDRESS_PREFIX,
+    FaultConfig,
+    FaultPlan,
+)
 from repro.faults.report import DegradationReport
 
-__all__ = ["FAULT_MODES", "FaultConfig", "FaultPlan", "DegradationReport"]
+__all__ = [
+    "CORRUPTION_MODES",
+    "FAULT_MODES",
+    "FORGED_ADDRESS_PREFIX",
+    "FaultConfig",
+    "FaultPlan",
+    "DegradationReport",
+]

@@ -25,7 +25,7 @@ from typing import Optional, Tuple
 
 from repro.errors import FaultInjectionError
 
-__all__ = ["FaultConfig", "FaultPlan", "FAULT_MODES"]
+__all__ = ["FaultConfig", "FaultPlan", "FAULT_MODES", "CORRUPTION_MODES", "FORGED_ADDRESS_PREFIX"]
 
 #: The five injectable fault modes, as named in reports and docs.
 FAULT_MODES = (
@@ -35,6 +35,26 @@ FAULT_MODES = (
     "bgp-feed",    # lost/delayed BGP withdrawal messages
     "igp-feed",    # lost/delayed IGP link-down messages
 )
+
+#: The injectable *corruption* modes: faults that lie rather than omit.
+#: Every mode produces a record that violates exactly one typed invariant
+#: of :mod:`repro.validate`, so the ``strict`` policy detects each seeded
+#: corruption by construction (no false negatives).
+CORRUPTION_MODES = (
+    "hop-forge",      # a forged hop address appears mid-trace
+    "hop-dup",        # an identified hop is reported twice in a row
+    "loop-inject",    # an earlier hop re-appears later (routing loop)
+    "reach-flip",     # a completed probe is reported as unreachable
+    "stale-replay",   # a pre-failure round is replayed as the T+ round
+    "feed-dup",       # a control-feed message is delivered twice
+    "feed-misorder",  # two feed messages arrive out of sequence order
+    "lg-stale",       # an LG answers from a stale, wrong-epoch cache
+)
+
+#: Dotted prefix of forged hop addresses (TEST-NET-3): guaranteed outside
+#: the simulator's ``10.0.0.0/8`` allocation, so a forged hop never
+#: resolves through the IP-to-AS mapper.
+FORGED_ADDRESS_PREFIX = "203.0.113."
 
 
 @dataclass(frozen=True)
@@ -73,6 +93,31 @@ class FaultConfig:
         collector / arrives after the diagnosis deadline.
     igp_loss_rate / igp_delay_rate:
         The same for IGP link-down messages.
+    hop_forge_rate:
+        Per-trace probability that a forged hop address (from
+        :data:`FORGED_ADDRESS_PREFIX`) is spliced into the reported path.
+    hop_duplicate_rate:
+        Per-trace probability that one identified hop is reported twice
+        in a row (a duplicated ICMP answer).
+    loop_inject_rate:
+        Per-trace probability that an earlier hop re-appears later in
+        the path — the spurious routing loop of real traceroute corpora.
+    reach_flip_rate:
+        Per-probe probability that a probe which reached its destination
+        is reported as unreachable (a flipped reachability bit; the hop
+        sequence still ends at the destination, which is the telltale).
+    stale_replay_rate:
+        Per-pair probability that the sensor replays its pre-failure
+        (T-) measurement as the current T+ round — the §6 clock-skew
+        hazard.  The replayed record keeps its ``pre`` epoch tag.
+    feed_duplicate_rate / feed_misorder_rate:
+        Per-message probabilities that a control-feed message (BGP
+        withdrawal or IGP link-down) is delivered twice / swapped with
+        its predecessor so arrival order disagrees with sequence order.
+    lg_stale_rate:
+        Per-query probability that a Looking Glass answers from a stale
+        cache: the AS path of the *other* epoch, recorded at the wrong
+        vantage (its head AS is not the queried AS).
     """
 
     trace_drop_rate: float = 0.0
@@ -86,6 +131,14 @@ class FaultConfig:
     withdrawal_delay_rate: float = 0.0
     igp_loss_rate: float = 0.0
     igp_delay_rate: float = 0.0
+    hop_forge_rate: float = 0.0
+    hop_duplicate_rate: float = 0.0
+    loop_inject_rate: float = 0.0
+    reach_flip_rate: float = 0.0
+    stale_replay_rate: float = 0.0
+    feed_duplicate_rate: float = 0.0
+    feed_misorder_rate: float = 0.0
+    lg_stale_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for field in fields(self):
@@ -116,13 +169,47 @@ class FaultConfig:
             igp_delay_rate=rate,
         )
 
+    @classmethod
+    def corruption(cls, rate: float) -> "FaultConfig":
+        """Every *corruption* mode at the same rate, no omission faults.
+
+        This is the x axis of ``python -m repro degradation --corrupt``:
+        the measurement plane returns complete but *lying* inputs, which
+        only a validation policy can screen out.
+        """
+        return cls(
+            hop_forge_rate=rate,
+            hop_duplicate_rate=rate,
+            loop_inject_rate=rate,
+            reach_flip_rate=rate,
+            stale_replay_rate=rate,
+            feed_duplicate_rate=rate,
+            feed_misorder_rate=rate,
+            lg_stale_rate=rate,
+        )
+
+    _CORRUPTION_FIELDS = (
+        "hop_forge_rate",
+        "hop_duplicate_rate",
+        "loop_inject_rate",
+        "reach_flip_rate",
+        "stale_replay_rate",
+        "feed_duplicate_rate",
+        "feed_misorder_rate",
+        "lg_stale_rate",
+    )
+
     def any_faults(self) -> bool:
-        """True when at least one mode can fire."""
+        """True when at least one mode (omission or corruption) can fire."""
         return any(
             getattr(self, field.name)
             for field in fields(self)
             if field.name != "lg_query_budget"
         ) or bool(self.lg_query_budget)
+
+    def any_corruption(self) -> bool:
+        """True when at least one corruption mode can fire."""
+        return any(getattr(self, name) for name in self._CORRUPTION_FIELDS)
 
 
 class FaultPlan:
@@ -232,6 +319,81 @@ class FaultPlan:
     def delay_igp(self, address_a: str, address_b: str) -> bool:
         return self._fires(
             self.config.igp_delay_rate, "igp-delay", address_a, address_b
+        )
+
+    # -- corruption: the measurement plane lies instead of omitting
+
+    def forge_hop(
+        self, src: str, dst: str, epoch: str, n_hops: int
+    ) -> Optional[Tuple[int, str]]:
+        """(insertion index, forged address) for this trace, or ``None``.
+
+        The forged address comes from :data:`FORGED_ADDRESS_PREFIX` and
+        is spliced between two existing hops, never displacing the
+        endpoint positions.
+        """
+        if n_hops < 2 or self.config.hop_forge_rate <= 0.0:
+            return None
+        rng = self._rng("hop-forge", src, dst, epoch)
+        if rng.random() >= self.config.hop_forge_rate:
+            return None
+        index = rng.randint(1, n_hops - 1)
+        return index, f"{FORGED_ADDRESS_PREFIX}{rng.randint(1, 254)}"
+
+    def duplicate_hop(
+        self, src: str, dst: str, epoch: str, n_hops: int
+    ) -> Optional[int]:
+        """Interior hop index to report twice in a row, or ``None``."""
+        if n_hops < 3 or self.config.hop_duplicate_rate <= 0.0:
+            return None
+        rng = self._rng("hop-dup", src, dst, epoch)
+        if rng.random() >= self.config.hop_duplicate_rate:
+            return None
+        return rng.randint(1, n_hops - 2)
+
+    def inject_loop(
+        self, src: str, dst: str, epoch: str, n_hops: int
+    ) -> Optional[Tuple[int, int]]:
+        """(earlier index, re-insert-after index) of a spurious loop.
+
+        The hop at the first index re-appears after the second, so its
+        address occurs twice non-adjacently — the classic looping trace.
+        """
+        if n_hops < 3 or self.config.loop_inject_rate <= 0.0:
+            return None
+        rng = self._rng("loop-inject", src, dst, epoch)
+        if rng.random() >= self.config.loop_inject_rate:
+            return None
+        earlier = rng.randint(0, n_hops - 3)
+        later = rng.randint(earlier + 1, n_hops - 2)
+        return earlier, later
+
+    def flip_reach_bit(self, src: str, dst: str, epoch: str) -> bool:
+        """Report this completed probe as unreachable?"""
+        return self._fires(
+            self.config.reach_flip_rate, "reach-flip", src, dst, epoch
+        )
+
+    def stale_replay(self, src: str, dst: str) -> bool:
+        """Does this sensor replay its T- probe of (src, dst) as T+?"""
+        return self._fires(self.config.stale_replay_rate, "stale-replay", src, dst)
+
+    def duplicate_feed_message(self, kind: str, *key: object) -> bool:
+        """Is this control-feed message delivered twice?"""
+        return self._fires(
+            self.config.feed_duplicate_rate, f"feed-dup/{kind}", *key
+        )
+
+    def misorder_feed_message(self, kind: str, *key: object) -> bool:
+        """Does this message arrive before its predecessor?"""
+        return self._fires(
+            self.config.feed_misorder_rate, f"feed-misorder/{kind}", *key
+        )
+
+    def lg_stale_answer(self, asn: int, dst_address: str, epoch: str) -> bool:
+        """Does this Looking Glass answer from its stale cache?"""
+        return self._fires(
+            self.config.lg_stale_rate, "lg-stale", asn, dst_address, epoch
         )
 
     # ------------------------------------------------------------ plumbing

@@ -43,6 +43,25 @@ class DegradationReport:
     igp_delayed: int = 0
     feed_outages: int = 0
     degraded_diagnoses: int = 0
+    # -- corruption injection (the measurement plane lied)
+    hops_forged: int = 0
+    hops_duplicated: int = 0
+    loops_injected: int = 0
+    reach_bits_flipped: int = 0
+    stale_replays: int = 0
+    feed_messages_duplicated: int = 0
+    feed_messages_misordered: int = 0
+    lg_stale_answers: int = 0
+    # -- validation screening (what repro.validate detected/did about it)
+    invariant_violations: int = 0
+    traces_repaired: int = 0
+    traces_quarantined: int = 0
+    stale_rounds_dropped: int = 0
+    feed_messages_repaired: int = 0
+    feed_messages_quarantined: int = 0
+    lg_paths_quarantined: int = 0
+    sensors_excluded: int = 0
+    rediagnoses: int = 0
     diagnoser_errors: Dict[str, int] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
 
@@ -63,6 +82,23 @@ class DegradationReport:
         "igp_delayed",
         "feed_outages",
         "degraded_diagnoses",
+        "hops_forged",
+        "hops_duplicated",
+        "loops_injected",
+        "reach_bits_flipped",
+        "stale_replays",
+        "feed_messages_duplicated",
+        "feed_messages_misordered",
+        "lg_stale_answers",
+        "invariant_violations",
+        "traces_repaired",
+        "traces_quarantined",
+        "stale_rounds_dropped",
+        "feed_messages_repaired",
+        "feed_messages_quarantined",
+        "lg_paths_quarantined",
+        "sensors_excluded",
+        "rediagnoses",
     )
 
     def is_degraded(self) -> bool:

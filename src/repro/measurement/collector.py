@@ -36,6 +36,7 @@ from repro.core.pathset import (
 )
 from repro.errors import ControlPlaneFeedError, MeasurementError
 from repro.faults import DegradationReport, FaultPlan
+from repro.validate import Validator
 from repro.measurement.probing import probe_mesh
 from repro.measurement.sensors import Sensor, surviving_sensors
 from repro.netsim.lookingglass import (
@@ -93,6 +94,35 @@ def _reconcile_rounds(
     return new_before, new_after
 
 
+def _replay_stale_rounds(
+    before: PathStore,
+    after: PathStore,
+    faults: FaultPlan,
+    report: Optional[DegradationReport],
+) -> PathStore:
+    """Corruption: a clock-skewed sensor re-reports T- probes as T+.
+
+    The replayed record keeps its ``epoch="pre"`` tag — exactly the
+    fingerprint a stale sensor leaves in practice (§6), and the one the
+    ``trace-epoch`` invariant of :mod:`repro.validate` catches.  Without
+    a validator the lie flows through, silently hiding the failure on
+    that pair — which is the point of the corruption experiment.
+    """
+    replayed = {
+        pair: before.get(pair)
+        for pair in after.pairs()
+        if pair in before and faults.stale_replay(*pair)
+    }
+    if not replayed:
+        return after
+    if report is not None:
+        report.stale_replays += len(replayed)
+    rebuilt = PathStore()
+    for pair in after.pairs():
+        rebuilt.add(replayed.get(pair, after.get(pair)))
+    return rebuilt
+
+
 def take_snapshot(
     sim: Simulator,
     sensors: Sequence[Sensor],
@@ -101,12 +131,17 @@ def take_snapshot(
     blocked_ases: FrozenSet[int] = frozenset(),
     faults: Optional[FaultPlan] = None,
     report: Optional[DegradationReport] = None,
+    validator: Optional[Validator] = None,
 ) -> MeasurementSnapshot:
     """Probe the mesh at T- and T+ and assemble the snapshot.
 
     Under an active fault plan the surviving-sensor mesh is probed, the
     scheduled traceroute faults applied, and the two rounds reconciled
     so the snapshot invariants hold on whatever measurements survive.
+    When a :class:`~repro.validate.Validator` is supplied it screens
+    every probe path (and the cross-round invariants) under its policy
+    before the snapshot is assembled — corrupt records raise, get
+    repaired, or are quarantined there instead of reaching a diagnoser.
     """
     mapper = sim.mapper
     up = surviving_sensors(sensors, faults, report)
@@ -117,8 +152,47 @@ def take_snapshot(
         sim, up, after_state, blocked_ases, EPOCH_POST, faults, report
     )
     if faults is not None:
+        after = _replay_stale_rounds(before, after, faults, report)
+    if validator is not None:
+        before = validator.screen_store(before, mapper.asn_of, EPOCH_PRE)
+        after = validator.screen_store(after, mapper.asn_of, EPOCH_POST)
+        before, after = validator.screen_rounds(before, after)
+    elif faults is not None:
         before, after = _reconcile_rounds(before, after, report)
     return MeasurementSnapshot(before=before, after=after, asn_of=mapper.asn_of)
+
+
+def _corrupt_feed(
+    messages: list,
+    kind: str,
+    faults: Optional[FaultPlan],
+    report: Optional[DegradationReport],
+) -> list:
+    """Corruption: a flaky feed session re-delivers and reorders.
+
+    Duplicates re-append the identical record (same ``seq`` — a true
+    re-delivery); misordering swaps a message with its predecessor, the
+    sequence numbers travelling with their records so the inversion is
+    visible to the ``feed-order`` invariant.
+    """
+    if faults is None or not messages:
+        return messages
+    corrupted = []
+    for message in messages:
+        corrupted.append(message)
+        if faults.duplicate_feed_message(kind, message.seq):
+            corrupted.append(message)
+            if report is not None:
+                report.feed_messages_duplicated += 1
+    for index in range(1, len(corrupted)):
+        if faults.misorder_feed_message(kind, index):
+            corrupted[index - 1], corrupted[index] = (
+                corrupted[index],
+                corrupted[index - 1],
+            )
+            if report is not None:
+                report.feed_messages_misordered += 1
+    return corrupted
 
 
 def collect_control_plane(
@@ -128,13 +202,17 @@ def collect_control_plane(
     after_state: NetworkState,
     faults: Optional[FaultPlan] = None,
     report: Optional[DegradationReport] = None,
+    validator: Optional[Validator] = None,
 ) -> ControlPlaneView:
     """AS-X's IGP link-down messages and BGP withdrawal log for one event.
 
     A lossy feed drops or delays individual messages (counted on the
     view and the report); a whole-feed outage raises
     :class:`~repro.errors.ControlPlaneFeedError` — callers degrade to
-    diagnosing without control-plane inputs.
+    diagnosing without control-plane inputs.  Messages carry arrival
+    sequence numbers; when a :class:`~repro.validate.Validator` is
+    supplied, each stream is screened for duplicates and ordering
+    before the view is assembled.
     """
     if faults is not None and faults.feed_outage():
         if report is not None:
@@ -156,7 +234,11 @@ def collect_control_plane(
             igp_delayed += 1
             continue
         igp_down.append(
-            IgpLinkDownObservation(address_a=address_a, address_b=address_b)
+            IgpLinkDownObservation(
+                address_a=address_a,
+                address_b=address_b,
+                seq=len(igp_down) + igp_lost + igp_delayed,
+            )
         )
     withdrawals = []
     wd_lost = wd_delayed = 0
@@ -179,6 +261,7 @@ def collect_control_plane(
                 at_address=at_address,
                 from_address=from_address,
                 from_asn=w.from_asn,
+                seq=len(withdrawals) + wd_lost + wd_delayed,
             )
         )
     if report is not None:
@@ -186,6 +269,13 @@ def collect_control_plane(
         report.igp_delayed += igp_delayed
         report.withdrawals_lost += wd_lost
         report.withdrawals_delayed += wd_delayed
+    igp_down = _corrupt_feed(igp_down, "igp", faults, report)
+    withdrawals = _corrupt_feed(withdrawals, "bgp-withdrawal", faults, report)
+    if validator is not None:
+        igp_down = list(validator.screen_feed(igp_down, "igp"))
+        withdrawals = list(
+            validator.screen_feed(withdrawals, "bgp-withdrawal")
+        )
     return ControlPlaneView(
         asx_asn=asx,
         igp_link_down=tuple(igp_down),
@@ -205,6 +295,7 @@ def make_lg_lookup(
     asx: Optional[int] = None,
     faults: Optional[FaultPlan] = None,
     report: Optional[DegradationReport] = None,
+    validator: Optional[Validator] = None,
     max_attempts: int = DEFAULT_LG_MAX_ATTEMPTS,
     backoff_base: float = DEFAULT_LG_BACKOFF_BASE,
     sleep: Optional[Callable[[float], None]] = None,
@@ -225,6 +316,13 @@ def make_lg_lookup(
     sleeping, since simulated Looking Glasses answer instantly).  A
     rate-limited AS or an exhausted retry budget degrades to ``None`` —
     to ND-LG, indistinguishable from an AS with no Looking Glass at all.
+
+    The ``lg-stale`` corruption mode serves an answer from the *other*
+    epoch's table with the local head AS missing — a web cache replaying
+    the neighbour-learned path it stored before the event.  A supplied
+    :class:`~repro.validate.Validator` screens every answer (strict:
+    raise; repair/quarantine: degrade the bad answer to ``None``).
+    AS-X's own table is read directly and is never stale.
     """
     if max_attempts < 1:
         raise MeasurementError(
@@ -260,6 +358,18 @@ def make_lg_lookup(
             report.lg_exhausted += 1
         return None
 
+    def stale_answer(asn, prefix, epoch, answer):
+        other = EPOCH_POST if epoch == EPOCH_PRE else EPOCH_PRE
+        stale_routing = sim.routing(states[other])
+        stale = None
+        if prefix in stale_routing.prefixes:
+            stale = stale_routing.as_path(asn, prefix)
+        if stale is None:
+            stale = answer
+        if len(stale) > 1:
+            return stale[1:]
+        return (stale[0], stale[0])
+
     def lookup(asn: int, dst_address: str, epoch: str) -> Optional[Tuple[int, ...]]:
         if epoch not in states:
             raise MeasurementError(f"unknown measurement epoch {epoch!r}")
@@ -270,11 +380,26 @@ def make_lg_lookup(
         if asx is not None and asn == asx:
             if prefix not in routing.prefixes:
                 return None
-            return routing.as_path(asn, prefix)
-        if prefix not in routing.prefixes:
+            answer = routing.as_path(asn, prefix)
+        elif prefix not in routing.prefixes:
             return None
-        if flaky is None:
-            return lg_service.query(asn, prefix, routing)
-        return query_with_retries(asn, prefix, routing, dst_address, epoch)
+        else:
+            if flaky is None:
+                answer = lg_service.query(asn, prefix, routing)
+            else:
+                answer = query_with_retries(
+                    asn, prefix, routing, dst_address, epoch
+                )
+            if (
+                answer is not None
+                and faults is not None
+                and faults.lg_stale_answer(asn, dst_address, epoch)
+            ):
+                answer = stale_answer(asn, prefix, epoch, answer)
+                if report is not None:
+                    report.lg_stale_answers += 1
+        if validator is not None:
+            answer = validator.screen_lg_path(asn, answer, dst_address, epoch)
+        return answer
 
     return lookup

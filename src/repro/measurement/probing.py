@@ -26,7 +26,7 @@ from repro.faults import DegradationReport, FaultPlan
 from repro.measurement.sensors import Sensor
 from repro.netsim.simulator import Simulator
 from repro.netsim.topology import NetworkState
-from repro.netsim.traceroute import degrade_trace
+from repro.netsim.traceroute import corrupt_trace, degrade_trace
 
 __all__ = ["probe_mesh", "probe_pair"]
 
@@ -69,6 +69,18 @@ def probe_pair(
                 if clean.identified and not dirty.identified
             )
         trace = degraded
+        n = len(trace.hops)
+        corrupted, applied = corrupt_trace(
+            trace,
+            forge=faults.forge_hop(src.address, dst.address, epoch, n),
+            duplicate_at=faults.duplicate_hop(src.address, dst.address, epoch, n),
+            loop=faults.inject_loop(src.address, dst.address, epoch, n),
+        )
+        if report is not None:
+            report.hops_forged += applied.count("hop-forge")
+            report.hops_duplicated += applied.count("hop-dup")
+            report.loops_injected += applied.count("loop-inject")
+        trace = corrupted
     raw: List[Optional[Endpoint]] = [src.address]
     raw.extend(hop.address for hop in trace.hops)
     if trace.reached:
@@ -81,11 +93,24 @@ def probe_pair(
             )
         else:
             hops.append(endpoint)
+    reached = trace.reached
+    if (
+        faults is not None
+        and reached
+        and faults.flip_reach_bit(src.address, dst.address, epoch)
+    ):
+        # The lying sensor reports a working probe as failed.  The other
+        # direction is unforgeable: a probe that never reached carries no
+        # destination confirmation to flip, and the path invariant that a
+        # reached probe ends at the destination makes the lie detectable.
+        reached = False
+        if report is not None:
+            report.reach_bits_flipped += 1
     return ProbePath(
         src=src.address,
         dst=dst.address,
         hops=tuple(hops),
-        reached=trace.reached,
+        reached=reached,
         epoch=epoch,
     )
 

@@ -22,7 +22,19 @@ from repro.netsim.bgp.rib import RoutingState
 from repro.netsim.forwarding import ForwardingResult, IgpCache, data_path
 from repro.netsim.topology import Internetwork, NetworkState
 
-__all__ = ["TraceHop", "TraceResult", "trace_route", "degrade_trace"]
+__all__ = [
+    "TraceHop",
+    "TraceResult",
+    "FORGED_ROUTER_ID",
+    "trace_route",
+    "degrade_trace",
+    "corrupt_trace",
+]
+
+#: Ground-truth router id carried by a forged hop: no real router has a
+#: negative id, so scoring code can never mistake a lie for a topology
+#: router.
+FORGED_ROUTER_ID = -1
 
 
 @dataclass(frozen=True)
@@ -153,4 +165,76 @@ def degrade_trace(
         hops=hops,
         reached=reached,
         failure_reason=failure_reason,
+    )
+
+
+def _nearest_identified(
+    hops: Tuple[TraceHop, ...], index: int, lo: int, hi: int
+) -> Optional[int]:
+    """The identified hop position in ``[lo, hi]`` closest to ``index``
+    (ties resolve toward the start — deterministic)."""
+    best = None
+    for position in range(lo, hi + 1):
+        if not hops[position].identified:
+            continue
+        if best is None or abs(position - index) < abs(best - index):
+            best = position
+    return best
+
+
+def corrupt_trace(
+    trace: TraceResult,
+    forge: Optional[Tuple[int, str]] = None,
+    duplicate_at: Optional[int] = None,
+    loop: Optional[Tuple[int, int]] = None,
+) -> Tuple[TraceResult, Tuple[str, ...]]:
+    """Apply *corruption* faults — the measurement plane lying.
+
+    Unlike :func:`degrade_trace` (data goes missing), these faults add
+    records that were never true: ``forge`` inserts a hop with an
+    off-topology address at the given position; ``duplicate_at``
+    re-reports the identified hop at that position as two consecutive
+    hops; ``loop`` ``(earlier, later)`` re-inserts the hop at ``earlier``
+    after position ``later``, fabricating a routing loop.  Positions
+    refer to the input trace and are clamped/retargeted to the nearest
+    identified hop where the scheduled position is a star (a duplicated
+    star is indistinguishable from a fresh UH node, i.e. not a lie).
+
+    Returns the corrupted trace plus the tuple of corruption kinds that
+    actually applied (``"hop-forge"``, ``"hop-dup"``, ``"loop-inject"``)
+    so callers count only real injections.  The input is never mutated —
+    clean traces stay cacheable, and every corruption is a pure function
+    of the scheduled decisions.
+    """
+    hops = list(trace.hops)
+    applied = []
+    if forge is not None and len(hops) >= 2:
+        index, address = forge
+        index = max(1, min(index, len(hops) - 1))
+        hops.insert(index, TraceHop(address=address, router_id=FORGED_ROUTER_ID))
+        applied.append("hop-forge")
+    if duplicate_at is not None and len(hops) >= 3:
+        index = max(1, min(duplicate_at, len(hops) - 2))
+        target = _nearest_identified(tuple(hops), index, 1, len(hops) - 2)
+        if target is not None:
+            hops.insert(target + 1, hops[target])
+            applied.append("hop-dup")
+    if loop is not None and len(hops) >= 3:
+        earlier, later = loop
+        later = max(1, min(later, len(hops) - 2))
+        earlier = _nearest_identified(tuple(hops), earlier, 0, later - 1)
+        if earlier is not None:
+            hops.insert(later + 1, hops[earlier])
+            applied.append("loop-inject")
+    if not applied:
+        return trace, ()
+    return (
+        TraceResult(
+            src_router=trace.src_router,
+            dst_router=trace.dst_router,
+            hops=tuple(hops),
+            reached=trace.reached,
+            failure_reason=trace.failure_reason,
+        ),
+        tuple(applied),
     )

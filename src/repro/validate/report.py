@@ -1,0 +1,74 @@
+"""Per-run accounting of what validation detected and did about it.
+
+Mirrors the design of :class:`~repro.faults.DegradationReport`: screening
+is only trustworthy when it is legible.  The report keeps the full
+violation list plus per-invariant fixup/quarantine counters; the
+:class:`~repro.validate.engine.Validator` additionally mirrors the
+totals onto the run's degradation report as it screens, so they travel
+the existing RunRecord → RunnerStats → ``-- runner stats`` path
+unchanged.  ``traces_quarantined`` and ``stale_rounds_dropped`` are
+disjoint: a stale-epoch record counts only in the latter, so summed
+counters account for each dropped record exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.validate.invariants import Violation
+
+__all__ = ["ValidationReport"]
+
+
+@dataclass
+class ValidationReport:
+    """What one run's input screening found under one policy.
+
+    ``violations`` is every invariant violation detected (under
+    ``strict`` at most one — the raise stops the run); ``repairs`` and
+    ``quarantines`` count *fixups applied* and *records dropped* keyed
+    by invariant id.  A repaired record may contribute several fixups;
+    a quarantined record counts once, under the first violated
+    invariant.
+    """
+
+    policy: str
+    violations: List[Violation] = field(default_factory=list)
+    repairs: Dict[str, int] = field(default_factory=dict)
+    quarantines: Dict[str, int] = field(default_factory=dict)
+    traces_repaired: int = 0
+    traces_quarantined: int = 0
+    stale_rounds_dropped: int = 0
+    feed_messages_repaired: int = 0
+    feed_messages_quarantined: int = 0
+    lg_paths_quarantined: int = 0
+
+    def record_violations(self, violations) -> None:
+        self.violations.extend(violations)
+
+    def record_repair(self, invariant: str, count: int = 1) -> None:
+        self.repairs[invariant] = self.repairs.get(invariant, 0) + count
+
+    def record_quarantine(self, invariant: str, count: int = 1) -> None:
+        self.quarantines[invariant] = (
+            self.quarantines.get(invariant, 0) + count
+        )
+
+    def clean(self) -> bool:
+        """True when screening found nothing wrong."""
+        return not self.violations
+
+    def merge(self, other: "ValidationReport") -> None:
+        """Fold another report's findings into this one."""
+        self.violations.extend(other.violations)
+        for invariant, count in other.repairs.items():
+            self.record_repair(invariant, count)
+        for invariant, count in other.quarantines.items():
+            self.record_quarantine(invariant, count)
+        self.traces_repaired += other.traces_repaired
+        self.traces_quarantined += other.traces_quarantined
+        self.stale_rounds_dropped += other.stale_rounds_dropped
+        self.feed_messages_repaired += other.feed_messages_repaired
+        self.feed_messages_quarantined += other.feed_messages_quarantined
+        self.lg_paths_quarantined += other.lg_paths_quarantined

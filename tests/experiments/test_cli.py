@@ -127,3 +127,81 @@ class TestFiguresJsonExport:
         assert data["figure_id"] == "fig5"
         assert data["series"]
         assert all("points" in s for s in data["series"])
+
+
+class TestCorruptionCli:
+    def test_corrupt_sweep_defaults_to_quarantine(self, capsys):
+        code = repro_main(
+            [
+                "degradation",
+                "--corrupt",
+                "--rates",
+                "0.2",
+                "--placements",
+                "1",
+                "--failures",
+                "2",
+                "--sensors",
+                "6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "corruption rate (validation=quarantine)" in out
+        assert "corruption: hops forged=" in out
+        assert "validation: violations=" in out
+
+    def test_validation_flag_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            repro_main(["degradation", "--validation", "lenient"])
+
+
+class TestTypedErrorsExitCleanly:
+    """Both entry points catch the typed pipeline errors: one line on
+    stderr, exit code 2, no traceback."""
+
+    @pytest.mark.parametrize(
+        "error_type", ["TopologyError", "ControlPlaneFeedError", "ValidationError"]
+    )
+    def test_top_level_cli(self, error_type, monkeypatch, capsys):
+        import repro.__main__ as cli
+        from repro import errors
+
+        if error_type == "ValidationError":
+            error = errors.ValidationError("trace-loop", "probe a->b [post]")
+        else:
+            error = getattr(errors, error_type)("injected for the test")
+
+        def explode(args):
+            raise error
+
+        monkeypatch.setattr(cli, "_cmd_topology", explode)
+        code = cli.main(["topology"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_figures_cli(self, monkeypatch, capsys):
+        from repro import errors
+        from repro.experiments.figures import FIGURES
+
+        def explode(config):
+            raise errors.ValidationError("feed-order", "igp message #3")
+
+        monkeypatch.setitem(FIGURES, "5", explode)
+        code = figures_main(["--figure", "5"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "error: " in captured.err
+        assert "feed-order" in captured.err
+
+    def test_strict_validation_error_is_one_line(self, monkeypatch, capsys):
+        """The rendered message names invariant and record, on one line."""
+        from repro import errors
+
+        error = errors.ValidationError(
+            "trace-epoch", "probe 10.0.0.1->10.0.9.9 [post]", "stale tag"
+        )
+        assert "trace-epoch" in str(error)
+        assert "\n" not in str(error)

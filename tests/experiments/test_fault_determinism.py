@@ -110,3 +110,41 @@ class TestFaultSchedulesAreDeterministic:
                         assert getattr(score, field.name) == getattr(
                             other, field.name
                         ), f"{label}.{field.name} drifted under workers=2"
+
+
+#: The corruption axis under quarantine screening: every corruption mode
+#: plus the validation pipeline, across process boundaries.
+CORRUPT_BATCH = dict(
+    topo_factory=ResearchTopoFactory(topo_seed=7, n_tier2=4, n_stub=16),
+    placement_fn=StubPlacement(5),
+    kinds=("link-1",),
+    diagnosers={
+        "tomo": NetDiagnoser("tomo"),
+        "nd-edge": NetDiagnoser("nd-edge"),
+    },
+    placements=3,
+    failures_per_placement=3,
+    seed=0,
+    asx_selector=CoreAsx(),
+    blocked_fraction=0.3,
+    lg_fraction=1.0,
+    intra_failures_only=True,
+    fault_config=FaultConfig.corruption(0.2),
+    validation="quarantine",
+)
+
+
+class TestCorruptionSchedulesAreDeterministic:
+    def test_workers3_corrupts_and_screens_identically(self):
+        serial_stats, parallel_stats = RunnerStats(), RunnerStats()
+        serial = run_kind_batch(**CORRUPT_BATCH, workers=1, stats=serial_stats)
+        parallel = run_kind_batch(
+            **CORRUPT_BATCH, workers=3, stats=parallel_stats
+        )
+        assert serial == parallel
+        assert serial_stats.any_corruption_seen()
+        assert serial_stats.any_validation_seen()
+        for field in DegradationReport._COUNTER_FIELDS:
+            assert getattr(serial_stats, field) == getattr(
+                parallel_stats, field
+            ), f"RunnerStats.{field} differs between serial and parallel"

@@ -22,7 +22,8 @@ class TestApiDocMatchesCode:
     @pytest.mark.parametrize(
         "module_name",
         ["repro", "repro.core", "repro.netsim", "repro.measurement",
-         "repro.experiments", "repro.faults", "repro.serialize"],
+         "repro.experiments", "repro.faults", "repro.serialize",
+         "repro.validate"],
     )
     def test_documented_names_exist(self, module_name):
         """Every `backticked` identifier under a module's section of

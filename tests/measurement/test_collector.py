@@ -103,3 +103,80 @@ class TestLgLookup:
         lg = LookingGlassService.everywhere(fig.net)
         lookup = make_lg_lookup(sim, lg, nominal, nominal)
         assert lookup(fig.asn("A"), "192.168.1.1", "pre") is None
+
+
+class TestCorruptionSeams:
+    """The collector-level corruption seams and the all-masked edge case."""
+
+    def test_stale_replay_reuses_the_pre_round_path(self, setup, nominal):
+        from repro.faults import DegradationReport, FaultConfig, FaultPlan
+
+        fig, sim, sensors = setup
+        lid = fig.link_between("b1", "b2").lid
+        after = sim.apply(LinkFailureEvent((lid,)))
+        plan = FaultPlan(11, FaultConfig(stale_replay_rate=1.0))
+        report = DegradationReport()
+        snap = take_snapshot(
+            sim, sensors, nominal, after, faults=plan, report=report
+        )
+        assert report.stale_replays == len(list(snap.after.pairs()))
+        # The replayed records keep their T- epoch tag — the lie the
+        # trace-epoch invariant exists to catch.
+        assert all(p.epoch == EPOCH_PRE for p in snap.after.paths())
+        assert not snap.any_failure()  # the lie hides the failure
+
+    def test_validator_quarantines_every_stale_replay(self, setup, nominal):
+        from repro.faults import DegradationReport, FaultConfig, FaultPlan
+        from repro.validate import Validator
+
+        fig, sim, sensors = setup
+        lid = fig.link_between("b1", "b2").lid
+        after = sim.apply(LinkFailureEvent((lid,)))
+        plan = FaultPlan(11, FaultConfig(stale_replay_rate=1.0))
+        report = DegradationReport()
+        validator = Validator("quarantine", degradation=report)
+        snap = take_snapshot(
+            sim, sensors, nominal, after,
+            faults=plan, report=report, validator=validator,
+        )
+        assert report.stale_rounds_dropped == report.stale_replays > 0
+        # Every after-round record was a replay, so nothing survives.
+        assert list(snap.before.pairs()) == []
+        assert list(snap.after.pairs()) == []
+        assert not snap.any_failure()
+
+    def test_feed_corruption_counts_and_screening(self, setup, nominal):
+        from repro.faults import DegradationReport, FaultConfig, FaultPlan
+        from repro.validate import Validator
+
+        fig, sim, sensors = setup
+        lid = fig.link_between("x1", "x2").lid
+        after = sim.apply(LinkFailureEvent((lid,)))
+        plan = FaultPlan(13, FaultConfig(feed_duplicate_rate=1.0))
+        report = DegradationReport()
+        validator = Validator("quarantine", degradation=report)
+        view = collect_control_plane(
+            sim, fig.asn("X"), nominal, after,
+            faults=plan, report=report, validator=validator,
+        )
+        assert report.feed_messages_duplicated > 0
+        assert report.feed_messages_quarantined == report.feed_messages_duplicated
+        # After screening the stream is duplicate-free again.
+        assert len(set(view.igp_link_down)) == len(view.igp_link_down)
+
+    def test_total_probe_loss_yields_a_valid_empty_snapshot(
+        self, setup, nominal
+    ):
+        from repro.faults import DegradationReport, FaultConfig, FaultPlan
+
+        fig, sim, sensors = setup
+        lid = fig.link_between("b1", "b2").lid
+        after = sim.apply(LinkFailureEvent((lid,)))
+        plan = FaultPlan(5, FaultConfig(trace_drop_rate=1.0))
+        report = DegradationReport()
+        snap = take_snapshot(
+            sim, sensors, nominal, after, faults=plan, report=report
+        )
+        assert list(snap.before.pairs()) == []
+        assert not snap.any_failure()
+        assert snap.failed_pairs() == ()
