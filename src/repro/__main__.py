@@ -21,6 +21,10 @@ Examples::
     python -m repro degradation --rates 0 0.1 0.2 0.3 0.4 0.5 \
         --journal sweep.journal --resume
 
+    # Replay a deterministic event stream through the online engine and
+    # report throughput, backpressure and episode-diagnosis latency
+    python -m repro stream --rates 0 0.1 --window 4 --policy quarantine
+
     # Regenerate evaluation figures (delegates to repro.experiments)
     python -m repro.experiments --figure 6
 """
@@ -34,7 +38,12 @@ import sys
 from pathlib import Path
 
 from repro.core.diagnoser import VARIANTS, NetDiagnoser
-from repro.errors import ControlPlaneFeedError, TopologyError, ValidationError
+from repro.errors import (
+    ControlPlaneFeedError,
+    StreamError,
+    TopologyError,
+    ValidationError,
+)
 from repro.experiments.runner import ground_truth_links, make_session, run_scenario
 from repro.experiments.scenarios import SCENARIO_KINDS
 from repro.measurement.collector import collect_control_plane, take_snapshot
@@ -192,6 +201,75 @@ def _cmd_degradation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.experiments.journal import RunJournal
+    from repro.experiments.report import render_stream_report
+    from repro.stream import ReplayConfig, make_replay_setup, run_stream_replay
+
+    workers = args.workers or (os.cpu_count() or 1)
+    for rate in args.rates:
+        setup = make_replay_setup(
+            seed=args.seed,
+            topo_seed=args.topo_seed,
+            n_tier2=args.tier2,
+            n_stub=args.stubs,
+            n_sensors=args.sensors,
+            blocked_fraction=args.blocked_fraction,
+            algorithms=tuple(args.algorithms),
+        )
+        config = ReplayConfig(
+            kind=args.kind,
+            episodes=args.episodes,
+            incident_rounds=args.incident_rounds,
+            recovery_rounds=args.recovery_rounds,
+            fault_rate=rate,
+            corrupt=args.corrupt,
+            seed=args.seed,
+        )
+        journal = cached = None
+        if args.journal:
+            fingerprint = {
+                "format": "repro-stream-journal",
+                "config": config,
+                "policy": args.policy,
+                "window": args.window,
+            }
+            journal = RunJournal(f"{args.journal}.rate{rate}", fingerprint)
+            if args.resume:
+                cached = journal.load_completed()
+        result = run_stream_replay(
+            setup,
+            config,
+            policy=args.policy,
+            window_width=args.window,
+            workers=workers,
+            journal=journal,
+            cached_reports=cached,
+            save_log=args.save_log,
+        )
+        print(f"=== stream replay @ fault rate {rate} "
+              f"(policy={args.policy}, window={args.window}) ===")
+        for index, episode in enumerate(result.episodes):
+            print(f"injected episode {index}: {episode.description} "
+                  f"[ticks {episode.baseline_tick}-{episode.last_tick}]")
+        for report in result.reports:
+            verdicts = "  ".join(
+                f"{d.algorithm}:|H|={d.hypothesis_size}"
+                + ("!" if d.error else "")
+                for d in report.diagnoses
+            ) or "(episode summary only)"
+            print(
+                f"  report {report.report_index}: episode "
+                f"{report.episode_id} {report.trigger} @tick {report.tick} "
+                f"(+{report.latency_ticks} latency, "
+                f"{len(report.pairs)} pairs)  {verdicts}"
+            )
+        print(render_stream_report(result))
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     archive = json.loads(Path(args.scenario).read_text())
     if archive.get("format") != "repro-scenario-v1":
@@ -342,6 +420,79 @@ def main(argv=None) -> int:
     )
     degradation.set_defaults(func=_cmd_degradation)
 
+    stream = sub.add_parser(
+        "stream",
+        help="replay a deterministic event stream through the online engine",
+    )
+    stream.add_argument("--kind", choices=SCENARIO_KINDS, default="link-1")
+    stream.add_argument("--episodes", type=int, default=2)
+    stream.add_argument("--incident-rounds", type=int, default=2)
+    stream.add_argument("--recovery-rounds", type=int, default=2)
+    stream.add_argument(
+        "--rates",
+        nargs="+",
+        type=_fault_rate,
+        default=[0.0],
+        help="fault rates to replay, one full stream each (each in [0, 1])",
+    )
+    stream.add_argument(
+        "--corrupt",
+        action="store_true",
+        help="inject corruption (lying data) instead of omission faults",
+    )
+    stream.add_argument(
+        "--policy",
+        choices=POLICIES,
+        default="quarantine",
+        help="repro.validate policy applied to every ingested event",
+    )
+    stream.add_argument(
+        "--window",
+        type=int,
+        default=4,
+        help="sliding window width in logical ticks (>= 1)",
+    )
+    stream.add_argument("--sensors", type=int, default=6)
+    stream.add_argument("--tier2", type=int, default=6)
+    stream.add_argument("--stubs", type=int, default=40)
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--topo-seed", type=int, default=100)
+    stream.add_argument(
+        "--blocked-fraction",
+        type=_fault_rate,
+        default=0.0,
+        help="fraction of covered ASes blocking traceroutes (enables nd-lg "
+        "scenarios when combined with --algorithms nd-lg)",
+    )
+    stream.add_argument(
+        "--algorithms",
+        nargs="+",
+        choices=VARIANTS,
+        default=["tomo", "nd-edge", "nd-bgpigp"],
+    )
+    stream.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=1,
+        help="diagnosis worker processes (0 = all cores, 1 = serial)",
+    )
+    stream.add_argument(
+        "--journal",
+        default=None,
+        help="checkpoint base path; each rate appends to <journal>.rate<r>",
+    )
+    stream.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse episode reports already in the journal files",
+    )
+    stream.add_argument(
+        "--save-log",
+        default=None,
+        help="also write the built event log (repro-event-log-v1) here",
+    )
+    stream.set_defaults(func=_cmd_stream)
+
     replay = sub.add_parser(
         "replay", help="re-diagnose an archived scenario file"
     )
@@ -357,9 +508,15 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (ControlPlaneFeedError, TopologyError, ValidationError) as error:
+    except (
+        ControlPlaneFeedError,
+        StreamError,
+        TopologyError,
+        ValidationError,
+    ) as error:
         # Typed pipeline failures are user-diagnosable (bad inputs, strict
-        # validation): one line on stderr, nonzero exit, no traceback.
+        # validation, a misconfigured or overflowing stream): one line on
+        # stderr, nonzero exit, no traceback.
         print(f"error: {error}", file=sys.stderr)
         return 2
 

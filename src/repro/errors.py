@@ -21,6 +21,8 @@ __all__ = [
     "ControlPlaneFeedError",
     "JobTimeoutError",
     "ValidationError",
+    "StreamError",
+    "EpisodeOverflowError",
 ]
 
 
@@ -84,6 +86,21 @@ class ControlPlaneFeedError(FaultInjectionError):
 class JobTimeoutError(ReproError):
     """A placement job exceeded its wall-clock budget and was abandoned
     (and retried, attempts permitting) by the resilient runner."""
+
+
+class StreamError(ReproError):
+    """The streaming diagnosis engine was misconfigured or handed an
+    unusable event stream (unknown log format, zero-width window,
+    non-monotonic logical clock, ...).  User-diagnosable: the CLIs print
+    the message on stderr and exit 2 instead of dumping a traceback."""
+
+
+class EpisodeOverflowError(StreamError):
+    """The engine's bounded work queue *and* its deferral buffer are both
+    full: episodes are opening faster than diagnoses retire them.  The
+    engine refuses to shed diagnosis work silently — the caller must
+    widen ``max_pending``/``overflow_limit``, drain more often, or slow
+    the event source."""
 
 
 class ValidationError(ReproError):

@@ -15,7 +15,12 @@ import pathlib
 import sys
 import time
 
-from repro.errors import ControlPlaneFeedError, TopologyError, ValidationError
+from repro.errors import (
+    ControlPlaneFeedError,
+    StreamError,
+    TopologyError,
+    ValidationError,
+)
 from repro.experiments.figures import FIGURES, FigureConfig, figure_sort_key
 from repro.serialize import figure_result_to_dict
 
@@ -96,7 +101,12 @@ def main(argv=None) -> int:
         started = time.time()
         try:
             result = FIGURES[figure_id](config)
-        except (ControlPlaneFeedError, TopologyError, ValidationError) as error:
+        except (
+            ControlPlaneFeedError,
+            StreamError,
+            TopologyError,
+            ValidationError,
+        ) as error:
             # Typed pipeline failures are user-diagnosable: one line on
             # stderr, nonzero exit, no traceback.
             print(f"error: {error}", file=sys.stderr)

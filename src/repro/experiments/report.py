@@ -15,8 +15,14 @@ from typing import TYPE_CHECKING, List, Sequence
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.experiments.figures.base import FigureResult, Series
     from repro.experiments.runner import RunnerStats
+    from repro.stream.replay import StreamRunResult
 
-__all__ = ["render_figure", "render_ascii_chart", "render_runner_stats"]
+__all__ = [
+    "render_figure",
+    "render_ascii_chart",
+    "render_runner_stats",
+    "render_stream_report",
+]
 
 #: Marker characters assigned to series in order.
 _MARKERS = "ox+*#@%&"
@@ -167,6 +173,67 @@ def render_runner_stats(stats: "RunnerStats") -> str:
             f"serial fallbacks={stats.serial_fallbacks}  "
             f"resumed={stats.placements_resumed}"
         )
+    return "\n".join(lines)
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = min(
+        len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1)))
+    )
+    return float(sorted_values[rank])
+
+
+def render_stream_report(result: "StreamRunResult") -> str:
+    """Aligned accounting block for one stream replay.
+
+    Episode reports themselves are deterministic; this block mixes them
+    with wall-clock throughput, so (like :func:`render_runner_stats`)
+    it is an appendix, never golden output.  Latency is in logical
+    ticks: how long a scheduled episode transition waited in the
+    bounded queue before its diagnosis ran.
+    """
+    from repro.experiments.stats import ratio
+
+    engine = result.engine_counters
+    ingest = result.ingest_counters
+    window = result.window_counters
+    detector = result.detector_counters
+    events_per_second = ratio(result.events_total, result.wall_seconds)
+    latencies = sorted(result.latencies)
+    lines = [
+        "-- stream replay",
+        f"   events={result.events_total}  "
+        f"episodes injected={len(result.episodes)}  "
+        f"reports={engine['reports_emitted']}  "
+        f"wall={result.wall_seconds:.2f}s  "
+        f"({events_per_second:.0f} events/s)",
+        f"   ingest: screened={ingest['events_screened']}  "
+        f"quarantined={ingest['events_quarantined']}  "
+        f"repaired={ingest['events_repaired']}",
+        f"   window: baseline pairs={window['baseline_pairs']}  "
+        f"current pairs={window['current_pairs']}  "
+        f"stale evictions={window['stale_evictions']}  "
+        f"lru evictions={window['lru_evictions']}  "
+        f"dark sensors={window['dark_sensors']}",
+        f"   episodes: detected={detector['episodes_total']}  "
+        f"open at end={detector['episodes_open']}  "
+        f"transitions={detector['transitions']}  "
+        f"pairs alarmed={detector['pairs_alarmed']}",
+        f"   backpressure: coalesced={engine['episodes_coalesced']}  "
+        f"deferred={engine['transitions_deferred']}  "
+        f"reused={engine['reports_reused']}  "
+        f"degraded diagnoses={engine['diagnoses_failed']}",
+        f"   latency (ticks): p50={_percentile(latencies, 0.50):.0f}  "
+        f"p99={_percentile(latencies, 0.99):.0f}  "
+        f"max={latencies[-1] if latencies else 0:.0f}",
+        f"   stage cpu: ingest={result.stage_seconds['ingest']:.2f}s  "
+        f"window={result.stage_seconds['window']:.2f}s  "
+        f"detect={result.stage_seconds['detect']:.2f}s  "
+        f"diagnose={result.stage_seconds['diagnose']:.2f}s",
+    ]
     return "\n".join(lines)
 
 

@@ -14,7 +14,7 @@ effectiveness instead of just cache size.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Generic, Hashable, Optional, TypeVar
+from typing import Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
 
 from repro.errors import ReproError
 
@@ -62,6 +62,24 @@ class LruCache(Generic[K, V]):
         if self.capacity and len(self._data) > self.capacity:
             self._data.popitem(last=False)
             self.evictions += 1
+
+    def pop(self, key: K) -> Optional[V]:
+        """Remove and return an entry without counting a hit or miss.
+
+        Eviction-by-policy (a sliding window dropping stale observations)
+        is not a lookup: it must not skew the hit-rate accounting.
+        Returns ``None`` when the key is absent.
+        """
+        return self._data.pop(key, None)
+
+    def items(self) -> List[Tuple[K, V]]:
+        """Snapshot of ``(key, value)`` pairs, LRU first.
+
+        Iteration does not touch recency or the counters — callers that
+        scan for stale entries (:mod:`repro.stream.window`) must not
+        refresh everything they merely look at.
+        """
+        return list(self._data.items())
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""

@@ -1,0 +1,107 @@
+"""Streaming diagnosis: online event ingestion, episodes, continuous runs.
+
+The paper's troubleshooter runs *continuously* at AS-X — probe results,
+BGP withdrawals and IGP link-down messages arrive as a stream (§3.3).
+This package is that online layer over the existing batch machinery:
+
+* :mod:`repro.stream.events` — typed events, the logical clock, and the
+  append-only ``repro-event-log-v1`` format;
+* :mod:`repro.stream.ingest` — per-event screening under the
+  :mod:`repro.validate` policies (strict/repair/quarantine);
+* :mod:`repro.stream.window` — sliding-window reconciliation into the
+  batch :class:`~repro.core.pathset.MeasurementSnapshot` shape, bounded
+  by :class:`~repro.netsim.cache.LruCache`;
+* :mod:`repro.stream.episodes` — debounced, hysteretic failure-episode
+  detection (no diagnosis storms on transient loss);
+* :mod:`repro.stream.engine` — the orchestrator: bounded work queue,
+  explicit backpressure, per-episode diagnosis with every configured
+  :class:`~repro.core.diagnoser.NetDiagnoser` variant, bit-identical
+  serial/parallel output;
+* :mod:`repro.stream.replay` — deterministic replay of recorded rounds
+  and fault plans (same log + seed ⇒ identical episode reports).
+
+CLI: ``python -m repro stream`` replays a configured stream and renders
+throughput, backpressure and episode-latency statistics.
+"""
+
+from repro.stream.engine import (
+    EpisodeDiagnosis,
+    EpisodeReport,
+    StaticAsnMap,
+    StreamEngine,
+)
+from repro.stream.episodes import (
+    CLOSE,
+    OPEN,
+    UPDATE,
+    Episode,
+    EpisodeDetector,
+    EpisodeTransition,
+)
+from repro.stream.events import (
+    EVENT_LOG_FORMAT,
+    EventLogWriter,
+    IgpLinkDownEvent,
+    LogicalClock,
+    ProbeEvent,
+    ReachabilityEvent,
+    SensorDropoutEvent,
+    SensorHeartbeatEvent,
+    StreamEvent,
+    WithdrawalEvent,
+    load_event_log,
+    save_event_log,
+    stream_event_from_dict,
+    stream_event_to_dict,
+)
+from repro.stream.ingest import StreamIngestor
+from repro.stream.replay import (
+    ReplayConfig,
+    ReplayEpisodeInfo,
+    ReplayLog,
+    ReplaySetup,
+    StreamRunResult,
+    build_event_log,
+    make_replay_setup,
+    run_replay,
+    run_stream_replay,
+)
+from repro.stream.window import SlidingWindow
+
+__all__ = [
+    "EVENT_LOG_FORMAT",
+    "LogicalClock",
+    "StreamEvent",
+    "ProbeEvent",
+    "ReachabilityEvent",
+    "WithdrawalEvent",
+    "IgpLinkDownEvent",
+    "SensorHeartbeatEvent",
+    "SensorDropoutEvent",
+    "EventLogWriter",
+    "save_event_log",
+    "load_event_log",
+    "stream_event_to_dict",
+    "stream_event_from_dict",
+    "StreamIngestor",
+    "SlidingWindow",
+    "OPEN",
+    "UPDATE",
+    "CLOSE",
+    "Episode",
+    "EpisodeTransition",
+    "EpisodeDetector",
+    "StaticAsnMap",
+    "EpisodeDiagnosis",
+    "EpisodeReport",
+    "StreamEngine",
+    "ReplayConfig",
+    "ReplaySetup",
+    "ReplayEpisodeInfo",
+    "ReplayLog",
+    "StreamRunResult",
+    "make_replay_setup",
+    "build_event_log",
+    "run_replay",
+    "run_stream_replay",
+]

@@ -1,0 +1,523 @@
+"""The streaming diagnosis engine: episodes in, diagnosis reports out.
+
+:class:`StreamEngine` wires the stream pieces into the shape the batch
+pipeline has always had — screen, assemble, diagnose — but continuously:
+
+1. :meth:`offer` screens one event (:class:`~repro.stream.ingest.StreamIngestor`),
+   folds it into the sliding window, and feeds the episode detector;
+2. :meth:`advance` closes a logical tick: stale observations are
+   evicted and the detector emits episode transitions, which become
+   **diagnosis work** on a bounded queue;
+3. :meth:`drain` retires queued work: for each transition it assembles
+   the window's snapshot and runs every configured diagnoser, emitting
+   one :class:`EpisodeReport` per transition in schedule order.
+
+Backpressure is explicit, never silent.  The work queue holds at most
+``max_pending`` transitions; an ``update`` for an episode already queued
+is **coalesced** into the queued entry (``episodes_coalesced``), a
+transition arriving at a full queue is **deferred** to the next drain
+(``transitions_deferred``), and a deferral buffer past ``overflow_limit``
+raises :class:`~repro.errors.EpisodeOverflowError` — the engine refuses
+to shed diagnosis work without telling anyone.
+
+Determinism: reports depend only on the event stream and the
+configuration.  With ``workers > 1`` the per-variant diagnoses of each
+drained transition run in a process pool — payloads are made picklable
+by snapshotting ``asn_of`` into a :class:`StaticAsnMap` — and results
+are merged back in (transition, variant) order, so parallel output is
+bit-identical to serial.  ``nd-lg`` closures are not picklable and
+always run inline in the parent, in the same merge order.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.control_plane import ControlPlaneView
+from repro.core.diagnoser import NetDiagnoser
+from repro.core.pathset import EPOCH_POST, EPOCH_PRE, MeasurementSnapshot
+from repro.errors import EpisodeOverflowError, StreamError
+from repro.faults import DegradationReport
+from repro.stream.episodes import (
+    CLOSE,
+    OPEN,
+    UPDATE,
+    EpisodeDetector,
+    EpisodeTransition,
+)
+from repro.stream.events import (
+    ProbeEvent,
+    ReachabilityEvent,
+    SensorDropoutEvent,
+    StreamEvent,
+)
+from repro.stream.ingest import StreamIngestor
+from repro.stream.window import SlidingWindow
+
+__all__ = [
+    "StaticAsnMap",
+    "EpisodeDiagnosis",
+    "EpisodeReport",
+    "StreamEngine",
+]
+
+logger = logging.getLogger(__name__)
+
+Pair = Tuple[str, str]
+
+
+@dataclass
+class StaticAsnMap:
+    """A picklable snapshot of the IP-to-AS mapping.
+
+    Worker processes cannot unpickle a simulator-bound ``asn_of``
+    method, so diagnosis payloads carry the mapping for exactly the
+    addresses the snapshot mentions.  Calling it is what the diagnosers
+    expect: address in, ASN (or ``None``) out.
+    """
+
+    table: Dict[str, Optional[int]]
+
+    def __call__(self, address: str) -> Optional[int]:
+        return self.table.get(address)
+
+
+@dataclass(frozen=True)
+class EpisodeDiagnosis:
+    """One diagnoser's verdict inside an episode report.
+
+    ``error`` carries the exception type name when the diagnoser could
+    not cope with the window's partial inputs (best-effort empty
+    hypothesis, same as the batch runner's degraded path).
+    """
+
+    algorithm: str
+    hypothesis: frozenset
+    hypothesis_size: int
+    fully_explained: bool
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class EpisodeReport:
+    """One emitted diagnosis of one episode transition.
+
+    ``report_index`` is the global emission index; it doubles as the
+    :class:`~repro.experiments.journal.RunJournal` key (exposed as
+    ``placement_index``) so a stream run checkpoints and resumes with
+    the same machinery as a batch sweep.  ``latency_ticks`` is how many
+    logical ticks the transition waited in the queue before diagnosis —
+    the bounded-latency number the benchmarks track.
+    """
+
+    report_index: int
+    episode_id: int
+    trigger: str
+    tick: int
+    diagnosed_at: int
+    pairs: Tuple[Pair, ...]
+    diagnoses: Tuple[EpisodeDiagnosis, ...]
+
+    @property
+    def latency_ticks(self) -> int:
+        return self.diagnosed_at - self.tick
+
+    @property
+    def placement_index(self) -> int:
+        """Journal key (RunJournal stores results by this attribute)."""
+        return self.report_index
+
+
+@dataclass
+class _PendingWork:
+    """One queued transition awaiting diagnosis."""
+
+    transition: EpisodeTransition
+
+
+def _summarise(result) -> EpisodeDiagnosis:
+    return EpisodeDiagnosis(
+        algorithm=result.algorithm,
+        hypothesis=frozenset(result.hypothesis),
+        hypothesis_size=result.hypothesis_size(),
+        fully_explained=result.fully_explained,
+    )
+
+
+def _empty_diagnosis(label: str, error: Optional[str] = None) -> EpisodeDiagnosis:
+    return EpisodeDiagnosis(
+        algorithm=label,
+        hypothesis=frozenset(),
+        hypothesis_size=0,
+        fully_explained=False,
+        error=error,
+    )
+
+
+def _diagnose_payload(payload) -> EpisodeDiagnosis:
+    """Worker-side diagnosis of one picklable (label, diagnoser,
+    snapshot, control) payload; degrades to an empty verdict on any
+    exception so a fragile diagnoser never kills the pool."""
+    label, diagnoser, snapshot, control = payload
+    try:
+        return _summarise(
+            diagnoser.diagnose(snapshot, control=control, lg_lookup=None)
+        )
+    except Exception as exc:
+        return _empty_diagnosis(label, error=type(exc).__name__)
+
+
+class StreamEngine:
+    """Continuous diagnosis over an event stream.
+
+    Parameters mirror the batch runner where a counterpart exists:
+    ``diagnosers`` is the same label→\
+    :class:`~repro.core.diagnoser.NetDiagnoser` mapping, ``asx`` the
+    cooperating ISP, ``lg_lookup`` the Looking Glass callback for
+    ``nd-lg``, ``policy`` a :mod:`repro.validate` policy name.
+    """
+
+    def __init__(
+        self,
+        asn_of: Callable[[str], Optional[int]],
+        diagnosers: Mapping[str, NetDiagnoser],
+        asx: Optional[int] = None,
+        lg_lookup: Optional[Callable] = None,
+        window_width: int = 4,
+        window_capacity: int = 0,
+        open_after: int = 2,
+        close_after: int = 2,
+        policy: str = "quarantine",
+        max_pending: int = 8,
+        overflow_limit: int = 32,
+        workers: int = 0,
+        degradation: Optional[DegradationReport] = None,
+        on_report: Optional[Callable[[EpisodeReport], None]] = None,
+        cached_reports: Optional[Mapping[int, EpisodeReport]] = None,
+    ) -> None:
+        if max_pending < 1:
+            raise StreamError(f"max_pending must be >= 1, got {max_pending}")
+        if overflow_limit < 0:
+            raise StreamError(
+                f"overflow_limit must be >= 0, got {overflow_limit}"
+            )
+        self.asn_of = asn_of
+        self.diagnosers = dict(diagnosers)
+        self.asx = asx
+        self.lg_lookup = lg_lookup
+        self.ingestor = StreamIngestor(
+            asn_of,
+            policy,
+            expected_epochs=(EPOCH_PRE, EPOCH_POST),
+            degradation=degradation,
+        )
+        self.window = SlidingWindow(window_width, capacity=window_capacity)
+        self.detector = EpisodeDetector(
+            open_after=open_after, close_after=close_after
+        )
+        self.max_pending = max_pending
+        self.overflow_limit = overflow_limit
+        self.workers = workers
+        self.on_report = on_report
+        self.cached_reports = dict(cached_reports or {})
+        self._pending: List[_PendingWork] = []
+        self._deferred: List[_PendingWork] = []
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self.reports: List[EpisodeReport] = []
+        # accounting
+        self.events_offered = 0
+        self.events_admitted = 0
+        self.transitions_scheduled = 0
+        self.episodes_coalesced = 0
+        self.transitions_deferred = 0
+        self.reports_reused = 0
+        self.diagnoses_failed = 0
+        self.latencies: List[int] = []
+        self.seconds = {
+            "ingest": 0.0,
+            "window": 0.0,
+            "detect": 0.0,
+            "diagnose": 0.0,
+        }
+
+    # --------------------------------------------------------------- intake
+
+    def offer(self, event: StreamEvent) -> bool:
+        """Screen one event and fold it into the engine's state.
+
+        Returns ``True`` when the event was admitted, ``False`` when the
+        screening quarantined it.
+        """
+        self.events_offered += 1
+        started = time.perf_counter()
+        admitted = self.ingestor.ingest(event)
+        self.seconds["ingest"] += time.perf_counter() - started
+        if admitted is None:
+            return False
+        self.events_admitted += 1
+        started = time.perf_counter()
+        self.window.observe(admitted)
+        self.seconds["window"] += time.perf_counter() - started
+        started = time.perf_counter()
+        if isinstance(admitted, ProbeEvent):
+            if admitted.path.epoch == EPOCH_POST:
+                self.detector.observe(admitted.path.pair, admitted.path.reached)
+        elif isinstance(admitted, ReachabilityEvent):
+            self.detector.observe(
+                (admitted.src, admitted.dst), admitted.reached
+            )
+        elif isinstance(admitted, SensorDropoutEvent):
+            self.detector.forget(admitted.address)
+        self.seconds["detect"] += time.perf_counter() - started
+        return True
+
+    # ---------------------------------------------------------------- ticks
+
+    def advance(self, tick: int) -> List[EpisodeTransition]:
+        """Close a logical tick: evict stale state, detect transitions,
+        schedule the resulting diagnosis work."""
+        started = time.perf_counter()
+        self.window.evict(tick)
+        transitions = self.detector.advance(tick)
+        self.seconds["detect"] += time.perf_counter() - started
+        for transition in transitions:
+            self._schedule(transition)
+        return transitions
+
+    def _schedule(self, transition: EpisodeTransition) -> None:
+        self.transitions_scheduled += 1
+        if transition.kind == UPDATE:
+            for work in self._pending + self._deferred:
+                queued = work.transition
+                if (
+                    queued.episode_id == transition.episode_id
+                    and queued.kind != CLOSE
+                ):
+                    # Absorb: keep the queued kind (an open must still be
+                    # reported as an open), diagnose the newest state.
+                    work.transition = EpisodeTransition(
+                        kind=queued.kind,
+                        episode_id=queued.episode_id,
+                        tick=queued.tick,
+                        pairs=transition.pairs,
+                    )
+                    self.episodes_coalesced += 1
+                    return
+        if len(self._pending) < self.max_pending:
+            self._pending.append(_PendingWork(transition))
+            return
+        self.transitions_deferred += 1
+        if len(self._deferred) >= self.overflow_limit:
+            raise EpisodeOverflowError(
+                f"diagnosis queue full ({self.max_pending} pending, "
+                f"{len(self._deferred)} deferred >= overflow_limit="
+                f"{self.overflow_limit}); drain more often or widen the "
+                "queue"
+            )
+        self._deferred.append(_PendingWork(transition))
+
+    # ---------------------------------------------------------------- drain
+
+    @property
+    def idle(self) -> bool:
+        """True when no diagnosis work is queued or deferred."""
+        return not (self._pending or self._deferred)
+
+    def drain(self, now: int) -> List[EpisodeReport]:
+        """Retire the queued transitions (at most ``max_pending``),
+        then promote deferred work into the freed queue slots."""
+        batch, self._pending = self._pending, []
+        promoted = self._deferred[: self.max_pending]
+        self._deferred = self._deferred[self.max_pending:]
+        self._pending.extend(promoted)
+        if not batch:
+            return []
+        started = time.perf_counter()
+        reports = self._diagnose_batch(batch, now)
+        self.seconds["diagnose"] += time.perf_counter() - started
+        for report in reports:
+            self.reports.append(report)
+            self.latencies.append(report.latency_ticks)
+            if (
+                self.on_report is not None
+                and report.report_index not in self.cached_reports
+            ):
+                # Reused reports are already durable wherever the hook
+                # writes (the resume journal) — only fresh ones go out.
+                self.on_report(report)
+        return reports
+
+    def flush(self, now: int) -> List[EpisodeReport]:
+        """Drain until no work remains (end-of-stream)."""
+        reports: List[EpisodeReport] = []
+        while not self.idle:
+            reports.extend(self.drain(now))
+        return reports
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    # ---------------------------------------------------------- diagnosis
+
+    def _static_asn_map(
+        self, snapshot: MeasurementSnapshot, control: Optional[ControlPlaneView]
+    ) -> StaticAsnMap:
+        addresses = set()
+        for store in (snapshot.before, snapshot.after):
+            for path in store.paths():
+                for hop in path.hops:
+                    if isinstance(hop, str):
+                        addresses.add(hop)
+        if control is not None:
+            for obs in control.igp_link_down:
+                addresses.update((obs.address_a, obs.address_b))
+            for obs in control.withdrawals:
+                addresses.update((obs.at_address, obs.from_address))
+        return StaticAsnMap(
+            {address: self.asn_of(address) for address in sorted(addresses)}
+        )
+
+    def _assemble(
+        self,
+    ) -> Tuple[Optional[MeasurementSnapshot], Optional[ControlPlaneView]]:
+        snapshot = self.window.snapshot(self.asn_of)
+        control = (
+            self.window.control_view(self.asx) if self.asx is not None else None
+        )
+        return snapshot, control
+
+    def _diagnose_batch(
+        self, batch: List[_PendingWork], now: int
+    ) -> List[EpisodeReport]:
+        """Diagnose a drained batch, serial or via the worker pool.
+
+        Every transition in the batch sees the same window state (the
+        window only changes in :meth:`offer`/:meth:`advance`), so the
+        snapshot is assembled once per drain.
+        """
+        next_index = len(self.reports)
+        cached: Dict[int, EpisodeReport] = {}
+        live: List[Tuple[int, EpisodeTransition]] = []
+        for offset, work in enumerate(batch):
+            index = next_index + offset
+            if index in self.cached_reports:
+                cached[index] = self.cached_reports[index]
+                self.reports_reused += 1
+            else:
+                live.append((index, work.transition))
+
+        snapshot, control = (None, None)
+        if any(t.kind != CLOSE for _i, t in live):
+            snapshot, control = self._assemble()
+        diagnosable = (
+            snapshot is not None and snapshot.any_failure()
+        )
+
+        labels = list(self.diagnosers)
+        parallel_labels = [
+            label for label in labels if self.diagnosers[label].variant != "nd-lg"
+        ]
+        use_pool = self.workers > 1 and diagnosable and any(
+            t.kind != CLOSE for _i, t in live
+        )
+        pooled: Dict[Tuple[int, str], EpisodeDiagnosis] = {}
+        if use_pool and parallel_labels:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            static_map = self._static_asn_map(snapshot, control)
+            picklable_snapshot = MeasurementSnapshot(
+                before=snapshot.before,
+                after=snapshot.after,
+                asn_of=static_map,
+            )
+            jobs = []
+            for index, transition in live:
+                if transition.kind == CLOSE:
+                    continue
+                for label in parallel_labels:
+                    jobs.append(
+                        (
+                            (index, label),
+                            (
+                                label,
+                                self.diagnosers[label],
+                                picklable_snapshot,
+                                control,
+                            ),
+                        )
+                    )
+            futures = [
+                (key, self._pool.submit(_diagnose_payload, payload))
+                for key, payload in jobs
+            ]
+            for key, future in futures:
+                pooled[key] = future.result()
+
+        reports: Dict[int, EpisodeReport] = dict(cached)
+        for index, transition in live:
+            diagnoses: List[EpisodeDiagnosis] = []
+            if transition.kind != CLOSE and diagnosable:
+                for label in labels:
+                    diagnoser = self.diagnosers[label]
+                    if (index, label) in pooled:
+                        verdict = pooled[(index, label)]
+                    else:
+                        verdict = self._diagnose_inline(
+                            label, diagnoser, snapshot, control
+                        )
+                    if verdict.error is not None:
+                        self.diagnoses_failed += 1
+                    diagnoses.append(verdict)
+            reports[index] = EpisodeReport(
+                report_index=index,
+                episode_id=transition.episode_id,
+                trigger=transition.kind,
+                tick=transition.tick,
+                diagnosed_at=now,
+                pairs=transition.pairs,
+                diagnoses=tuple(diagnoses),
+            )
+        return [reports[next_index + offset] for offset in range(len(batch))]
+
+    def _diagnose_inline(
+        self,
+        label: str,
+        diagnoser: NetDiagnoser,
+        snapshot: MeasurementSnapshot,
+        control: Optional[ControlPlaneView],
+    ) -> EpisodeDiagnosis:
+        try:
+            return _summarise(
+                diagnoser.diagnose(
+                    snapshot, control=control, lg_lookup=self.lg_lookup
+                )
+            )
+        except Exception as exc:  # best-effort: degrade, never crash
+            logger.debug(
+                "%s failed on window inputs (%s: %s); emitting an empty "
+                "verdict",
+                label, type(exc).__name__, exc,
+            )
+            return _empty_diagnosis(label, error=type(exc).__name__)
+
+    # ------------------------------------------------------------- counters
+
+    def counters(self) -> Dict[str, int]:
+        """The engine's own accounting (window/detector/ingest counters
+        are reported by their components)."""
+        return {
+            "events_offered": self.events_offered,
+            "events_admitted": self.events_admitted,
+            "transitions_scheduled": self.transitions_scheduled,
+            "episodes_coalesced": self.episodes_coalesced,
+            "transitions_deferred": self.transitions_deferred,
+            "reports_emitted": len(self.reports),
+            "reports_reused": self.reports_reused,
+            "diagnoses_failed": self.diagnoses_failed,
+        }

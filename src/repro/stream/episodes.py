@@ -1,0 +1,186 @@
+"""Failure-episode detection: debounced alarms, hysteretic clearing.
+
+Diagnosing on every failed probe would melt the engine the moment a
+flaky link drops two packets — the classic diagnosis storm.  Following
+the consecutive-observation rule of
+:class:`~repro.measurement.detection.FailureDetector` (§6 of the paper:
+confirm a failure before invoking the troubleshooter), a pair **alarms**
+only after ``open_after`` consecutive failed observations and **clears**
+only after ``close_after`` consecutive successes — the asymmetry is the
+hysteresis that stops a half-recovered pair from flapping the episode
+open and closed.
+
+An **episode** is the engine's unit of diagnosis work: it opens when the
+first pair alarms while none were alarmed, updates when the alarmed set
+changes while open, and closes when the last alarmed pair clears.  The
+detector emits :class:`EpisodeTransition` records; the engine schedules
+diagnosis work off those, never off raw probe results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import StreamError
+
+__all__ = [
+    "OPEN",
+    "UPDATE",
+    "CLOSE",
+    "Episode",
+    "EpisodeTransition",
+    "EpisodeDetector",
+]
+
+Pair = Tuple[str, str]
+
+OPEN = "open"
+UPDATE = "update"
+CLOSE = "close"
+
+
+@dataclass(frozen=True)
+class EpisodeTransition:
+    """One lifecycle step of one episode, at one logical tick.
+
+    ``pairs`` is the alarmed set at the moment of the transition (empty
+    for a close — nothing is failing any more, which is the point).
+    """
+
+    kind: str
+    episode_id: int
+    tick: int
+    pairs: Tuple[Pair, ...]
+
+
+@dataclass
+class Episode:
+    """One contiguous failure episode.
+
+    ``pairs_ever`` accumulates every pair that alarmed during the
+    episode — the closing report summarises the whole blast radius, not
+    just whoever happened to still be failing at the end.
+    """
+
+    episode_id: int
+    opened_at: int
+    closed_at: Optional[int] = None
+    active_pairs: Tuple[Pair, ...] = ()
+    pairs_ever: Set[Pair] = field(default_factory=set)
+
+    @property
+    def is_open(self) -> bool:
+        return self.closed_at is None
+
+
+class _PairAlarm:
+    """Debounce/hysteresis state for one probe pair."""
+
+    __slots__ = ("fails", "successes", "alarmed")
+
+    def __init__(self) -> None:
+        self.fails = 0
+        self.successes = 0
+        self.alarmed = False
+
+
+class EpisodeDetector:
+    """Turns per-pair reachability observations into episode transitions."""
+
+    def __init__(self, open_after: int = 2, close_after: int = 2) -> None:
+        if open_after < 1 or close_after < 1:
+            raise StreamError(
+                "episode debounce thresholds must be >= 1 "
+                f"(open_after={open_after}, close_after={close_after})"
+            )
+        self.open_after = open_after
+        self.close_after = close_after
+        self._alarms: Dict[Pair, _PairAlarm] = {}
+        self._episode: Optional[Episode] = None
+        self._next_id = 0
+        self.episodes: List[Episode] = []
+        self.observations = 0
+        self.transitions_emitted = 0
+
+    # ------------------------------------------------------- observations
+
+    def observe(self, pair: Pair, reached: bool) -> None:
+        """Fold one reachability observation (probe or ping) for a pair."""
+        self.observations += 1
+        alarm = self._alarms.setdefault(pair, _PairAlarm())
+        if reached:
+            alarm.successes += 1
+            alarm.fails = 0
+            if alarm.alarmed and alarm.successes >= self.close_after:
+                alarm.alarmed = False
+        else:
+            alarm.fails += 1
+            alarm.successes = 0
+            if alarm.fails >= self.open_after:
+                alarm.alarmed = True
+
+    def forget(self, pair_member: str) -> None:
+        """Drop alarm state for every pair touching a dark sensor.
+
+        A sensor that stopped reporting is not *failing* — its silence
+        must not keep an episode open forever.
+        """
+        for pair in [p for p in self._alarms if pair_member in p]:
+            del self._alarms[pair]
+
+    # -------------------------------------------------------- transitions
+
+    def alarmed_pairs(self) -> Tuple[Pair, ...]:
+        return tuple(
+            sorted(pair for pair, alarm in self._alarms.items() if alarm.alarmed)
+        )
+
+    @property
+    def open_episode(self) -> Optional[Episode]:
+        return self._episode
+
+    def advance(self, tick: int) -> List[EpisodeTransition]:
+        """Evaluate episode lifecycle after a tick's observations landed."""
+        alarmed = self.alarmed_pairs()
+        transitions: List[EpisodeTransition] = []
+        episode = self._episode
+        if episode is None:
+            if alarmed:
+                episode = Episode(
+                    episode_id=self._next_id,
+                    opened_at=tick,
+                    active_pairs=alarmed,
+                    pairs_ever=set(alarmed),
+                )
+                self._next_id += 1
+                self._episode = episode
+                self.episodes.append(episode)
+                transitions.append(
+                    EpisodeTransition(OPEN, episode.episode_id, tick, alarmed)
+                )
+        elif not alarmed:
+            episode.closed_at = tick
+            episode.active_pairs = ()
+            self._episode = None
+            transitions.append(
+                EpisodeTransition(CLOSE, episode.episode_id, tick, ())
+            )
+        elif alarmed != episode.active_pairs:
+            episode.active_pairs = alarmed
+            episode.pairs_ever.update(alarmed)
+            transitions.append(
+                EpisodeTransition(UPDATE, episode.episode_id, tick, alarmed)
+            )
+        self.transitions_emitted += len(transitions)
+        return transitions
+
+    def counters(self) -> Dict[str, int]:
+        """Detector accounting for the stream report."""
+        return {
+            "pairs_tracked": len(self._alarms),
+            "pairs_alarmed": len(self.alarmed_pairs()),
+            "episodes_total": len(self.episodes),
+            "episodes_open": 1 if self._episode is not None else 0,
+            "transitions": self.transitions_emitted,
+        }

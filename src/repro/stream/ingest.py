@@ -1,0 +1,192 @@
+"""Per-event screening at the stream's front door.
+
+The batch pipeline screens whole rounds at snapshot-assembly time
+(:meth:`repro.validate.Validator.screen_store`); a stream cannot wait
+for a round to complete.  :class:`StreamIngestor` screens each event the
+moment it arrives, under the same three policies — ``strict`` raises the
+same :class:`~repro.errors.ValidationError`, ``repair`` applies the same
+canonical fixups, ``quarantine`` drops the record — so a corrupted
+observation never reaches the window, the episode detector, or a
+diagnoser.
+
+Only probe events carry enough structure for the trace invariants;
+control-plane events are screened against the feed invariants
+*per-message* (a duplicate of an already-ingested message, or a message
+whose feed sequence runs backwards per feed kind, is a violation).
+Heartbeats, dropouts and bare reachability bits have no invariants to
+lie about and always pass.
+
+Accounting lands on the shared :class:`~repro.validate.ValidationReport`
+(and optionally a :class:`~repro.faults.DegradationReport`) so the
+stream CLI renders the same counters as the batch runner.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import StreamError
+from repro.faults import DegradationReport
+from repro.stream.events import (
+    IgpLinkDownEvent,
+    ProbeEvent,
+    StreamEvent,
+    WithdrawalEvent,
+)
+from repro.validate import (
+    POLICIES,
+    REPAIR,
+    TRACE_EPOCH,
+    Validator,
+    check_probe_path,
+    repair_probe_path,
+)
+from repro.validate.invariants import FEED_DUP, FEED_ORDER, Violation
+
+__all__ = ["StreamIngestor"]
+
+
+class StreamIngestor:
+    """Screens stream events one at a time under a validation policy.
+
+    ``asn_of`` is the address→ASN mapper the trace invariants need;
+    ``expected_epochs`` the set of epoch tags the stream may carry
+    (both ``pre`` and ``post`` are legitimate in a stream — only a tag
+    outside the set is a stale replay).
+    """
+
+    def __init__(
+        self,
+        asn_of: Callable[[str], Optional[int]],
+        policy: str,
+        expected_epochs: Tuple[str, ...],
+        degradation: Optional[DegradationReport] = None,
+    ) -> None:
+        if policy not in POLICIES:
+            raise StreamError(
+                f"unknown validation policy {policy!r}; "
+                f"expected one of {', '.join(POLICIES)}"
+            )
+        self.asn_of = asn_of
+        self.expected_epochs = tuple(expected_epochs)
+        # Reuse the batch Validator for its policy dispatch + accounting;
+        # the per-event screening below feeds its bookkeeping hooks.
+        self.validator = Validator(policy=policy, degradation=degradation)
+        self.events_screened = 0
+        self.events_quarantined = 0
+        self.events_repaired = 0
+        # Per-feed-kind dedup/ordering state, mirroring check_feed but
+        # incrementally: observations seen so far and highest seq.
+        self._feed_seen: Dict[str, set] = {"igp": set(), "bgp": set()}
+        self._feed_highest: Dict[str, Optional[int]] = {"igp": None, "bgp": None}
+
+    @property
+    def policy(self) -> str:
+        return self.validator.policy
+
+    @property
+    def report(self):
+        return self.validator.report
+
+    def ingest(self, event: StreamEvent) -> Optional[StreamEvent]:
+        """Screen one event.
+
+        Returns the event (possibly with a repaired payload) when it may
+        proceed, or ``None`` when it was quarantined.  Under ``strict`` a
+        violation raises :class:`~repro.errors.ValidationError`.
+        """
+        self.events_screened += 1
+        if isinstance(event, ProbeEvent):
+            return self._ingest_probe(event)
+        if isinstance(event, WithdrawalEvent):
+            return self._ingest_feed(event, "bgp", event.observation)
+        if isinstance(event, IgpLinkDownEvent):
+            return self._ingest_feed(event, "igp", event.observation)
+        return event
+
+    # ---- probes
+
+    def _ingest_probe(self, event: ProbeEvent) -> Optional[ProbeEvent]:
+        path = event.path
+        violations: List[Violation] = []
+        if path.epoch not in self.expected_epochs:
+            violations = check_probe_path(path, self.asn_of, self.expected_epochs[-1])
+        else:
+            violations = check_probe_path(path, self.asn_of, path.epoch)
+        if not violations:
+            return event
+        self.validator._found(violations)  # raises under strict
+        stale = any(v.invariant == TRACE_EPOCH for v in violations)
+        report = self.validator.report
+        if stale:
+            report.stale_rounds_dropped += 1
+            report.record_quarantine(TRACE_EPOCH)
+            if self.validator.degradation is not None:
+                self.validator.degradation.stale_rounds_dropped += 1
+            self.events_quarantined += 1
+            return None
+        if self.policy == REPAIR:
+            repaired, fixups = repair_probe_path(path, self.asn_of)
+            report.traces_repaired += 1
+            for fixup in fixups:
+                report.record_repair(fixup)
+            if self.validator.degradation is not None:
+                self.validator.degradation.traces_repaired += 1
+            self.events_repaired += 1
+            return ProbeEvent(tick=event.tick, seq=event.seq, path=repaired)
+        report.traces_quarantined += 1
+        report.record_quarantine(violations[0].invariant)
+        if self.validator.degradation is not None:
+            self.validator.degradation.traces_quarantined += 1
+        self.events_quarantined += 1
+        return None
+
+    # ---- control-plane feeds
+
+    def _ingest_feed(self, event, kind: str, observation) -> Optional[StreamEvent]:
+        """Incremental FEED_DUP / FEED_ORDER screening for one message.
+
+        A stream has no "whole feed" to sort, so ``repair`` degrades to
+        ``quarantine`` here: dropping the out-of-order duplicate *is*
+        the canonical incremental fixup (re-sorting history would mean
+        rewriting already-consumed events).
+        """
+        violations: List[Violation] = []
+        record = f"{kind} feed message seq={getattr(observation, 'seq', None)}"
+        if observation in self._feed_seen[kind]:
+            violations.append(
+                Violation(FEED_DUP, record, "duplicate feed message")
+            )
+        seq = getattr(observation, "seq", None)
+        sequenced = seq is not None and seq >= 0
+        highest = self._feed_highest[kind]
+        if not violations and sequenced and highest is not None and seq < highest:
+            violations.append(
+                Violation(
+                    FEED_ORDER,
+                    record,
+                    f"sequence ran backwards ({highest} -> {seq})",
+                )
+            )
+        if not violations:
+            self._feed_seen[kind].add(observation)
+            if sequenced:
+                self._feed_highest[kind] = seq
+            return event
+        self.validator._found(violations)  # raises under strict
+        report = self.validator.report
+        report.feed_messages_quarantined += 1
+        for violation in violations:
+            report.record_quarantine(violation.invariant)
+        if self.validator.degradation is not None:
+            self.validator.degradation.feed_messages_quarantined += 1
+        self.events_quarantined += 1
+        return None
+
+    def counters(self) -> Dict[str, int]:
+        """Ingest accounting for the stream report."""
+        return {
+            "events_screened": self.events_screened,
+            "events_quarantined": self.events_quarantined,
+            "events_repaired": self.events_repaired,
+        }

@@ -1,0 +1,207 @@
+"""Sliding-window reconciliation of a stream into diagnosable snapshots.
+
+The batch pipeline hands the diagnosers a complete
+:class:`~repro.core.pathset.MeasurementSnapshot` — a ``T-`` round, a
+``T+`` round, same pairs, every baseline reached.  A stream never has
+that luxury: probes trickle in per-pair, control-plane messages arrive
+between them, and sensors disappear mid-round.  :class:`SlidingWindow`
+keeps exactly enough state to reconstruct the batch shape on demand:
+
+* a **baseline slot** per pair — the most recent *reached* ``pre``-epoch
+  probe (a working path the troubleshooter can compare against);
+* a **current slot** per pair — the most recent ``post``-epoch probe
+  (the live measurement being diagnosed);
+* the in-window control-plane observations (BGP withdrawals, IGP
+  link-downs) in arrival order;
+* the set of dark sensors (dropout seen, no heartbeat since): their
+  pairs are excluded from snapshots because neither slot can be trusted.
+
+Both probe slots live in :class:`~repro.netsim.cache.LruCache` maps, so
+window memory is bounded two ways: by recency (``evict`` drops
+observations older than ``width`` ticks) and by capacity (the LRU cap
+sheds the coldest pairs first when the mesh outgrows memory).  Snapshot
+assembly takes the intersection of live slots — exactly the pairs for
+which the window holds a usable before/after story — which satisfies
+:class:`~repro.core.pathset.MeasurementSnapshot`'s invariants by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.control_plane import (
+    ControlPlaneView,
+    IgpLinkDownObservation,
+    WithdrawalObservation,
+)
+from repro.core.pathset import (
+    EPOCH_POST,
+    EPOCH_PRE,
+    MeasurementSnapshot,
+    PathStore,
+    ProbePath,
+)
+from repro.errors import StreamError
+from repro.netsim.cache import LruCache
+from repro.stream.events import (
+    IgpLinkDownEvent,
+    ProbeEvent,
+    SensorDropoutEvent,
+    SensorHeartbeatEvent,
+    StreamEvent,
+    WithdrawalEvent,
+)
+
+__all__ = ["SlidingWindow"]
+
+Pair = Tuple[str, str]
+
+
+class SlidingWindow:
+    """Bounded per-pair observation state for the streaming engine.
+
+    ``width`` is the window in logical ticks: an observation older than
+    ``now - width`` is stale and evicted.  ``capacity`` bounds each probe
+    slot map (0 = unbounded, like every :class:`LruCache`).
+    """
+
+    def __init__(self, width: int, capacity: int = 0) -> None:
+        if width <= 0:
+            raise StreamError(f"window width must be >= 1 tick, got {width}")
+        self.width = width
+        # pair -> (tick, ProbePath); baseline keeps reached pre-probes,
+        # current keeps post-probes (reached or not).
+        self._baseline: LruCache[Pair, Tuple[int, ProbePath]] = LruCache(capacity)
+        self._current: LruCache[Pair, Tuple[int, ProbePath]] = LruCache(capacity)
+        # (arrival seq, observation) kept in arrival order so rebuilt
+        # views list messages exactly as the batch collector would.
+        self._withdrawals: List[Tuple[int, int, WithdrawalObservation]] = []
+        self._igp_downs: List[Tuple[int, int, IgpLinkDownObservation]] = []
+        self._dark_sensors: Set[str] = set()
+        self.stale_evictions = 0
+        self.probes_ignored = 0
+
+    # ------------------------------------------------------------- updates
+
+    def observe(self, event: StreamEvent) -> None:
+        """Fold one (already screened) event into the window."""
+        if isinstance(event, ProbeEvent):
+            self._observe_probe(event)
+        elif isinstance(event, WithdrawalEvent):
+            self._withdrawals.append((event.tick, event.seq, event.observation))
+        elif isinstance(event, IgpLinkDownEvent):
+            self._igp_downs.append((event.tick, event.seq, event.observation))
+        elif isinstance(event, SensorDropoutEvent):
+            self._dark_sensors.add(event.address)
+        elif isinstance(event, SensorHeartbeatEvent):
+            self._dark_sensors.discard(event.address)
+        # ReachabilityEvents update episode detection, not the window:
+        # they carry no hops to diagnose with.
+
+    def _observe_probe(self, event: ProbeEvent) -> None:
+        path = event.path
+        if path.epoch == EPOCH_PRE:
+            if not path.reached:
+                # A failed pre-probe is no baseline: the troubleshooter
+                # is only invoked on previously-working pairs.
+                self.probes_ignored += 1
+                return
+            self._baseline.put(path.pair, (event.tick, path))
+        elif path.epoch == EPOCH_POST:
+            self._current.put(path.pair, (event.tick, path))
+        else:  # pragma: no cover - ingest screens unknown epochs out
+            self.probes_ignored += 1
+
+    # ------------------------------------------------------------ eviction
+
+    def evict(self, now: int) -> int:
+        """Drop every observation older than ``now - width``; returns count."""
+        horizon = now - self.width
+        dropped = 0
+        for cache in (self._baseline, self._current):
+            for pair, (tick, _path) in cache.items():
+                if tick <= horizon:
+                    cache.pop(pair)
+                    dropped += 1
+        for name in ("_withdrawals", "_igp_downs"):
+            entries = getattr(self, name)
+            kept = [entry for entry in entries if entry[0] > horizon]
+            dropped += len(entries) - len(kept)
+            setattr(self, name, kept)
+        self.stale_evictions += dropped
+        return dropped
+
+    # ------------------------------------------------------------ assembly
+
+    def _usable_pairs(self) -> Tuple[Pair, ...]:
+        pairs = []
+        for pair, _entry in self._current.items():
+            if pair not in self._baseline:
+                continue
+            src, dst = pair
+            if src in self._dark_sensors or dst in self._dark_sensors:
+                continue
+            pairs.append(pair)
+        return tuple(sorted(pairs))
+
+    def snapshot(
+        self, asn_of: Callable[[str], Optional[int]]
+    ) -> Optional[MeasurementSnapshot]:
+        """The batch-shaped snapshot of the window's current knowledge.
+
+        Covers every pair with both a live baseline and a live current
+        probe and no dark endpoint; ``None`` when no pair qualifies.
+        The invariants :class:`MeasurementSnapshot` enforces (same pairs
+        both rounds, all baselines reached) hold by construction.
+        """
+        pairs = self._usable_pairs()
+        if not pairs:
+            return None
+        before, after = PathStore(), PathStore()
+        for pair in pairs:
+            baseline = self._baseline.get(pair)
+            current = self._current.get(pair)
+            before.add(baseline[1])
+            after.add(current[1])
+        return MeasurementSnapshot(before=before, after=after, asn_of=asn_of)
+
+    def control_view(self, asx_asn: int) -> ControlPlaneView:
+        """The in-window control-plane knowledge, in arrival order."""
+        return ControlPlaneView(
+            asx_asn=asx_asn,
+            igp_link_down=tuple(
+                obs for _tick, _seq, obs in sorted(
+                    self._igp_downs, key=lambda entry: entry[1]
+                )
+            ),
+            withdrawals=tuple(
+                obs for _tick, _seq, obs in sorted(
+                    self._withdrawals, key=lambda entry: entry[1]
+                )
+            ),
+        )
+
+    # ---------------------------------------------------------- inspection
+
+    def failed_pairs(self) -> Tuple[Pair, ...]:
+        """Usable pairs whose current probe did not reach."""
+        return tuple(
+            pair
+            for pair in self._usable_pairs()
+            if not self._current.get(pair)[1].reached
+        )
+
+    def dark_sensors(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._dark_sensors))
+
+    def counters(self) -> Dict[str, int]:
+        """Window accounting for the stream report."""
+        return {
+            "baseline_pairs": len(self._baseline),
+            "current_pairs": len(self._current),
+            "stale_evictions": self.stale_evictions,
+            "probes_ignored": self.probes_ignored,
+            "lru_evictions": self._baseline.evictions + self._current.evictions,
+            "dark_sensors": len(self._dark_sensors),
+        }

@@ -69,6 +69,40 @@ class TestLruCache:
         cache.put("c", 3)
         assert "a" not in cache  # "a" was still the LRU entry
 
+    def test_items_lists_lru_first_without_touching_state(self):
+        cache = LruCache(capacity=3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh: "b" is now the LRU entry
+        assert cache.items() == [("b", 2), ("a", 1)]
+        # Listing is pure inspection: no counters, no recency change.
+        assert cache.hits == 1 and cache.misses == 0
+        cache.put("c", 3)
+        cache.put("d", 4)  # evicts "b", still the LRU after items()
+        assert "b" not in cache
+
+    def test_pop_removes_without_counting(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        assert cache.pop("a") == 1
+        assert cache.pop("a") is None  # absent: no error, no miss
+        assert len(cache) == 0
+        assert cache.counters() == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "entries": 0,
+        }
+
+    def test_pop_frees_capacity(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.pop("a")
+        cache.put("c", 3)  # fits in the freed slot: nothing evicted
+        assert cache.evictions == 0
+        assert "b" in cache and "c" in cache
+
 
 class TestLruCacheEdgeCases:
     def test_capacity_zero_never_evicts_and_counts(self):

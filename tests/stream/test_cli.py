@@ -1,0 +1,59 @@
+"""CLI tests for ``python -m repro stream``: happy path, resume, and the
+exit-code contract for typed stream errors."""
+
+from repro.__main__ import main as repro_main
+
+FAST_ARGS = [
+    "stream",
+    "--kind",
+    "link-1",
+    "--episodes",
+    "1",
+    "--sensors",
+    "5",
+    "--seed",
+    "4",
+]
+
+
+class TestStreamCli:
+    def test_replay_renders_reports_and_stats(self, capsys):
+        assert repro_main(FAST_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "stream replay @ fault rate 0" in out
+        assert "injected episode 0:" in out
+        assert "-- stream replay" in out
+        assert "latency (ticks):" in out
+
+    def test_corrupt_replay_quarantines_without_crashing(self, capsys):
+        code = repro_main(
+            FAST_ARGS
+            + ["--rates", "0.1", "--corrupt", "--policy", "quarantine"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "quarantined=" in out
+
+    def test_saved_log_is_replayable(self, tmp_path):
+        from repro.stream import load_event_log
+
+        log = tmp_path / "events.jsonl"
+        assert repro_main(FAST_ARGS + ["--save-log", str(log)]) == 0
+        assert len(load_event_log(log)) > 0
+
+    def test_resume_reuses_journaled_reports(self, tmp_path, capsys):
+        journal = tmp_path / "stream.journal"
+        args = FAST_ARGS + ["--journal", str(journal)]
+        assert repro_main(args) == 0
+        first = capsys.readouterr().out
+        assert repro_main(args + ["--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert "reused=0" in first
+        assert "reused=0" not in resumed
+
+    def test_stream_error_exits_2_with_one_line_stderr(self, capsys):
+        code = repro_main(FAST_ARGS + ["--window", "0"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "window width" in err

@@ -1,0 +1,165 @@
+"""Event model and event-log tests: the clock never runs backwards, every
+event type survives a JSON round trip, and a torn log loads up to its
+last complete line."""
+
+import json
+
+import pytest
+
+from repro.core.control_plane import (
+    IgpLinkDownObservation,
+    WithdrawalObservation,
+)
+from repro.core.linkspace import UhNode
+from repro.core.pathset import EPOCH_POST, EPOCH_PRE, ProbePath
+from repro.errors import StreamError
+from repro.stream import (
+    EVENT_LOG_FORMAT,
+    EventLogWriter,
+    IgpLinkDownEvent,
+    LogicalClock,
+    ProbeEvent,
+    ReachabilityEvent,
+    SensorDropoutEvent,
+    SensorHeartbeatEvent,
+    WithdrawalEvent,
+    load_event_log,
+    save_event_log,
+    stream_event_from_dict,
+    stream_event_to_dict,
+)
+
+SRC, MID, DST = "10.0.0.1", "10.0.1.1", "10.0.9.9"
+
+
+def sample_events():
+    """One of every event type, including a probe with a star hop."""
+    star = UhNode(src=SRC, dst=DST, epoch=EPOCH_POST, index=1)
+    return [
+        SensorHeartbeatEvent(tick=0, seq=0, address=SRC),
+        ProbeEvent(
+            tick=1,
+            seq=1,
+            path=ProbePath(
+                src=SRC,
+                dst=DST,
+                hops=(SRC, MID, DST),
+                reached=True,
+                epoch=EPOCH_PRE,
+            ),
+        ),
+        ProbeEvent(
+            tick=2,
+            seq=2,
+            path=ProbePath(
+                src=SRC,
+                dst=DST,
+                hops=(SRC, star),
+                reached=False,
+                epoch=EPOCH_POST,
+            ),
+        ),
+        ReachabilityEvent(tick=2, seq=3, src=SRC, dst=DST, reached=False),
+        IgpLinkDownEvent(
+            tick=2,
+            seq=4,
+            observation=IgpLinkDownObservation(
+                address_a=MID, address_b=DST, seq=0
+            ),
+        ),
+        WithdrawalEvent(
+            tick=2,
+            seq=5,
+            observation=WithdrawalObservation(
+                prefix="10.0.9.0/24",
+                at_address=MID,
+                from_address=DST,
+                from_asn=64501,
+                seq=1,
+            ),
+        ),
+        SensorDropoutEvent(tick=3, seq=6, address=DST),
+    ]
+
+
+class TestLogicalClock:
+    def test_starts_at_zero_and_ticks(self):
+        clock = LogicalClock()
+        assert clock.now == 0
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+
+    def test_advance_to_is_idempotent(self):
+        clock = LogicalClock(start=3)
+        assert clock.advance_to(3) == 3
+        assert clock.advance_to(7) == 7
+
+    def test_backwards_time_raises(self):
+        clock = LogicalClock(start=5)
+        with pytest.raises(StreamError):
+            clock.advance_to(4)
+
+    def test_negative_start_raises(self):
+        with pytest.raises(StreamError):
+            LogicalClock(start=-1)
+
+
+class TestEventSerialization:
+    def test_every_event_type_round_trips_through_json(self):
+        for event in sample_events():
+            wire = json.loads(json.dumps(stream_event_to_dict(event)))
+            assert stream_event_from_dict(wire) == event
+
+    def test_unknown_event_type_raises(self):
+        with pytest.raises(StreamError):
+            stream_event_from_dict({"type": "carrier-pigeon", "tick": 0, "seq": 0})
+
+
+class TestEventLog:
+    def test_save_load_round_trip(self, tmp_path):
+        events = sample_events()
+        path = tmp_path / "stream.jsonl"
+        save_event_log(events, path)
+        assert load_event_log(path) == events
+
+    def test_load_sorts_by_seq(self, tmp_path):
+        events = sample_events()
+        path = tmp_path / "stream.jsonl"
+        save_event_log(list(reversed(events)), path)
+        assert load_event_log(path) == events
+
+    def test_truncated_trailing_line_is_dropped(self, tmp_path):
+        events = sample_events()
+        path = tmp_path / "stream.jsonl"
+        save_event_log(events, path)
+        with open(path, "a") as handle:
+            handle.write('{"type": "probe", "tick": 9')  # torn mid-append
+        assert load_event_log(path) == events
+
+    def test_writer_log_is_replayable_mid_run(self, tmp_path):
+        events = sample_events()
+        path = tmp_path / "stream.jsonl"
+        writer = EventLogWriter(path)
+        for event in events[:4]:
+            writer.append(event)
+        # Not closed: append flushes, so the prefix is already loadable.
+        assert load_event_log(path) == events[:4]
+        writer.close()
+
+    def test_bad_header_raises(self, tmp_path):
+        path = tmp_path / "not-a-log.jsonl"
+        path.write_text("this is not json\n")
+        with pytest.raises(StreamError):
+            load_event_log(path)
+
+    def test_wrong_format_tag_raises(self, tmp_path):
+        path = tmp_path / "wrong.jsonl"
+        path.write_text(json.dumps({"format": "repro-event-log-v99"}) + "\n")
+        with pytest.raises(StreamError):
+            load_event_log(path)
+
+    def test_header_names_current_format(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        save_event_log([], path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {"format": EVENT_LOG_FORMAT}
