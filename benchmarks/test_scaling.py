@@ -29,3 +29,26 @@ def test_scaling_sweep(benchmark):
         assert p.bgpigp_specificity >= p.nd_edge_specificity - 1e-9
     # Substrate stays interactive at paper scale.
     assert points[-1].convergence_seconds < 5.0
+
+
+def test_scaling_sweep_powerlaw(benchmark):
+    """The same sweep on the internet-scale power-law tier (small sizes
+    here; ``benchmarks/test_perf_scale.py`` covers the 5k/20k points)."""
+    points = run_once(
+        benchmark,
+        lambda: scaling_sweep(
+            sizes=(200, 400),
+            n_sensors=8,
+            failures=2,
+            seed=0,
+            topology="powerlaw",
+        ),
+    )
+    print()
+    print(render_scaling(points))
+    assert [p.n_ases for p in points] == [200, 400]
+    # Sensitivity stays pinned on the power-law tier too.
+    assert all(p.nd_edge_sensitivity >= 0.9 for p in points)
+    # Control-plane data never hurts at any size.
+    for p in points:
+        assert p.bgpigp_specificity >= p.nd_edge_specificity - 1e-9

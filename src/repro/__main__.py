@@ -49,6 +49,7 @@ from repro.experiments.scenarios import SCENARIO_KINDS
 from repro.measurement.collector import collect_control_plane, take_snapshot
 from repro.measurement.sensors import deploy_sensors, random_stub_placement
 from repro.netsim.gen.internet import research_internet
+from repro.netsim.gen.powerlaw import powerlaw_internet
 from repro.netsim.simulator import Simulator
 from repro.netsim.topology import NetworkState
 from repro.serialize import (
@@ -62,9 +63,12 @@ from repro.validate import POLICIES
 
 
 def _cmd_topology(args: argparse.Namespace) -> int:
-    topo = research_internet(
-        n_tier2=args.tier2, n_stub=args.stubs, seed=args.seed
-    )
+    if args.style == "powerlaw":
+        topo = powerlaw_internet(args.ases, seed=args.seed)
+    else:
+        topo = research_internet(
+            n_tier2=args.tier2, n_stub=args.stubs, seed=args.seed
+        )
     save_topology(topo.net, args.out)
     print(
         f"wrote {args.out}: {topo.net.num_ases} ASes, "
@@ -118,7 +122,21 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
 
 
 def _size_pair(text: str) -> tuple:
-    """argparse type for --sizes: ``T2xSTUB`` -> ``(tier2, stubs)``."""
+    """argparse type for --sizes: ``T2xSTUB`` -> ``(tier2, stubs)``.
+
+    A bare integer (``5000``) is accepted too and means a total AS count —
+    only meaningful with ``--topology powerlaw``.
+    """
+    if "x" not in text.lower():
+        try:
+            total = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected T2xSTUB or a total AS count, got {text!r}"
+            ) from None
+        if total < 1:
+            raise argparse.ArgumentTypeError(f"sizes must be >= 1, got {text!r}")
+        return total
     try:
         tier2, stubs = (int(part) for part in text.lower().split("x"))
     except ValueError:
@@ -153,6 +171,7 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
         failures=args.failures,
         seed=args.seed,
         workers=args.workers,
+        topology=args.topology,
     )
     print(render_scaling(points))
     return 0
@@ -319,8 +338,21 @@ def main(argv=None) -> int:
 
     topology = sub.add_parser("topology", help="generate and save a topology")
     topology.add_argument("--seed", type=int, default=0)
+    topology.add_argument(
+        "--style",
+        choices=("research", "powerlaw"),
+        default="research",
+        help="'research' is the paper's 165-AS evaluation topology; "
+        "'powerlaw' is the internet-scale preferential-attachment tier",
+    )
     topology.add_argument("--tier2", type=int, default=22)
     topology.add_argument("--stubs", type=int, default=140)
+    topology.add_argument(
+        "--ases",
+        type=int,
+        default=5000,
+        help="total AS count (powerlaw style only)",
+    )
     topology.add_argument("--out", default="topology.json")
     topology.set_defaults(func=_cmd_topology)
 
@@ -353,8 +385,15 @@ def main(argv=None) -> int:
         type=_size_pair,
         default=None,
         metavar="T2xSTUB",
-        help="sizes as tier2xstub pairs, e.g. 6x40 22x140 (default: the "
+        help="sizes as tier2xstub pairs, e.g. 6x40 22x140, or total AS "
+        "counts for --topology powerlaw, e.g. 1000 5000 (default: the "
         "built-in sweep)",
+    )
+    scaling.add_argument(
+        "--topology",
+        choices=("research", "powerlaw"),
+        default="research",
+        help="topology tier to sweep ('powerlaw' sizes are total AS counts)",
     )
     scaling.add_argument("--sensors", type=int, default=10)
     scaling.add_argument("--failures", type=int, default=5)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.bitsets import vectorize_enabled
 from repro.core.control_plane import ControlPlaneView
 from repro.core.nd_bgpigp import nd_bgpigp
 from repro.core.nd_edge import nd_edge
@@ -80,18 +81,18 @@ class NetDiagnoser:
                 "(the troubleshooter is only invoked on unreachabilities)"
             )
         if self.variant == "tomo":
-            return tomo(snapshot)
-        if self.variant == "nd-edge":
-            return nd_edge(
+            result = tomo(snapshot)
+        elif self.variant == "nd-edge":
+            result = nd_edge(
                 snapshot,
                 failure_weight=self.failure_weight,
                 reroute_weight=self.reroute_weight,
                 use_partial_traces=self.use_partial_traces,
             )
-        if self.variant == "nd-bgpigp":
+        elif self.variant == "nd-bgpigp":
             if control is None:
                 raise DiagnosisError("nd-bgpigp requires a ControlPlaneView")
-            return nd_bgpigp(
+            result = nd_bgpigp(
                 snapshot,
                 control,
                 failure_weight=self.failure_weight,
@@ -99,12 +100,19 @@ class NetDiagnoser:
                 use_partial_traces=self.use_partial_traces,
                 ignore_unidentified=self.ignore_unidentified,
             )
-        if lg_lookup is None:
-            raise DiagnosisError("nd-lg requires a Looking Glass lookup callback")
-        return nd_lg(
-            snapshot,
-            control,
-            lg_lookup,
-            failure_weight=self.failure_weight,
-            reroute_weight=self.reroute_weight,
-        )
+        else:
+            if lg_lookup is None:
+                raise DiagnosisError(
+                    "nd-lg requires a Looking Glass lookup callback"
+                )
+            result = nd_lg(
+                snapshot,
+                control,
+                lg_lookup,
+                failure_weight=self.failure_weight,
+                reroute_weight=self.reroute_weight,
+            )
+        # Provenance only — details are never golden-pinned, and the two
+        # hitting-set paths are bit-identical by contract.
+        result.details["vectorized"] = vectorize_enabled()
+        return result

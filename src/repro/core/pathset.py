@@ -59,16 +59,27 @@ class ProbePath:
                 f"probe {self.src}->{self.dst} reached but does not end at "
                 "the destination sensor"
             )
+        # Memo slot for links(); the dataclass is frozen so it must be set
+        # through object.__setattr__ (same trick TraceResult.addresses uses).
+        object.__setattr__(self, "_links_memo", None)
 
     @property
     def pair(self) -> Pair:
         return (self.src, self.dst)
 
     def links(self) -> Tuple[IpLink, ...]:
-        """The directed physical-level link tokens along this path."""
-        return tuple(
-            ip_link(a, b) for a, b in zip(self.hops, self.hops[1:])
-        )
+        """The directed physical-level link tokens along this path.
+
+        Memoised: suspect-set construction walks every failed path's links
+        once per diagnosis variant, and the hops are immutable.
+        """
+        memo = self._links_memo
+        if memo is None:
+            memo = tuple(
+                ip_link(a, b) for a, b in zip(self.hops, self.hops[1:])
+            )
+            object.__setattr__(self, "_links_memo", memo)
+        return memo
 
     def has_unidentified_hops(self) -> bool:
         """True when at least one hop is a star."""
@@ -80,6 +91,7 @@ class PathStore:
 
     def __init__(self, paths: Optional[Dict[Pair, ProbePath]] = None) -> None:
         self._paths: Dict[Pair, ProbePath] = {}
+        self._pairs_memo: Optional[Tuple[Pair, ...]] = None
         for path in (paths or {}).values():
             self.add(path)
 
@@ -88,6 +100,7 @@ class PathStore:
         if path.pair in self._paths:
             raise DiagnosisError(f"duplicate probe for pair {path.pair}")
         self._paths[path.pair] = path
+        self._pairs_memo = None
 
     def get(self, pair: Pair) -> ProbePath:
         try:
@@ -102,8 +115,15 @@ class PathStore:
         return len(self._paths)
 
     def pairs(self) -> Tuple[Pair, ...]:
-        """All probe pairs, sorted for determinism."""
-        return tuple(sorted(self._paths))
+        """All probe pairs, sorted for determinism.
+
+        The sorted tuple is memoised (invalidated by :meth:`add`): at
+        internet scale a full mesh holds thousands of pairs and every
+        diagnosis variant iterates them several times.
+        """
+        if self._pairs_memo is None:
+            self._pairs_memo = tuple(sorted(self._paths))
+        return self._pairs_memo
 
     def paths(self) -> Iterator[ProbePath]:
         """All paths in pair order."""
@@ -144,6 +164,7 @@ class MeasurementSnapshot:
                     f"pre-failure probe for pair {pair} did not reach; the "
                     "troubleshooter is only invoked on previously-working pairs"
                 )
+        self._rerouted_memo: Optional[Tuple[Pair, ...]] = None
 
     def failed_pairs(self) -> Tuple[Pair, ...]:
         """Pairs that became unreachable (R_ij = 0)."""
@@ -160,14 +181,20 @@ class MeasurementSnapshot:
         after is assumed to be the same hidden router — the troubleshooter
         cannot tell otherwise, and the paper’s blocked-traceroute scenarios
         only use single link failures where this is exact).
+
+        Memoised: the snapshot's stores are frozen by the time a diagnosis
+        starts, and every variant that weighs reroute evidence asks for
+        this tuple.
         """
-        rerouted = []
-        for pair in self.working_pairs():
-            old = _normalised_hops(self.before.get(pair))
-            new = _normalised_hops(self.after.get(pair))
-            if old != new:
-                rerouted.append(pair)
-        return tuple(rerouted)
+        if self._rerouted_memo is None:
+            rerouted = []
+            for pair in self.working_pairs():
+                old = _normalised_hops(self.before.get(pair))
+                new = _normalised_hops(self.after.get(pair))
+                if old != new:
+                    rerouted.append(pair)
+            self._rerouted_memo = tuple(rerouted)
+        return self._rerouted_memo
 
     def any_failure(self) -> bool:
         """True when the troubleshooter has something to diagnose."""

@@ -4,14 +4,29 @@
 Internally keyed by sensor addresses rather than indices so it composes
 directly with :class:`~repro.core.pathset.PathStore`; a dense index-based
 view is available for display and tests.
+
+The matrix is immutable after construction, so the derived views (sorted
+pairs, sensor list, the dense matrix itself) are computed once and
+memoised — at internet scale (:mod:`repro.netsim.gen.powerlaw`) a full
+mesh holds thousands of pairs and the diagnosis variants iterate them
+repeatedly.  The dense view is assembled through numpy when
+:func:`~repro.core.bitsets.vectorize_enabled` allows (bit-identical to
+the list-of-lists construction; ``REPRO_NO_VECTORIZE=1`` forces the
+historical loop).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.core.bitsets import vectorize_enabled
 from repro.core.pathset import Pair, PathStore
 from repro.errors import DiagnosisError
+
+try:  # gated: the set-based path never needs numpy
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    np = None
 
 __all__ = ["ReachabilityMatrix"]
 
@@ -21,6 +36,9 @@ class ReachabilityMatrix:
 
     def __init__(self, status: Dict[Pair, bool]) -> None:
         self._status = dict(status)
+        self._pairs_memo: Optional[Tuple[Pair, ...]] = None
+        self._sensors_memo: Optional[Tuple[str, ...]] = None
+        self._dense_memo: Optional[List[List[int]]] = None
 
     @classmethod
     def from_store(cls, store: PathStore) -> "ReachabilityMatrix":
@@ -36,7 +54,9 @@ class ReachabilityMatrix:
 
     def pairs(self) -> Tuple[Pair, ...]:
         """All probed pairs, sorted."""
-        return tuple(sorted(self._status))
+        if self._pairs_memo is None:
+            self._pairs_memo = tuple(sorted(self._status))
+        return self._pairs_memo
 
     def failed_pairs(self) -> Tuple[Pair, ...]:
         """Pairs with R_ij = 0."""
@@ -48,20 +68,30 @@ class ReachabilityMatrix:
 
     def sensors(self) -> Tuple[str, ...]:
         """Every sensor address appearing in the matrix, sorted."""
-        seen = set()
-        for src, dst in self._status:
-            seen.add(src)
-            seen.add(dst)
-        return tuple(sorted(seen))
+        if self._sensors_memo is None:
+            seen = set()
+            for src, dst in self._status:
+                seen.add(src)
+                seen.add(dst)
+            self._sensors_memo = tuple(sorted(seen))
+        return self._sensors_memo
 
     def dense(self) -> List[List[int]]:
         """Index-based dense matrix (diagonal = 1 by convention)."""
-        sensors = self.sensors()
-        index = {address: k for k, address in enumerate(sensors)}
-        matrix = [[1] * len(sensors) for _ in sensors]
-        for (src, dst), up in self._status.items():
-            matrix[index[src]][index[dst]] = 1 if up else 0
-        return matrix
+        if self._dense_memo is None:
+            sensors = self.sensors()
+            index = {address: k for k, address in enumerate(sensors)}
+            if vectorize_enabled():
+                matrix = np.ones((len(sensors), len(sensors)), dtype=np.int64)
+                for (src, dst), up in self._status.items():
+                    matrix[index[src], index[dst]] = 1 if up else 0
+                self._dense_memo = matrix.tolist()
+            else:
+                rows = [[1] * len(sensors) for _ in sensors]
+                for (src, dst), up in self._status.items():
+                    rows[index[src]][index[dst]] = 1 if up else 0
+                self._dense_memo = rows
+        return self._dense_memo
 
     def __len__(self) -> int:
         return len(self._status)

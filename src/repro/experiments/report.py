@@ -112,6 +112,9 @@ def render_runner_stats(stats: "RunnerStats") -> str:
         f"incremental={stats.incremental_converges}  "
         f"prefixes converged={stats.prefixes_converged}  "
         f"reused={stats.prefixes_reused}  (reuse-rate={reuse_rate:.2f})",
+        f"   rib sharing: owned={stats.rib_prefixes_owned}  "
+        f"shared={stats.rib_prefixes_shared}  "
+        f"cow-copies={stats.rib_cow_copies}",
         f"   time: setup-cpu={stats.setup_seconds:.2f}s  "
         f"scenarios-cpu={stats.scenario_seconds:.2f}s  "
         f"(aggregate CPU seconds across {stats.workers} worker(s))",

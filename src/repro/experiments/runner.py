@@ -504,6 +504,9 @@ class PlacementStats:
     incremental_converges: int = 0
     prefixes_converged: int = 0
     prefixes_reused: int = 0
+    rib_prefixes_owned: int = 0
+    rib_prefixes_shared: int = 0
+    rib_cow_copies: int = 0
     probes_dropped: int = 0
     probes_truncated: int = 0
     hops_anonymized: int = 0
@@ -592,6 +595,9 @@ class RunnerStats:
     incremental_converges: int = 0
     prefixes_converged: int = 0
     prefixes_reused: int = 0
+    rib_prefixes_owned: int = 0
+    rib_prefixes_shared: int = 0
+    rib_cow_copies: int = 0
     probes_dropped: int = 0
     probes_truncated: int = 0
     hops_anonymized: int = 0
@@ -653,6 +659,9 @@ class RunnerStats:
         "incremental_converges",
         "prefixes_converged",
         "prefixes_reused",
+        "rib_prefixes_owned",
+        "rib_prefixes_shared",
+        "rib_cow_copies",
         "probes_dropped",
         "probes_truncated",
         "hops_anonymized",

@@ -25,9 +25,10 @@ from repro.experiments.runner import make_session, run_scenario
 from repro.experiments.stats import mean
 from repro.measurement.sensors import random_stub_placement
 from repro.netsim.gen.internet import research_internet
+from repro.netsim.gen.powerlaw import powerlaw_internet
 from repro.netsim.topology import NetworkState
 
-__all__ = ["ScalePoint", "scaling_sweep", "render_scaling"]
+__all__ = ["ScalePoint", "scaling_sweep", "render_scaling", "TOPOLOGY_STYLES"]
 
 #: (tier-2 count, stub count) sweeps; the paper's point is (22, 140).
 DEFAULT_SIZES: Tuple[Tuple[int, int], ...] = (
@@ -36,6 +37,26 @@ DEFAULT_SIZES: Tuple[Tuple[int, int], ...] = (
     (22, 140),
     (33, 210),
 )
+
+#: Topology tiers a sweep can run on.  ``research`` sizes are
+#: (tier-2 count, stub count) pairs; ``powerlaw`` sizes are total AS
+#: counts (the internet-scale tier of :mod:`repro.netsim.gen.powerlaw`).
+TOPOLOGY_STYLES = ("research", "powerlaw")
+
+
+def _build_topology(topology: str, size, seed: int):
+    """Construct one sweep topology; returns (topo, (n_tier2, n_stub))."""
+    if topology == "research":
+        n_tier2, n_stub = size
+        topo = research_internet(n_tier2=n_tier2, n_stub=n_stub, seed=seed)
+        return topo, (n_tier2, n_stub)
+    if topology == "powerlaw":
+        n_ases = size if isinstance(size, int) else size[0] + size[1]
+        topo = powerlaw_internet(n_ases, seed=seed)
+        return topo, (len(topo.transit_asns), len(topo.stub_asns))
+    raise ScenarioError(
+        f"unknown topology style {topology!r}; choose from {TOPOLOGY_STYLES}"
+    )
 
 
 @dataclass
@@ -57,12 +78,15 @@ class ScalePoint:
 
 
 def _scale_point(
-    size: Tuple[int, int], n_sensors: int, failures: int, seed: int
+    size: Tuple[int, int],
+    n_sensors: int,
+    failures: int,
+    seed: int,
+    topology: str = "research",
 ) -> ScalePoint:
     """Measure one topology size (self-contained: safe in a worker)."""
-    n_tier2, n_stub = size
+    topo, (n_tier2, n_stub) = _build_topology(topology, size, seed)
     rng = random.Random(f"scaling/{seed}/{n_tier2}/{n_stub}")
-    topo = research_internet(n_tier2=n_tier2, n_stub=n_stub, seed=seed)
     session = make_session(
         topo, random_stub_placement(topo, n_sensors, rng), rng
     )
@@ -142,6 +166,7 @@ def scaling_sweep(
     failures: int = 5,
     seed: int = 0,
     workers: int = 1,
+    topology: str = "research",
 ) -> List[ScalePoint]:
     """Measure substrate cost and diagnosis quality across sizes.
 
@@ -149,12 +174,18 @@ def scaling_sweep(
     with ``workers > 1`` the points are computed in parallel processes;
     every non-timing field matches the serial sweep exactly (the
     ``*_seconds`` fields are wall-clock measurements and naturally vary
-    run to run).  ``workers=0`` uses every core.
+    run to run).  ``workers=0`` uses every core.  ``topology`` selects the
+    tier (see :data:`TOPOLOGY_STYLES`); ``powerlaw`` sizes are total AS
+    counts.
     """
     from repro.experiments.runner import resolve_workers
 
     point_fn = partial(
-        _scale_point, n_sensors=n_sensors, failures=failures, seed=seed
+        _scale_point,
+        n_sensors=n_sensors,
+        failures=failures,
+        seed=seed,
+        topology=topology,
     )
     n_workers = resolve_workers(workers, len(list(sizes)))
     if n_workers > 1:

@@ -9,9 +9,13 @@ registry data is accurate.
 
 Address plan
 ------------
-Every autonomous system ``asn`` receives one /20 IPv4 prefix carved out of
-``10.0.0.0/8`` (4096 addresses: enough routers for the largest core AS and
-enough sensor hosts for the densest Figure 5 placement).  Within an AS
+Every autonomous system ``asn`` receives one IPv4 prefix carved out of
+``10.0.0.0/8``.  The default plan allocates /20 blocks (4096 addresses:
+enough routers for the largest core AS and enough sensor hosts for the
+densest Figure 5 placement), which caps the internetwork at 4095 ASes.
+Internet-scale topologies (:mod:`repro.netsim.gen.powerlaw`) pass a
+longer ``as_prefix_len`` — /24 blocks support 65535 ASes with 256
+addresses each, plenty for their one-to-three-router ASes.  Within an AS
 block:
 
 * router ``k`` of the AS gets the *router address* ``base + k + 1``
@@ -34,35 +38,76 @@ from repro.errors import AddressingError
 
 __all__ = ["PrefixAllocator", "IpToAsMapper"]
 
-#: Prefix length of each AS block.
+#: Default prefix length of each AS block.
 _AS_PREFIX_LEN = 20
-#: Addresses per AS block.
-_BLOCK_SIZE = 1 << (32 - _AS_PREFIX_LEN)
-#: Number of host addresses reserved at the top of each AS block for sensors.
+#: Default number of host addresses reserved per AS block for sensors.
 _SENSOR_POOL = 1024
-#: Maximum routers per AS (the rest of the block, minus network/broadcast).
-_ROUTER_POOL = _BLOCK_SIZE - _SENSOR_POOL - 2
 
 
 class PrefixAllocator:
-    """Allocates one /20 per AS and deterministic addresses inside it.
+    """Allocates one block per AS and deterministic addresses inside it.
 
     Parameters
     ----------
     base:
         Network the AS blocks are carved from.  The default uses
-        ``10.0.0.0/8`` (4096 possible AS blocks).
+        ``10.0.0.0/8``.
+    as_prefix_len:
+        Prefix length of each AS block.  The default /20 gives 4096
+        possible AS blocks of 4096 addresses; internet-scale generators
+        use /24 (65536 blocks of 256 addresses).
+    sensor_pool:
+        Host addresses reserved at the top of each block for sensors;
+        the rest of the block (minus network/broadcast) is the router
+        pool.
     """
 
-    def __init__(self, base: str = "10.0.0.0/8") -> None:
+    def __init__(
+        self,
+        base: str = "10.0.0.0/8",
+        as_prefix_len: int = _AS_PREFIX_LEN,
+        sensor_pool: int = _SENSOR_POOL,
+    ) -> None:
         self._base = ipaddress.ip_network(base)
+        if not self._base.prefixlen < as_prefix_len <= 30:
+            raise AddressingError(
+                f"as_prefix_len {as_prefix_len} must lie strictly between "
+                f"the base prefix ({self._base.prefixlen}) and 31"
+            )
+        self.as_prefix_len = as_prefix_len
+        self.block_size = 1 << (32 - as_prefix_len)
+        if not 0 < sensor_pool < self.block_size - 2:
+            raise AddressingError(
+                f"sensor_pool {sensor_pool} does not fit a /{as_prefix_len} block"
+            )
+        self.sensor_pool = sensor_pool
+        self.router_pool = self.block_size - sensor_pool - 2
         self._as_prefix: Dict[int, ipaddress.IPv4Network] = {}
         self._router_counter: Dict[int, int] = {}
         self._sensor_counter: Dict[int, int] = {}
-        self._max_asn = 1 << (_AS_PREFIX_LEN - self._base.prefixlen)
+        self._max_asn = 1 << (as_prefix_len - self._base.prefixlen)
+
+    @property
+    def base(self) -> str:
+        """The network the AS blocks are carved from."""
+        return str(self._base)
+
+    @property
+    def max_asn(self) -> int:
+        """Highest AS number this plan can allocate a block for."""
+        return self._max_asn - 1
+
+    def plan(self) -> Dict[str, object]:
+        """The allocator parameters as a serialisable dict (see
+        :func:`repro.serialize.topology_to_dict`)."""
+        return {
+            "base": self.base,
+            "as_prefix_len": self.as_prefix_len,
+            "sensor_pool": self.sensor_pool,
+        }
 
     def allocate_as(self, asn: int) -> str:
-        """Reserve the /20 block for ``asn`` and return it as a string."""
+        """Reserve the block for ``asn`` and return it as a string."""
         if asn in self._as_prefix:
             raise AddressingError(f"AS {asn} already has a prefix allocated")
         if not 0 < asn < self._max_asn:
@@ -70,7 +115,8 @@ class PrefixAllocator:
                 f"AS number {asn} outside supported range 1..{self._max_asn - 1}"
             )
         net = ipaddress.ip_network(
-            f"{self._base.network_address + asn * _BLOCK_SIZE}/{_AS_PREFIX_LEN}"
+            f"{self._base.network_address + asn * self.block_size}"
+            f"/{self.as_prefix_len}"
         )
         self._as_prefix[asn] = net
         self._router_counter[asn] = 0
@@ -88,7 +134,7 @@ class PrefixAllocator:
         """Return the canonical address for the next router created in ``asn``."""
         net = self._need(asn)
         index = self._router_counter[asn]
-        if index >= _ROUTER_POOL:
+        if index >= self.router_pool:
             raise AddressingError(f"AS {asn} exhausted its router address pool")
         self._router_counter[asn] = index + 1
         return str(net.network_address + index + 1)
@@ -97,7 +143,7 @@ class PrefixAllocator:
         """Return the address for the next sensor attached inside ``asn``."""
         net = self._need(asn)
         index = self._sensor_counter[asn]
-        if index >= _SENSOR_POOL:
+        if index >= self.sensor_pool:
             raise AddressingError(f"AS {asn} exhausted its sensor address pool")
         self._sensor_counter[asn] = index + 1
         return str(net.broadcast_address - 1 - index)
@@ -126,6 +172,11 @@ class IpToAsMapper:
     def __init__(self) -> None:
         self._table: Dict[ipaddress.IPv4Network, int] = {}
         self._memo: Dict[str, Optional[int]] = {}
+        # prefixlen -> {masked network address int -> network}; longest-prefix
+        # lookup then probes one dict per distinct length instead of scanning
+        # the whole table (internet-scale plans register tens of thousands
+        # of prefixes).
+        self._by_len: Dict[int, Dict[int, ipaddress.IPv4Network]] = {}
 
     @classmethod
     def from_allocator(cls, allocator: PrefixAllocator) -> "IpToAsMapper":
@@ -143,7 +194,22 @@ class IpToAsMapper:
                 f"prefix {prefix} registered to both AS {self._table[net]} and AS {asn}"
             )
         self._table[net] = asn
+        self._by_len.setdefault(net.prefixlen, {})[
+            int(net.network_address)
+        ] = net
         self._memo.clear()
+
+    def _longest_match(
+        self, ip: ipaddress.IPv4Address
+    ) -> Optional[ipaddress.IPv4Network]:
+        """Most specific registered prefix containing ``ip`` (or ``None``)."""
+        value = int(ip)
+        for prefixlen in sorted(self._by_len, reverse=True):
+            masked = value & ~((1 << (32 - prefixlen)) - 1)
+            net = self._by_len[prefixlen].get(masked)
+            if net is not None:
+                return net
+        return None
 
     def asn_of(self, address: str) -> Optional[int]:
         """Map ``address`` to its owning AS number (``None`` if unknown).
@@ -157,21 +223,14 @@ class IpToAsMapper:
             ip = ipaddress.ip_address(address)
         except ValueError:
             raise AddressingError(f"not an IP address: {address!r}") from None
-        best: Optional[ipaddress.IPv4Network] = None
-        for net in self._table:
-            if ip in net and (best is None or net.prefixlen > best.prefixlen):
-                best = net
+        best = self._longest_match(ip)
         result = self._table[best] if best is not None else None
         self._memo[address] = result
         return result
 
     def prefix_containing(self, address: str) -> Optional[str]:
         """Return the most specific registered prefix containing ``address``."""
-        ip = ipaddress.ip_address(address)
-        best: Optional[ipaddress.IPv4Network] = None
-        for net in self._table:
-            if ip in net and (best is None or net.prefixlen > best.prefixlen):
-                best = net
+        best = self._longest_match(ipaddress.ip_address(address))
         return str(best) if best is not None else None
 
     def __len__(self) -> int:

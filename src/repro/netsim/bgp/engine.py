@@ -40,7 +40,7 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from repro.errors import ConvergenceError, RoutingError
 from repro.netsim.bgp import policy
-from repro.netsim.bgp.rib import RoutingState
+from repro.netsim.bgp.rib import CowRibTable, RibSharingStats, RoutingState
 from repro.netsim.bgp.route import BgpRoute
 from repro.netsim.cache import LruCache
 from repro.netsim.topology import Internetwork, NetworkState, Relationship
@@ -121,6 +121,8 @@ class BgpEngine:
         )
         self.incremental = incremental
         self.counters = ConvergenceCounters()
+        # Accumulated copy-on-write RIB accounting across every converge.
+        self.rib_sharing = RibSharingStats()
         # (state, routing) of the first converged state; dependency sets are
         # derived from it lazily (prefix -> (inter link ids, router ids)).
         self._baseline: Optional[Tuple[NetworkState, RoutingState]] = None
@@ -181,12 +183,14 @@ class BgpEngine:
 
     def _full_converge(self, state: NetworkState) -> RoutingState:
         """The historical path: fixpoint every prefix from scratch."""
-        ribs: Dict[str, Dict[int, BgpRoute]] = {}
+        table = CowRibTable()
         for prefix in sorted(self._prefixes):
-            ribs[prefix] = self._converge_prefix(prefix, state)
+            table.own(prefix, self._converge_prefix(prefix, state))
             self.counters.prefixes_converged += 1
+        ribs = table.mapping()
         adj_out = self._compute_adj_out(ribs, state)
         self.counters.full_converges += 1
+        self.rib_sharing.absorb(table.stats)
         return RoutingState(ribs, adj_out, dict(self._prefixes))
 
     def _is_degradation_of_baseline(self, state: NetworkState) -> bool:
@@ -242,7 +246,7 @@ class BgpEngine:
         added_filters = [f for f in state.filters if f not in base_filters]
         deps = self._dependencies()
 
-        ribs: Dict[str, Dict[int, BgpRoute]] = {}
+        table = CowRibTable(base=base_routing)
         for prefix in sorted(self._prefixes):
             dep_links, dep_routers = deps[prefix]
             affected = (
@@ -254,14 +258,18 @@ class BgpEngine:
                 )
             )
             if affected:
-                ribs[prefix] = self._converge_prefix(prefix, state)
+                # Copy-on-write divergence: the prefix's routes are
+                # recomputed; the baseline's dict is never mutated.
+                table.write(prefix, self._converge_prefix(prefix, state))
                 self.counters.prefixes_converged += 1
             else:
                 # Shares the baseline's per-prefix RIB object (read-only).
-                ribs[prefix] = base_routing.rib(prefix)
+                table.share(prefix)
                 self.counters.prefixes_reused += 1
+        ribs = table.mapping()
         adj_out = self._compute_adj_out(ribs, state)
         self.counters.incremental_converges += 1
+        self.rib_sharing.absorb(table.stats)
         return RoutingState(ribs, adj_out, dict(self._prefixes))
 
     def _enumerate_sessions(self) -> Dict[int, List[Tuple[int, int, int]]]:

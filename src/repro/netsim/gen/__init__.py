@@ -11,6 +11,7 @@ from repro.netsim.gen.abilene import build_abilene
 from repro.netsim.gen.geant import build_geant
 from repro.netsim.gen.hubspoke import build_hub_and_spoke, build_ladder, build_ring
 from repro.netsim.gen.internet import TIER2_STYLES, ResearchInternet, research_internet
+from repro.netsim.gen.powerlaw import PowerLawInternet, powerlaw_internet
 from repro.netsim.gen.wide import build_wide
 
 __all__ = [
@@ -20,7 +21,9 @@ __all__ = [
     "build_hub_and_spoke",
     "build_ladder",
     "build_ring",
+    "PowerLawInternet",
     "ResearchInternet",
     "TIER2_STYLES",
+    "powerlaw_internet",
     "research_internet",
 ]

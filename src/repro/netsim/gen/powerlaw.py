@@ -1,0 +1,228 @@
+"""Seeded power-law internet generator (internet-scale topology tier).
+
+The paper's evaluation internetwork (:mod:`repro.netsim.gen.internet`)
+tops out at 165 ASes; the identifiability literature analyzing the same
+set-cover structures (Bartolini et al., arXiv:1903.10636; Ma et al.,
+arXiv:1509.06333) works at internet scale.  This generator grows
+5k-50k-AS topologies whose AS-level degree distribution is heavy-tailed
+the way the measured AS graph is, using preferential attachment: each
+provider's chance of attracting the next customer is proportional to the
+customer links it already has (the classic rich-get-richer mechanism
+behind the observed power laws).
+
+Relationship assignment is Gao-Rexford-valid **by construction**: ASes
+are created in ascending ASN order and providers are only ever drawn
+from already-created ASes, so every customer→provider edge goes from a
+higher ASN to a strictly lower one and the provider digraph cannot have
+a cycle.  :func:`repro.netsim.validate.validate_gao_rexford` is still run
+on every generated topology as a safety net.
+
+The address plan uses /24 AS blocks (:class:`PrefixAllocator` supports
+65535 of them) instead of the default /20, since these ASes have one to
+three routers each.  Everything is driven by one ``random.Random(seed)``
+instance — the same seed yields a byte-identical topology in any
+process (see ``tests/netsim/test_powerlaw.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import TopologyError
+from repro.netsim.addressing import PrefixAllocator
+from repro.netsim.topology import Internetwork, Relationship, Tier
+
+__all__ = ["PowerLawInternet", "powerlaw_internet"]
+
+#: AS-block prefix length of the internet-scale address plan.
+POWERLAW_AS_PREFIX_LEN = 24
+#: Sensor host addresses reserved per /24 block.
+POWERLAW_SENSOR_POOL = 64
+
+
+@dataclass
+class PowerLawInternet:
+    """A generated power-law topology plus its inventory.
+
+    Duck-types :class:`~repro.netsim.gen.internet.ResearchInternet` where
+    the experiment layer cares (``core_asns``/``tier2_asns``/``stub_asns``
+    /``providers``/``all_asns``/``stub_router``) so sensor placement and
+    the scaling sweep work on either tier unchanged.
+    """
+
+    net: Internetwork
+    seed: int
+    core_asns: List[int]
+    transit_asns: List[int]
+    stub_asns: List[int]
+    #: asn -> list of provider asns (empty for cores).
+    providers: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def tier2_asns(self) -> List[int]:
+        """Alias: the transit tier plays the research topology's tier-2 role."""
+        return self.transit_asns
+
+    @property
+    def all_asns(self) -> List[int]:
+        return self.core_asns + self.transit_asns + self.stub_asns
+
+    def stub_router(self, asn: int) -> int:
+        """The single router of a stub AS."""
+        autsys = self.net.autonomous_system(asn)
+        if autsys.tier is not Tier.STUB:
+            raise TopologyError(f"AS {asn} is not a stub")
+        return autsys.router_ids[0]
+
+    def customer_degree(self, asn: int) -> int:
+        """Number of ASes that list ``asn`` as a provider."""
+        return sum(asn in p for p in self.providers.values())
+
+
+def powerlaw_internet(
+    n_ases: int,
+    seed: int = 0,
+    transit_fraction: float = 0.15,
+    stub_multihomed_fraction: float = 0.25,
+    transit_multihomed_fraction: float = 0.5,
+    n_core: int = 3,
+) -> PowerLawInternet:
+    """Generate a power-law internet with ``n_ases`` autonomous systems.
+
+    Parameters
+    ----------
+    n_ases:
+        Total AS count.  Sized for 5k-50k; anything from ``n_core + 2``
+        up to the /24 plan's 65535-AS ceiling is accepted (tests use
+        small counts).
+    transit_fraction:
+        Fraction of non-core ASes that are transit (tier-2); the rest
+        are single-router stubs.
+    stub_multihomed_fraction / transit_multihomed_fraction:
+        Exact fraction of each tier given a second provider (rounded,
+        like the research topology's multihoming fractions).
+    n_core:
+        Full-mesh peering clique at the top of the hierarchy.
+    """
+    if n_ases < n_core + 2:
+        raise TopologyError(
+            f"n_ases {n_ases} too small: need at least {n_core} cores, "
+            "one transit and one stub"
+        )
+    if not 0.0 < transit_fraction < 1.0:
+        raise TopologyError(
+            f"transit_fraction {transit_fraction} must lie in (0, 1)"
+        )
+    allocator = PrefixAllocator(
+        as_prefix_len=POWERLAW_AS_PREFIX_LEN,
+        sensor_pool=POWERLAW_SENSOR_POOL,
+    )
+    if n_ases > allocator.max_asn:
+        raise TopologyError(
+            f"n_ases {n_ases} exceeds the /{POWERLAW_AS_PREFIX_LEN} address "
+            f"plan's ceiling of {allocator.max_asn} ASes"
+        )
+    rng = random.Random(seed)
+    net = Internetwork(allocator=allocator)
+
+    n_transit = max(1, round(transit_fraction * (n_ases - n_core)))
+    n_stub = n_ases - n_core - n_transit
+
+    topo = PowerLawInternet(
+        net=net, seed=seed, core_asns=[], transit_asns=[], stub_asns=[]
+    )
+
+    # --- the core clique: full-mesh peers, three routers each ------------
+    for index in range(n_core):
+        asn = index + 1
+        net.add_as(asn, f"core-{index + 1}", Tier.CORE)
+        rids = [net.add_router(asn, f"as{asn}-r{k}").rid for k in range(3)]
+        for a, b in zip(rids, rids[1:]):
+            net.add_link(a, b)
+        net.add_link(rids[0], rids[-1])
+        topo.core_asns.append(asn)
+        topo.providers[asn] = []
+    for a in topo.core_asns:
+        for b in topo.core_asns:
+            if a < b:
+                net.set_relationship(a, b, Relationship.PEER)
+                net.add_link(
+                    rng.choice(net.autonomous_system(a).router_ids),
+                    rng.choice(net.autonomous_system(b).router_ids),
+                )
+
+    # Preferential-attachment pool: one entry per customer link an AS has
+    # attracted (plus one baseline entry per provider-capable AS so new
+    # transits are reachable at all).  Drawing uniformly from the pool is
+    # drawing proportionally to degree — the rich-get-richer mechanism
+    # that produces the power-law tail.
+    attachment_pool: List[int] = list(topo.core_asns)
+
+    def pick_providers(count: int, eligible_only_transit: bool) -> List[int]:
+        """Draw ``count`` distinct providers, degree-proportionally."""
+        chosen: List[int] = []
+        attempts = 0
+        while len(chosen) < count and attempts < 64:
+            attempts += 1
+            candidate = attachment_pool[rng.randrange(len(attachment_pool))]
+            if candidate in chosen:
+                continue
+            if eligible_only_transit and candidate in topo.core_asns:
+                # Stubs buy transit from the transit tier when one exists;
+                # the draw is retried, keeping degree proportionality
+                # within the eligible tier.
+                if topo.transit_asns:
+                    continue
+            chosen.append(candidate)
+        if not chosen:  # pragma: no cover - attempts bound is generous
+            chosen.append(attachment_pool[0])
+        return chosen
+
+    def attach(customer_rid: int, provider_asn: int) -> None:
+        provider_rid = rng.choice(
+            net.autonomous_system(provider_asn).router_ids
+        )
+        net.add_link(customer_rid, provider_rid)
+        attachment_pool.append(provider_asn)
+
+    # --- transit tier: two routers, customers of cores/earlier transits --
+    multihomed_transit = set(
+        rng.sample(
+            range(n_transit), round(transit_multihomed_fraction * n_transit)
+        )
+    )
+    for index in range(n_transit):
+        asn = n_core + index + 1
+        net.add_as(asn, f"transit-{index + 1}", Tier.TIER2)
+        rids = [net.add_router(asn, f"as{asn}-r{k}").rid for k in range(2)]
+        net.add_link(rids[0], rids[1])
+        topo.transit_asns.append(asn)
+        providers = pick_providers(
+            2 if index in multihomed_transit else 1, eligible_only_transit=False
+        )
+        topo.providers[asn] = sorted(providers)
+        for provider in providers:
+            net.set_relationship(asn, provider, Relationship.CUSTOMER_PROVIDER)
+            attach(rng.choice(rids), provider)
+        attachment_pool.append(asn)  # baseline presence in the pool
+
+    # --- stub tier: single router, customers of the transit tier ---------
+    multihomed_stubs = set(
+        rng.sample(range(n_stub), round(stub_multihomed_fraction * n_stub))
+    )
+    for index in range(n_stub):
+        asn = n_core + n_transit + index + 1
+        net.add_as(asn, f"stub-{index + 1}", Tier.STUB)
+        rid = net.add_router(asn, f"as{asn}-gw").rid
+        topo.stub_asns.append(asn)
+        providers = pick_providers(
+            2 if index in multihomed_stubs else 1, eligible_only_transit=True
+        )
+        topo.providers[asn] = sorted(providers)
+        for provider in providers:
+            net.set_relationship(asn, provider, Relationship.CUSTOMER_PROVIDER)
+            attach(rid, provider)
+
+    return topo

@@ -170,6 +170,12 @@ class Simulator:
             prefixes_converged=counters.prefixes_converged,
             prefixes_reused=counters.prefixes_reused,
         )
+        sharing = self.engine.rib_sharing
+        stats.update(
+            rib_prefixes_owned=sharing.prefixes_owned,
+            rib_prefixes_shared=sharing.prefixes_shared,
+            rib_cow_copies=sharing.cow_copies,
+        )
         return stats
 
     # ------------------------------------------------------- control plane

@@ -31,6 +31,7 @@ from repro.core.linkspace import (
     UhNode,
 )
 from repro.errors import ReproError
+from repro.netsim.addressing import PrefixAllocator
 from repro.netsim.events import (
     CompositeEvent,
     Event,
@@ -66,9 +67,16 @@ __all__ = [
 
 
 def topology_to_dict(net: Internetwork) -> Dict[str, Any]:
-    """Serialise an internetwork (structure + address plan)."""
+    """Serialise an internetwork (structure + address plan).
+
+    ``address_plan`` records the allocator parameters so topologies built
+    against a non-default plan (e.g. the /24 blocks of
+    :mod:`repro.netsim.gen.powerlaw`) reconstruct with the same
+    deterministic addresses.
+    """
     return {
         "format": "repro-topology-v1",
+        "address_plan": net.allocator.plan(),
         "ases": [
             {
                 "asn": autsys.asn,
@@ -108,7 +116,18 @@ def topology_from_dict(data: Dict[str, Any]) -> Internetwork:
     """Reconstruct an internetwork serialised by :func:`topology_to_dict`."""
     if data.get("format") != "repro-topology-v1":
         raise ReproError(f"unknown topology format {data.get('format')!r}")
-    net = Internetwork()
+    plan = data.get("address_plan")
+    if plan is None:
+        # Archives written before address_plan existed used the default.
+        net = Internetwork()
+    else:
+        net = Internetwork(
+            allocator=PrefixAllocator(
+                base=plan["base"],
+                as_prefix_len=plan["as_prefix_len"],
+                sensor_pool=plan["sensor_pool"],
+            )
+        )
     for autsys in data["ases"]:
         created = net.add_as(autsys["asn"], autsys["name"], Tier(autsys["tier"]))
         if created.prefix != autsys["prefix"]:

@@ -1,0 +1,106 @@
+"""Tests for the seeded power-law internet generator.
+
+Determinism is the load-bearing property: scaling sweeps hand sizes to
+worker processes, so the same ``(n_ases, seed)`` must produce a
+byte-identical topology no matter which process builds it.
+"""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from statistics import median
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.netsim.gen.powerlaw import powerlaw_internet
+from repro.netsim.topology import Tier
+from repro.netsim.validate import validate_gao_rexford
+from repro.serialize import topology_to_dict
+
+
+def _topology_json(spec):
+    """Canonical JSON of one generated topology (picklable helper)."""
+    n_ases, seed = spec
+    topo = powerlaw_internet(n_ases, seed=seed)
+    return json.dumps(topology_to_dict(topo.net), sort_keys=True)
+
+
+class TestDeterminism:
+    def test_same_seed_rebuild_is_byte_identical(self):
+        assert _topology_json((200, 7)) == _topology_json((200, 7))
+
+    def test_different_seeds_differ(self):
+        assert _topology_json((200, 0)) != _topology_json((200, 1))
+
+    def test_worker_processes_match_serial(self):
+        """Builds fanned out over 3 workers equal the serial builds —
+        the generator draws only from its own ``random.Random``."""
+        specs = [(150, 0), (150, 1), (200, 2)]
+        serial = [_topology_json(spec) for spec in specs]
+        with ProcessPoolExecutor(max_workers=3) as pool:
+            fanned = list(pool.map(_topology_json, specs))
+        assert serial == fanned
+
+
+class TestValidity:
+    def test_gao_rexford_clean(self):
+        topo = powerlaw_internet(300, seed=2)
+        assert validate_gao_rexford(topo.net) == []
+
+    def test_tier_mix_covers_every_as(self):
+        topo = powerlaw_internet(250, seed=0, n_core=3)
+        assert len(topo.core_asns) == 3
+        assert len(topo.all_asns) == 250
+        assert set(topo.all_asns) == (
+            set(topo.core_asns) | set(topo.transit_asns) | set(topo.stub_asns)
+        )
+        # Every non-core AS bought transit from somebody.
+        for asn in topo.transit_asns + topo.stub_asns:
+            assert topo.providers[asn]
+        # Stubs are leaves of the provider relation: nobody buys from them.
+        stub_set = set(topo.stub_asns)
+        for providers in topo.providers.values():
+            assert not stub_set & set(providers)
+
+    def test_stub_router_accessor(self):
+        topo = powerlaw_internet(100, seed=0)
+        stub = topo.stub_asns[0]
+        rid = topo.stub_router(stub)
+        assert topo.net.asn_of_router(rid) == stub
+        assert topo.net.autonomous_system(stub).tier is Tier.STUB
+        with pytest.raises(TopologyError):
+            topo.stub_router(topo.core_asns[0])
+
+
+class TestDegreeDistribution:
+    def test_customer_degrees_are_heavy_tailed(self):
+        """Preferential attachment concentrates customers on a few hubs:
+        the busiest provider serves several times the median provider."""
+        topo = powerlaw_internet(400, seed=0)
+        degrees = sorted(
+            (topo.customer_degree(asn) for asn in topo.core_asns + topo.transit_asns),
+            reverse=True,
+        )
+        assert degrees[0] >= 3 * max(1, median(degrees))
+        # Degrees account for every purchased transit edge.
+        assert sum(degrees) == sum(len(p) for p in topo.providers.values())
+
+    def test_transit_stub_ratio_tracks_fraction(self):
+        topo = powerlaw_internet(500, seed=0, transit_fraction=0.2)
+        n_non_core = 500 - len(topo.core_asns)
+        assert len(topo.transit_asns) == pytest.approx(0.2 * n_non_core, abs=2)
+        assert len(topo.stub_asns) == n_non_core - len(topo.transit_asns)
+
+
+class TestValidation:
+    def test_too_few_ases_rejected(self):
+        with pytest.raises(TopologyError):
+            powerlaw_internet(4, seed=0)
+
+    def test_bad_transit_fraction_rejected(self):
+        with pytest.raises(TopologyError):
+            powerlaw_internet(100, seed=0, transit_fraction=1.5)
+
+    def test_as_count_over_address_plan_rejected(self):
+        with pytest.raises(TopologyError):
+            powerlaw_internet(70_000, seed=0)
