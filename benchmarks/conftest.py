@@ -22,7 +22,8 @@ import pytest
 
 from repro.experiments.figures.base import FigureConfig
 
-RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "results"
 
 
 @pytest.fixture(scope="session")

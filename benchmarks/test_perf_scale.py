@@ -16,7 +16,6 @@ returning a bit-identical result.
 
 import json
 import random
-import resource
 import time
 
 import pytest
@@ -33,8 +32,9 @@ from repro.measurement.collector import take_snapshot
 from repro.measurement.sensors import random_stub_placement
 from repro.netsim.gen.internet import research_internet
 from repro.netsim.gen.powerlaw import powerlaw_internet
+from repro.perf import peak_rss_mb, write_bench_artifact
 
-from conftest import RESULTS_DIR
+from conftest import REPO_ROOT, RESULTS_DIR
 
 SCHEMA = "bench-scale-v1"
 BENCH_PATH = RESULTS_DIR / "BENCH_scale.json"
@@ -42,15 +42,6 @@ BENCH_PATH = RESULTS_DIR / "BENCH_scale.json"
 #: Acceptance floor for the vectorized greedy at the 5k-AS tier.  The
 #: measured margin is ~2x above this; the floor absorbs machine noise.
 SPEEDUP_FLOOR = 3.0
-
-
-def _peak_rss_mb() -> float:
-    """Peak resident set size of this process so far, in MiB.
-
-    ``ru_maxrss`` is monotonic, so tiers must be measured in ascending
-    size order for the per-tier numbers to be attributable.
-    """
-    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
 def _hubs_by_degree(topo):
@@ -110,7 +101,7 @@ def _measure_tier(label, build, n_sensors, n_diagnoses):
         "build_seconds": round(build_seconds, 4),
         "diagnoses": n_diagnoses,
         "diagnoses_per_second": round(n_diagnoses / diagnosis_seconds, 4),
-        "peak_rss_mb": round(_peak_rss_mb(), 1),
+        "peak_rss_mb": round(peak_rss_mb(), 1),
     }
     return topo, session, row
 
@@ -152,20 +143,18 @@ def _measure_greedy_speedup(topo, session, reps=20):
 
 
 def _merge_results(tiers, greedy=None):
-    """Read-update-write ``BENCH_scale.json`` so tiers measured by
-    different test runs (the slow 20k tier in particular) accumulate."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    data = {"schema": SCHEMA, "tiers": {}}
-    if BENCH_PATH.exists():
-        existing = json.loads(BENCH_PATH.read_text())
-        if existing.get("schema") == SCHEMA:
-            data = existing
-    for row in tiers:
-        data["tiers"][row["label"]] = row
-    if greedy is not None:
-        data["greedy_5k"] = greedy
-    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
-    return data
+    """Merge new tiers into ``BENCH_scale.json`` at the repo root and
+    under ``results/``, so tiers measured by different test runs (the
+    slow 20k tier in particular) accumulate."""
+
+    def merge(data):
+        data.setdefault("tiers", {})
+        for row in tiers:
+            data["tiers"][row["label"]] = row
+        if greedy is not None:
+            data["greedy_5k"] = greedy
+
+    return write_bench_artifact("scale", SCHEMA, merge, REPO_ROOT)
 
 
 def test_perf_scale(benchmark):

@@ -22,18 +22,16 @@ import os
 import pytest
 
 from repro.experiments.report import render_stream_report
+from repro.experiments.stats import percentile
+from repro.perf import write_bench_artifact
 from repro.stream import ReplayConfig, make_replay_setup, run_stream_replay
+
+from conftest import REPO_ROOT
 
 TOPO_SEED = 100
 SEED = 0
 
-
-def _percentile(values, q):
-    ordered = sorted(values)
-    if not ordered:
-        return 0
-    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-    return ordered[rank]
+SCHEMA = "bench-stream-v1"
 
 
 @pytest.mark.slow
@@ -64,8 +62,22 @@ def test_stream_throughput_and_episode_latency():
     assert len(opens) == episodes
 
     events_per_second = result.events_total / max(result.wall_seconds, 1e-9)
-    p50 = _percentile(result.latencies, 0.50)
-    p99 = _percentile(result.latencies, 0.99)
+    p50 = percentile(result.latencies, 0.50)
+    p99 = percentile(result.latencies, 0.99)
+
+    def merge(data):
+        data["replay"] = {
+            "episodes": episodes,
+            "n_sensors": n_sensors,
+            "events_total": result.events_total,
+            "wall_seconds": round(result.wall_seconds, 4),
+            "events_per_second": round(events_per_second, 1),
+            "latency_ticks_p50": p50,
+            "latency_ticks_p99": p99,
+            "reports": len(result.reports),
+        }
+
+    write_bench_artifact("stream", SCHEMA, merge, REPO_ROOT)
 
     print()
     print(render_stream_report(result))

@@ -225,9 +225,22 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
     from repro.experiments.journal import RunJournal
     from repro.experiments.report import render_stream_report
-    from repro.stream import ReplayConfig, make_replay_setup, run_stream_replay
+    from repro.stream import (
+        ReplayConfig,
+        TenantConfig,
+        make_replay_setup,
+        run_stream_replay,
+        source_tenant_of,
+    )
 
     workers = args.workers or (os.cpu_count() or 1)
+    tenants = tenant_of = None
+    if args.tenants > 0:
+        tenants = tuple(
+            TenantConfig(f"tenant-{index}", rate=args.tenant_rate)
+            for index in range(args.tenants)
+        )
+        tenant_of = source_tenant_of(tenants)
     for rate in args.rates:
         setup = make_replay_setup(
             seed=args.seed,
@@ -264,6 +277,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             policy=args.policy,
             window_width=args.window,
             workers=workers,
+            shards=args.shards,
+            tenants=tenants,
+            tenant_of=tenant_of,
             journal=journal,
             cached_reports=cached,
             save_log=args.save_log,
@@ -514,6 +530,27 @@ def main(argv=None) -> int:
         type=_worker_count,
         default=1,
         help="diagnosis worker processes (0 = all cores, 1 = serial)",
+    )
+    stream.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="ingest shards behind the consistent-hash router "
+        "(1 = serial single-shard engine)",
+    )
+    stream.add_argument(
+        "--tenants",
+        type=int,
+        default=0,
+        help="number of synthetic tenants sharing the stream (0 = "
+        "single-tenant, admission control disabled)",
+    )
+    stream.add_argument(
+        "--tenant-rate",
+        type=int,
+        default=None,
+        help="per-tenant admitted events per tick (default: unlimited); "
+        "requires --tenants",
     )
     stream.add_argument(
         "--journal",

@@ -179,16 +179,6 @@ def render_runner_stats(stats: "RunnerStats") -> str:
     return "\n".join(lines)
 
 
-def _percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of an already-sorted sequence."""
-    if not sorted_values:
-        return 0.0
-    rank = min(
-        len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1)))
-    )
-    return float(sorted_values[rank])
-
-
 def render_stream_report(result: "StreamRunResult") -> str:
     """Aligned accounting block for one stream replay.
 
@@ -198,7 +188,7 @@ def render_stream_report(result: "StreamRunResult") -> str:
     ticks: how long a scheduled episode transition waited in the
     bounded queue before its diagnosis ran.
     """
-    from repro.experiments.stats import ratio
+    from repro.experiments.stats import percentile, ratio
 
     engine = result.engine_counters
     ingest = result.ingest_counters
@@ -229,14 +219,36 @@ def render_stream_report(result: "StreamRunResult") -> str:
         f"deferred={engine['transitions_deferred']}  "
         f"reused={engine['reports_reused']}  "
         f"degraded diagnoses={engine['diagnoses_failed']}",
-        f"   latency (ticks): p50={_percentile(latencies, 0.50):.0f}  "
-        f"p99={_percentile(latencies, 0.99):.0f}  "
+        f"   latency (ticks): p50={percentile(latencies, 0.50):.0f}  "
+        f"p99={percentile(latencies, 0.99):.0f}  "
         f"max={latencies[-1] if latencies else 0:.0f}",
         f"   stage cpu: ingest={result.stage_seconds['ingest']:.2f}s  "
         f"window={result.stage_seconds['window']:.2f}s  "
         f"detect={result.stage_seconds['detect']:.2f}s  "
         f"diagnose={result.stage_seconds['diagnose']:.2f}s",
     ]
+    if result.shard_stats:
+        lines.append(
+            f"   shards: n={engine.get('shards', len(result.shard_stats))}  "
+            f"broadcast events={engine.get('events_broadcast', 0)}  "
+            f"cross-shard episodes={engine.get('cross_shard_episodes', 0)}"
+        )
+        for stats in result.shard_stats:
+            lines.append(
+                f"     shard {stats['shard']}: "
+                f"offered={stats['events_offered']}  "
+                f"admitted={stats['events_admitted']}  "
+                f"pairs tracked={stats['pairs_tracked']}  "
+                f"alarmed={stats['pairs_alarmed']}"
+            )
+        if engine.get("admission_shed", 0) or engine.get(
+            "admission_rejected_unknown", 0
+        ):
+            lines.append(
+                f"   admission: admitted={engine.get('admission_admitted', 0)}  "
+                f"shed={engine.get('admission_shed', 0)}  "
+                f"unknown tenant={engine.get('admission_rejected_unknown', 0)}"
+            )
     return "\n".join(lines)
 
 

@@ -11,7 +11,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ReproError
 
-__all__ = ["cdf", "mean", "ratio", "summarize", "binned_means"]
+__all__ = ["cdf", "mean", "percentile", "ratio", "summarize", "binned_means"]
 
 
 def mean(values: Sequence[float]) -> float:
@@ -30,6 +30,26 @@ def ratio(numerator: float, denominator: float) -> float:
     is the honest rendering there, not a masked error.
     """
     return numerator / denominator if denominator else 0.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile: the element at rank ``round(q * (n-1))``.
+
+    This is the one shared definition for every latency/benchmark
+    report (``render_stream_report``, the perf benches): the result is
+    always an element of ``values`` (never interpolated), ``q=0`` is
+    the minimum, ``q=1`` the maximum, and on small samples high
+    quantiles round up to the maximum (``n<=50`` makes ``q=0.99`` the
+    max).  Empty input returns ``0.0`` — latency accounting over an
+    empty report list is an honest zero, not an error.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ReproError(f"percentile q must be within [0, 1], got {q}")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return float(ordered[rank])
 
 
 def cdf(values: Sequence[float]) -> List[Tuple[float, float]]:

@@ -1,0 +1,119 @@
+"""Process accounting and benchmark-artifact helpers.
+
+The perf benches (``benchmarks/test_perf_*.py``) all need the same two
+things: a correct peak-RSS reading, and a crash-tolerant way to merge
+their measurements into the ``BENCH_<name>.json`` trajectory artifacts.
+Both used to live inside individual benchmark files, which is how the
+two bugs this module fixes crept in:
+
+* ``getrusage().ru_maxrss`` is **KiB on Linux but bytes on macOS** (and
+  on the BSDs); dividing by 1024 unconditionally reported Darwin RSS
+  1024x too high.  :func:`peak_rss_mb` carries the platform guard.
+* artifacts were written only under ``results/``, so the repo-root
+  ``BENCH_*.json`` perf trajectory stayed empty.
+  :func:`write_bench_artifact` writes/merges **both** copies with the
+  same read-update-write discipline (a tier measured by a different
+  test run — the slow 20k tier, the overload lane — accumulates into
+  the same file instead of clobbering it).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Union
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
+__all__ = [
+    "maxrss_to_mb",
+    "peak_rss_mb",
+    "merge_bench_artifact",
+    "write_bench_artifact",
+    "bench_artifact_paths",
+]
+
+
+def maxrss_to_mb(ru_maxrss: float, platform: Optional[str] = None) -> float:
+    """Convert a raw ``ru_maxrss`` reading to MiB for ``platform``.
+
+    POSIX leaves the unit to the implementation: Linux reports KiB,
+    macOS (and the BSDs) report bytes.  ``platform`` defaults to
+    :data:`sys.platform` and is injectable so both conversions are unit
+    testable on any host.
+    """
+    plat = sys.platform if platform is None else platform
+    if plat == "darwin":
+        return ru_maxrss / (1024.0 * 1024.0)
+    return ru_maxrss / 1024.0
+
+
+def peak_rss_mb(platform: Optional[str] = None) -> float:
+    """Peak resident set size of this process so far, in MiB.
+
+    ``ru_maxrss`` is monotonic, so callers measuring multiple tiers must
+    measure them in ascending size order for per-tier numbers to be
+    attributable.  Returns ``0.0`` where :mod:`resource` is unavailable
+    (non-POSIX hosts) rather than failing the whole bench.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX only
+        return 0.0
+    raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return maxrss_to_mb(raw, platform)
+
+
+def merge_bench_artifact(
+    path: Union[str, Path],
+    schema: str,
+    merge: Callable[[Dict[str, Any]], None],
+) -> Dict[str, Any]:
+    """Read-update-write one benchmark JSON artifact.
+
+    Loads ``path`` when it already holds a document of the same
+    ``schema`` (anything else — missing file, corrupt JSON, a different
+    schema — starts fresh), lets ``merge`` fold the new measurements
+    into the document in place, and writes it back sorted and indented.
+    """
+    target = Path(path)
+    data: Dict[str, Any] = {"schema": schema}
+    if target.exists():
+        try:
+            existing = json.loads(target.read_text())
+        except json.JSONDecodeError:
+            existing = None
+        if isinstance(existing, dict) and existing.get("schema") == schema:
+            data = existing
+    merge(data)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data
+
+
+def bench_artifact_paths(name: str, repo_root: Union[str, Path]) -> tuple:
+    """The two homes of ``BENCH_<name>.json``: repo root and ``results/``."""
+    root = Path(repo_root)
+    return (root / f"BENCH_{name}.json", root / "results" / f"BENCH_{name}.json")
+
+
+def write_bench_artifact(
+    name: str,
+    schema: str,
+    merge: Callable[[Dict[str, Any]], None],
+    repo_root: Union[str, Path],
+) -> Dict[str, Any]:
+    """Merge one benchmark's measurements into both artifact copies.
+
+    The repo-root ``BENCH_<name>.json`` is the perf trajectory the CI
+    lanes upload and diff across PRs; the ``results/`` copy sits next to
+    the figure renders.  Both are merged independently (each may hold
+    tiers the other run didn't measure); the returned document is the
+    repo-root one.
+    """
+    merged: Dict[str, Any] = {}
+    for path in reversed(bench_artifact_paths(name, repo_root)):
+        merged = merge_bench_artifact(path, schema, merge)
+    return merged

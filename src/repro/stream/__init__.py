@@ -18,9 +18,17 @@ This package is that online layer over the existing batch machinery:
   :class:`~repro.core.diagnoser.NetDiagnoser` variant, bit-identical
   serial/parallel output;
 * :mod:`repro.stream.replay` — deterministic replay of recorded rounds
-  and fault plans (same log + seed ⇒ identical episode reports).
+  and fault plans (same log + seed ⇒ identical episode reports);
+* :mod:`repro.stream.router` — consistent-hash sharding, per-tenant
+  admission control, and the :class:`ShardedStreamEngine` scale-out
+  engine (bit-identical to serial replay with admission disabled);
+* :mod:`repro.stream.merge` — cross-shard snapshot/control/episode
+  merging in global ``(tick, seq)`` order;
+* :mod:`repro.stream.serve` — the asyncio ingest front end with bounded
+  per-tenant queues and round-robin fair pumping.
 
-CLI: ``python -m repro stream`` replays a configured stream and renders
+CLI: ``python -m repro stream`` replays a configured stream (optionally
+sharded via ``--shards`` / multi-tenant via ``--tenants``) and renders
 throughput, backpressure and episode-latency statistics.
 """
 
@@ -36,7 +44,9 @@ from repro.stream.episodes import (
     UPDATE,
     Episode,
     EpisodeDetector,
+    EpisodeLifecycle,
     EpisodeTransition,
+    PairAlarmTracker,
 )
 from repro.stream.events import (
     EVENT_LOG_FORMAT,
@@ -55,6 +65,21 @@ from repro.stream.events import (
     stream_event_to_dict,
 )
 from repro.stream.ingest import StreamIngestor
+from repro.stream.merge import (
+    CrossShardMerger,
+    merged_control_view,
+    merged_snapshot,
+)
+from repro.stream.router import (
+    AdmissionController,
+    ShardedStreamEngine,
+    ShardRouter,
+    StreamShard,
+    TenantConfig,
+    source_tenant_of,
+    stable_hash,
+)
+from repro.stream.serve import StreamServer
 from repro.stream.replay import (
     ReplayConfig,
     ReplayEpisodeInfo,
@@ -90,7 +115,20 @@ __all__ = [
     "CLOSE",
     "Episode",
     "EpisodeTransition",
+    "PairAlarmTracker",
+    "EpisodeLifecycle",
     "EpisodeDetector",
+    "stable_hash",
+    "ShardRouter",
+    "TenantConfig",
+    "AdmissionController",
+    "source_tenant_of",
+    "StreamShard",
+    "ShardedStreamEngine",
+    "CrossShardMerger",
+    "merged_snapshot",
+    "merged_control_view",
+    "StreamServer",
     "StaticAsnMap",
     "EpisodeDiagnosis",
     "EpisodeReport",

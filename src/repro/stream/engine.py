@@ -521,3 +521,19 @@ class StreamEngine:
             "reports_reused": self.reports_reused,
             "diagnoses_failed": self.diagnoses_failed,
         }
+
+    # The accessor quartet below is the engine protocol the replay and
+    # report layers consume; ShardedStreamEngine implements the same
+    # four by aggregating across shards.
+
+    def ingest_counters(self) -> Dict[str, int]:
+        return self.ingestor.counters()
+
+    def window_counters(self) -> Dict[str, int]:
+        return self.window.counters()
+
+    def detector_counters(self) -> Dict[str, int]:
+        return self.detector.counters()
+
+    def stage_seconds(self) -> Dict[str, float]:
+        return dict(self.seconds)

@@ -15,12 +15,26 @@ first pair alarms while none were alarmed, updates when the alarmed set
 changes while open, and closes when the last alarmed pair clears.  The
 detector emits :class:`EpisodeTransition` records; the engine schedules
 diagnosis work off those, never off raw probe results.
+
+The detector is split into two halves so the sharded engine can
+partition one and keep the other global:
+
+* :class:`PairAlarmTracker` holds the per-pair debounce state.  Pairs
+  partition cleanly across shards (each pair's counters depend only on
+  that pair's own observations), so each shard owns one tracker.
+* :class:`EpisodeLifecycle` holds the open/update/close state machine.
+  Episode identity is global — a failure whose suspect links span
+  shards is still *one* episode — so the cross-shard merger owns
+  exactly one lifecycle and feeds it the union of shard alarms.
+
+:class:`EpisodeDetector` composes the two and remains the single-shard
+surface.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import StreamError
 
@@ -30,6 +44,8 @@ __all__ = [
     "CLOSE",
     "Episode",
     "EpisodeTransition",
+    "PairAlarmTracker",
+    "EpisodeLifecycle",
     "EpisodeDetector",
 ]
 
@@ -85,8 +101,14 @@ class _PairAlarm:
         self.alarmed = False
 
 
-class EpisodeDetector:
-    """Turns per-pair reachability observations into episode transitions."""
+class PairAlarmTracker:
+    """The shardable half of the detector: per-pair debounce state.
+
+    A pair's alarm depends only on its own observation sequence, so any
+    partition of pairs across trackers yields, pair for pair, the same
+    alarms the single tracker would — which is the keystone of the
+    sharded engine's bit-identical replay guarantee.
+    """
 
     def __init__(self, open_after: int = 2, close_after: int = 2) -> None:
         if open_after < 1 or close_after < 1:
@@ -97,13 +119,7 @@ class EpisodeDetector:
         self.open_after = open_after
         self.close_after = close_after
         self._alarms: Dict[Pair, _PairAlarm] = {}
-        self._episode: Optional[Episode] = None
-        self._next_id = 0
-        self.episodes: List[Episode] = []
         self.observations = 0
-        self.transitions_emitted = 0
-
-    # ------------------------------------------------------- observations
 
     def observe(self, pair: Pair, reached: bool) -> None:
         """Fold one reachability observation (probe or ping) for a pair."""
@@ -129,20 +145,38 @@ class EpisodeDetector:
         for pair in [p for p in self._alarms if pair_member in p]:
             del self._alarms[pair]
 
-    # -------------------------------------------------------- transitions
-
     def alarmed_pairs(self) -> Tuple[Pair, ...]:
         return tuple(
             sorted(pair for pair, alarm in self._alarms.items() if alarm.alarmed)
         )
 
+    def pairs_tracked(self) -> int:
+        return len(self._alarms)
+
+
+class EpisodeLifecycle:
+    """The global half of the detector: the open/update/close machine.
+
+    Owns episode identity (ids, the open episode, history).  Feed it the
+    complete alarmed set each tick — whether from one tracker or the
+    union of many shards' trackers — and it emits the transitions.
+    """
+
+    def __init__(self) -> None:
+        self._episode: Optional[Episode] = None
+        self._next_id = 0
+        self.episodes: List[Episode] = []
+        self.transitions_emitted = 0
+
     @property
     def open_episode(self) -> Optional[Episode]:
         return self._episode
 
-    def advance(self, tick: int) -> List[EpisodeTransition]:
-        """Evaluate episode lifecycle after a tick's observations landed."""
-        alarmed = self.alarmed_pairs()
+    def advance(
+        self, tick: int, alarmed: Iterable[Pair]
+    ) -> List[EpisodeTransition]:
+        """Evaluate the lifecycle against this tick's full alarmed set."""
+        alarmed = tuple(sorted(alarmed))
         transitions: List[EpisodeTransition] = []
         episode = self._episode
         if episode is None:
@@ -176,11 +210,71 @@ class EpisodeDetector:
         return transitions
 
     def counters(self) -> Dict[str, int]:
-        """Detector accounting for the stream report."""
         return {
-            "pairs_tracked": len(self._alarms),
-            "pairs_alarmed": len(self.alarmed_pairs()),
             "episodes_total": len(self.episodes),
             "episodes_open": 1 if self._episode is not None else 0,
             "transitions": self.transitions_emitted,
         }
+
+
+class EpisodeDetector:
+    """Turns per-pair reachability observations into episode transitions.
+
+    The single-shard composition of :class:`PairAlarmTracker` and
+    :class:`EpisodeLifecycle`; the sharded engine wires the same two
+    classes together across shard boundaries instead.
+    """
+
+    def __init__(self, open_after: int = 2, close_after: int = 2) -> None:
+        self._tracker = PairAlarmTracker(open_after, close_after)
+        self._lifecycle = EpisodeLifecycle()
+
+    # ------------------------------------------------------- observations
+
+    @property
+    def open_after(self) -> int:
+        return self._tracker.open_after
+
+    @property
+    def close_after(self) -> int:
+        return self._tracker.close_after
+
+    @property
+    def observations(self) -> int:
+        return self._tracker.observations
+
+    def observe(self, pair: Pair, reached: bool) -> None:
+        self._tracker.observe(pair, reached)
+
+    def forget(self, pair_member: str) -> None:
+        self._tracker.forget(pair_member)
+
+    # -------------------------------------------------------- transitions
+
+    def alarmed_pairs(self) -> Tuple[Pair, ...]:
+        return self._tracker.alarmed_pairs()
+
+    @property
+    def episodes(self) -> List[Episode]:
+        return self._lifecycle.episodes
+
+    @property
+    def transitions_emitted(self) -> int:
+        return self._lifecycle.transitions_emitted
+
+    @property
+    def open_episode(self) -> Optional[Episode]:
+        return self._lifecycle.open_episode
+
+    def advance(self, tick: int) -> List[EpisodeTransition]:
+        """Evaluate episode lifecycle after a tick's observations landed."""
+        return self._lifecycle.advance(tick, self._tracker.alarmed_pairs())
+
+    def counters(self) -> Dict[str, int]:
+        """Detector accounting for the stream report."""
+        counts = {
+            "pairs_tracked": self._tracker.pairs_tracked(),
+            "pairs_alarmed": len(self.alarmed_pairs()),
+        }
+        counts.update(self._lifecycle.counters())
+        return counts

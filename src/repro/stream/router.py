@@ -1,0 +1,644 @@
+"""Sharded, multi-tenant front of the streaming engine.
+
+The ROADMAP's north star is a troubleshooter absorbing traffic from
+millions of sensor pairs; one :class:`~repro.stream.engine.StreamEngine`
+serialises all of that on a single window.  This module is the standard
+scale-out shape for the workload:
+
+* :class:`ShardRouter` — consistent hashing over destination origin AS
+  (falling back to the destination /24 prefix when the AS is unknown),
+  so every probe and reachability bit for one pair lands on the same
+  shard, and re-sharding moves only ``~1/N`` of the key space;
+* :class:`StreamShard` — one shard's ingest-side state: screening,
+  sliding window, pair-alarm debounce.  All cleanly per-pair, which is
+  why sharding them loses nothing;
+* :class:`AdmissionController` — deterministic per-tenant token buckets
+  refilled on logical ticks.  Overload sheds *accountably*: every
+  dropped event lands in a per-tenant counter, never on the floor;
+* :class:`ShardedStreamEngine` — the drop-in engine: routes pair events
+  to shards, broadcasts control-plane and sensor-liveness events to all
+  of them, merges alarms through one global
+  :class:`~repro.stream.merge.CrossShardMerger`, and funnels episode
+  transitions into a single bounded diagnosis queue whose snapshots are
+  assembled by :func:`~repro.stream.merge.merged_snapshot`.
+
+**Determinism contract.**  With admission disabled (no tenants) and
+unbounded window capacity, ``shards=K, workers=W`` replay is
+bit-identical to serial single-shard replay: pairs partition
+losslessly, broadcasts are screened once, the merged snapshot and
+control view reproduce the single-window assembly order, and episode
+lifecycle + diagnosis queue are global.  Per-shard LRU capacity bounds
+(``window_capacity > 0``) are the one documented deviation: each shard
+caps its own caches, so *which* cold pairs are shed can differ from the
+single-window order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.control_plane import ControlPlaneView
+from repro.core.diagnoser import NetDiagnoser
+from repro.core.pathset import EPOCH_POST, EPOCH_PRE, MeasurementSnapshot
+from repro.errors import StreamError
+from repro.faults import DegradationReport
+from repro.stream.engine import EpisodeReport, StreamEngine
+from repro.stream.episodes import EpisodeTransition, PairAlarmTracker
+from repro.stream.events import (
+    ProbeEvent,
+    ReachabilityEvent,
+    SensorDropoutEvent,
+    SensorHeartbeatEvent,
+    StreamEvent,
+)
+from repro.stream.ingest import StreamIngestor
+from repro.stream.merge import (
+    CrossShardMerger,
+    merged_control_view,
+    merged_snapshot,
+)
+from repro.stream.window import SlidingWindow
+
+__all__ = [
+    "stable_hash",
+    "ShardRouter",
+    "TenantConfig",
+    "AdmissionController",
+    "source_tenant_of",
+    "StreamShard",
+    "ShardedStreamEngine",
+]
+
+Pair = Tuple[str, str]
+
+
+def stable_hash(key: str) -> int:
+    """A process-independent 64-bit hash of ``key``.
+
+    Python's builtin ``hash`` is salted per process (PYTHONHASHSEED),
+    which would scatter the same event log across different shards on
+    every run — the opposite of a determinism guarantee.  blake2b is
+    stable everywhere and cheap at digest_size=8.
+    """
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardRouter:
+    """Consistent-hash routing of pair-scoped events to shards.
+
+    The ring holds ``replicas`` virtual nodes per shard; a key maps to
+    the first virtual node clockwise from its hash.  Changing the shard
+    count therefore remaps only the keys between affected virtual nodes
+    (~``1/N`` of the space), not everything — the property that makes
+    re-sharding a live deployment survivable.
+
+    Events without a destination key (control-plane messages, sensor
+    heartbeats/dropouts) route to ``None``: **broadcast**, every shard
+    needs them.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        asn_of: Optional[Callable[[str], Optional[int]]] = None,
+        replicas: int = 32,
+    ) -> None:
+        if n_shards < 1:
+            raise StreamError(f"need >= 1 shard, got {n_shards}")
+        if replicas < 1:
+            raise StreamError(f"need >= 1 ring replica, got {replicas}")
+        self.n_shards = n_shards
+        self.asn_of = asn_of
+        self.replicas = replicas
+        points: List[Tuple[int, int]] = []
+        for shard in range(n_shards):
+            for replica in range(replicas):
+                points.append((stable_hash(f"shard-{shard}/vn-{replica}"), shard))
+        points.sort()
+        self._ring_points = [point for point, _shard in points]
+        self._ring_shards = [shard for _point, shard in points]
+        # The key space is small (origin ASes / /24 prefixes) while the
+        # event volume is huge; memoise ring lookups per key.
+        self._key_cache: Dict[str, int] = {}
+
+    def key_of(self, event: StreamEvent) -> Optional[str]:
+        """The routing key for an event; ``None`` means broadcast.
+
+        Keyed by the *destination* origin AS when the mapper knows it
+        (all pairs probing into one AS co-locate — exactly the pairs a
+        destination-side failure alarms together), else by the
+        destination /24 prefix.
+        """
+        if isinstance(event, ProbeEvent):
+            dst = event.path.dst
+        elif isinstance(event, ReachabilityEvent):
+            dst = event.dst
+        else:
+            return None
+        asn = self.asn_of(dst) if self.asn_of is not None else None
+        if asn is not None:
+            return f"as{asn}"
+        return f"pfx{dst.rsplit('.', 1)[0]}"
+
+    def shard_for_key(self, key: str) -> int:
+        """The shard owning ``key`` on the ring (wraps clockwise)."""
+        shard = self._key_cache.get(key)
+        if shard is None:
+            index = bisect_right(self._ring_points, stable_hash(key))
+            if index == len(self._ring_points):
+                index = 0
+            shard = self._ring_shards[index]
+            self._key_cache[key] = shard
+        return shard
+
+    def route(self, event: StreamEvent) -> Optional[int]:
+        """Shard index for a pair-scoped event, ``None`` for broadcast."""
+        key = self.key_of(event)
+        if key is None:
+            return None
+        return self.shard_for_key(key)
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's admission contract.
+
+    ``rate`` is events admitted per logical tick (``None`` = unlimited);
+    ``burst`` the bucket depth (defaults to ``rate``).
+    """
+
+    name: str
+    rate: Optional[int] = None
+    burst: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.rate is not None and self.rate < 1:
+            raise StreamError(
+                f"tenant {self.name!r} rate must be >= 1 or None, "
+                f"got {self.rate}"
+            )
+        if self.burst is not None and self.burst < 1:
+            raise StreamError(
+                f"tenant {self.name!r} burst must be >= 1 or None, "
+                f"got {self.burst}"
+            )
+
+    @property
+    def bucket_size(self) -> Optional[int]:
+        if self.rate is None:
+            return None
+        return self.burst if self.burst is not None else self.rate
+
+
+class AdmissionController:
+    """Deterministic per-tenant token buckets on the logical clock.
+
+    Buckets start full and refill by ``rate`` tokens at each new tick —
+    logical time, never the wall, so an overloaded replay sheds the
+    *same* events every run.  An event from a tenant nobody registered
+    is rejected (and counted): in a multi-tenant service, "unknown
+    sender" is a policy violation, not a free ride.
+
+    With no tenants registered the controller is disabled and admits
+    everything — single-tenant deployments pay nothing.
+    """
+
+    def __init__(self, tenants: Sequence[TenantConfig] = ()) -> None:
+        self.tenants: Dict[str, TenantConfig] = {}
+        for tenant in tenants:
+            if tenant.name in self.tenants:
+                raise StreamError(f"duplicate tenant {tenant.name!r}")
+            self.tenants[tenant.name] = tenant
+        self._tokens: Dict[str, int] = {
+            name: tenant.bucket_size
+            for name, tenant in self.tenants.items()
+            if tenant.bucket_size is not None
+        }
+        self._tick: Optional[int] = None
+        self.admitted = 0
+        self.shed = 0
+        self.rejected_unknown = 0
+        self.shed_by_tenant: Dict[str, int] = {
+            name: 0 for name in self.tenants
+        }
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.tenants)
+
+    def on_tick(self, tick: int) -> None:
+        """Refill every bucket for a newly observed logical tick."""
+        if self._tick is not None and tick <= self._tick:
+            return
+        elapsed = 1 if self._tick is None else tick - self._tick
+        self._tick = tick
+        for name, tokens in self._tokens.items():
+            tenant = self.tenants[name]
+            assert tenant.rate is not None and tenant.bucket_size is not None
+            self._tokens[name] = min(
+                tenant.bucket_size, tokens + tenant.rate * elapsed
+            )
+
+    def admit(self, tenant_name: Optional[str]) -> bool:
+        """Spend one token for ``tenant_name``; False means shed."""
+        if not self.enabled:
+            self.admitted += 1
+            return True
+        if tenant_name is None or tenant_name not in self.tenants:
+            self.rejected_unknown += 1
+            return False
+        if tenant_name not in self._tokens:  # unlimited tenant
+            self.admitted += 1
+            return True
+        if self._tokens[tenant_name] >= 1:
+            self._tokens[tenant_name] -= 1
+            self.admitted += 1
+            return True
+        self.shed += 1
+        self.shed_by_tenant[tenant_name] += 1
+        return False
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "admission_admitted": self.admitted,
+            "admission_shed": self.shed,
+            "admission_rejected_unknown": self.rejected_unknown,
+        }
+
+
+def source_tenant_of(
+    tenants: Sequence[TenantConfig],
+) -> Callable[[StreamEvent], Optional[str]]:
+    """Assign pair-scoped events to tenants by stable hash of source.
+
+    The CLI's stand-in for a real credential system: each sensor (by
+    source address) consistently belongs to one tenant, so per-tenant
+    rates mean something across a whole replay.  Broadcast events map
+    to ``None`` (admission-exempt — the ISP's own control feed is not a
+    tenant).
+    """
+    names = [tenant.name for tenant in tenants]
+    if not names:
+        raise StreamError("source_tenant_of needs >= 1 tenant")
+
+    def tenant_of(event: StreamEvent) -> Optional[str]:
+        if isinstance(event, ProbeEvent):
+            src = event.path.src
+        elif isinstance(event, ReachabilityEvent):
+            src = event.src
+        else:
+            return None
+        return names[stable_hash(src) % len(names)]
+
+    return tenant_of
+
+
+class StreamShard:
+    """One shard's ingest-side state: screening, window, alarm debounce.
+
+    Everything here is per-pair, so partitioning it is lossless.  The
+    shard never diagnoses and never runs the episode lifecycle — those
+    need the global picture and live behind the merger.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        asn_of: Callable[[str], Optional[int]],
+        policy: str = "quarantine",
+        window_width: int = 4,
+        window_capacity: int = 0,
+        open_after: int = 2,
+        close_after: int = 2,
+        degradation: Optional[DegradationReport] = None,
+    ) -> None:
+        self.index = index
+        self.ingestor = StreamIngestor(
+            asn_of,
+            policy,
+            expected_epochs=(EPOCH_PRE, EPOCH_POST),
+            degradation=degradation,
+        )
+        self.window = SlidingWindow(window_width, capacity=window_capacity)
+        self.alarms = PairAlarmTracker(
+            open_after=open_after, close_after=close_after
+        )
+        self.events_offered = 0
+        self.events_admitted = 0
+        self.seconds = {"ingest": 0.0, "window": 0.0, "detect": 0.0}
+
+    def offer(self, event: StreamEvent) -> bool:
+        """Screen and fold one pair-scoped event routed to this shard."""
+        self.events_offered += 1
+        started = time.perf_counter()
+        admitted = self.ingestor.ingest(event)
+        self.seconds["ingest"] += time.perf_counter() - started
+        if admitted is None:
+            return False
+        self._observe(admitted)
+        return True
+
+    def observe_broadcast(self, event: StreamEvent) -> None:
+        """Fold one already-screened broadcast event.
+
+        Broadcasts are screened exactly once, at the router's control
+        ingestor — re-screening here would double-count the validation
+        report and fork the feed-dedup state.
+        """
+        self.events_offered += 1
+        self._observe(event)
+
+    def _observe(self, event: StreamEvent) -> None:
+        self.events_admitted += 1
+        started = time.perf_counter()
+        self.window.observe(event)
+        self.seconds["window"] += time.perf_counter() - started
+        started = time.perf_counter()
+        if isinstance(event, ProbeEvent):
+            if event.path.epoch == EPOCH_POST:
+                self.alarms.observe(event.path.pair, event.path.reached)
+        elif isinstance(event, ReachabilityEvent):
+            self.alarms.observe((event.src, event.dst), event.reached)
+        elif isinstance(event, SensorDropoutEvent):
+            self.alarms.forget(event.address)
+        self.seconds["detect"] += time.perf_counter() - started
+
+    def stats(self) -> Dict[str, int]:
+        """Per-shard accounting for the stream report."""
+        counts = {
+            "shard": self.index,
+            "events_offered": self.events_offered,
+            "events_admitted": self.events_admitted,
+            "pairs_tracked": self.alarms.pairs_tracked(),
+            "pairs_alarmed": len(self.alarms.alarmed_pairs()),
+        }
+        counts.update(
+            {
+                key: value
+                for key, value in self.window.counters().items()
+                if key in ("baseline_pairs", "current_pairs")
+            }
+        )
+        return counts
+
+
+class _MergeEngine(StreamEngine):
+    """The global half of the sharded engine.
+
+    Inherits the bounded diagnosis queue, coalescing/deferral
+    backpressure, worker pool, journal hooks and cached-report resume
+    from :class:`StreamEngine` unchanged — only *where state comes
+    from* differs: ticks evict every shard window, transitions come
+    from the cross-shard merger, and snapshots/control views are merged
+    across the shard windows.
+    """
+
+    def __init__(
+        self, shards: Sequence[StreamShard], merger: CrossShardMerger, **kwargs
+    ) -> None:
+        super().__init__(**kwargs)
+        self._shards = list(shards)
+        self._merger = merger
+
+    def advance(self, tick: int) -> List[EpisodeTransition]:
+        for shard in self._shards:
+            shard.window.evict(tick)
+        transitions = self._merger.advance(
+            tick, [shard.alarms.alarmed_pairs() for shard in self._shards]
+        )
+        for transition in transitions:
+            self._schedule(transition)
+        return transitions
+
+    def _assemble(
+        self,
+    ) -> Tuple[Optional[MeasurementSnapshot], Optional[ControlPlaneView]]:
+        windows = [shard.window for shard in self._shards]
+        snapshot = merged_snapshot(windows, self.asn_of)
+        control = (
+            merged_control_view(windows, self.asx)
+            if self.asx is not None
+            else None
+        )
+        return snapshot, control
+
+
+class ShardedStreamEngine:
+    """N ingest shards behind one router, one merger, one work queue.
+
+    Implements the same protocol as :class:`StreamEngine` (``offer`` /
+    ``advance`` / ``drain`` / ``flush`` / ``close`` plus the counter
+    accessors), so :func:`~repro.stream.replay.run_replay` and the CLI
+    drive either interchangeably.  See the module docstring for the
+    determinism contract.
+    """
+
+    def __init__(
+        self,
+        asn_of: Callable[[str], Optional[int]],
+        diagnosers: Mapping[str, NetDiagnoser],
+        shards: int = 2,
+        asx: Optional[int] = None,
+        lg_lookup: Optional[Callable] = None,
+        window_width: int = 4,
+        window_capacity: int = 0,
+        open_after: int = 2,
+        close_after: int = 2,
+        policy: str = "quarantine",
+        max_pending: int = 8,
+        overflow_limit: int = 32,
+        workers: int = 0,
+        tenants: Sequence[TenantConfig] = (),
+        tenant_of: Optional[Callable[[StreamEvent], Optional[str]]] = None,
+        replicas: int = 32,
+        degradation: Optional[DegradationReport] = None,
+        on_report: Optional[Callable[[EpisodeReport], None]] = None,
+        cached_reports: Optional[Mapping[int, EpisodeReport]] = None,
+    ) -> None:
+        self.router = ShardRouter(shards, asn_of=asn_of, replicas=replicas)
+        self.shards = [
+            StreamShard(
+                index,
+                asn_of,
+                policy=policy,
+                window_width=window_width,
+                window_capacity=window_capacity,
+                open_after=open_after,
+                close_after=close_after,
+                degradation=degradation,
+            )
+            for index in range(shards)
+        ]
+        # Broadcast events are screened once, here, before fan-out; the
+        # global feed-dedup state must not be forked per shard.
+        self.control_ingestor = StreamIngestor(
+            asn_of,
+            policy,
+            expected_epochs=(EPOCH_PRE, EPOCH_POST),
+            degradation=degradation,
+        )
+        self.merger = CrossShardMerger()
+        self.admission = AdmissionController(tenants)
+        self.tenant_of = tenant_of
+        self._engine = _MergeEngine(
+            self.shards,
+            self.merger,
+            asn_of=asn_of,
+            diagnosers=diagnosers,
+            asx=asx,
+            lg_lookup=lg_lookup,
+            window_width=window_width,
+            open_after=open_after,
+            close_after=close_after,
+            policy=policy,
+            max_pending=max_pending,
+            overflow_limit=overflow_limit,
+            workers=workers,
+            degradation=None,
+            on_report=on_report,
+            cached_reports=cached_reports,
+        )
+        self.events_offered = 0
+        self.events_admitted = 0
+        self.events_broadcast = 0
+
+    # ----------------------------------------------------- engine protocol
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def lg_lookup(self):
+        return self._engine.lg_lookup
+
+    @lg_lookup.setter
+    def lg_lookup(self, value) -> None:
+        self._engine.lg_lookup = value
+
+    @property
+    def on_report(self):
+        return self._engine.on_report
+
+    @on_report.setter
+    def on_report(self, hook) -> None:
+        self._engine.on_report = hook
+
+    @property
+    def reports(self) -> List[EpisodeReport]:
+        return self._engine.reports
+
+    @property
+    def latencies(self) -> List[int]:
+        return self._engine.latencies
+
+    @property
+    def idle(self) -> bool:
+        return self._engine.idle
+
+    def offer(self, event: StreamEvent) -> bool:
+        """Admit, route and fold one event.
+
+        Pair-scoped events pass tenant admission, then route to their
+        shard; control-plane and sensor-liveness events bypass admission
+        (shedding the ISP's own feed or a dropout notice would corrupt
+        every shard's view) and broadcast to all shards after a single
+        screening pass.
+        """
+        self.events_offered += 1
+        shard_index = self.router.route(event)
+        if shard_index is None:
+            self.events_broadcast += 1
+            started = time.perf_counter()
+            admitted = self.control_ingestor.ingest(event)
+            self._engine.seconds["ingest"] += time.perf_counter() - started
+            if admitted is None:
+                return False
+            for shard in self.shards:
+                shard.observe_broadcast(admitted)
+            self.events_admitted += 1
+            return True
+        if self.admission.enabled:
+            tenant = self.tenant_of(event) if self.tenant_of else None
+            if not self.admission.admit(tenant):
+                return False
+        if self.shards[shard_index].offer(event):
+            self.events_admitted += 1
+            return True
+        return False
+
+    def advance(self, tick: int) -> List[EpisodeTransition]:
+        """Close a logical tick: refill admission buckets, evict every
+        shard window, merge alarms, schedule diagnosis work."""
+        self.admission.on_tick(tick)
+        return self._engine.advance(tick)
+
+    def drain(self, now: int) -> List[EpisodeReport]:
+        return self._engine.drain(now)
+
+    def flush(self, now: int) -> List[EpisodeReport]:
+        return self._engine.flush(now)
+
+    def close(self) -> None:
+        self._engine.close()
+
+    # ------------------------------------------------------------ counters
+
+    def counters(self) -> Dict[str, int]:
+        counts = self._engine.counters()
+        counts["events_offered"] = self.events_offered
+        counts["events_admitted"] = self.events_admitted
+        counts["events_broadcast"] = self.events_broadcast
+        counts["shards"] = self.n_shards
+        counts.update(self.admission.counters())
+        counts["cross_shard_episodes"] = self.merger.cross_shard_episodes
+        return counts
+
+    def ingest_counters(self) -> Dict[str, int]:
+        """Summed screening accounting: every shard plus the control
+        ingestor (each event is screened exactly once somewhere)."""
+        totals: Dict[str, int] = {}
+        for ingestor in [shard.ingestor for shard in self.shards] + [
+            self.control_ingestor
+        ]:
+            for key, value in ingestor.counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def window_counters(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for shard in self.shards:
+            for key, value in shard.window.counters().items():
+                if key == "dark_sensors":
+                    # Dark sensors broadcast to every shard; summing the
+                    # identical copies would over-count a single outage.
+                    totals[key] = max(totals.get(key, 0), value)
+                else:
+                    totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def detector_counters(self) -> Dict[str, int]:
+        counts = self.merger.counters()
+        counts["pairs_tracked"] = sum(
+            shard.alarms.pairs_tracked() for shard in self.shards
+        )
+        counts["pairs_alarmed"] = sum(
+            len(shard.alarms.alarmed_pairs()) for shard in self.shards
+        )
+        return counts
+
+    def stage_seconds(self) -> Dict[str, float]:
+        totals = self._engine.stage_seconds()
+        for shard in self.shards:
+            for key, value in shard.seconds.items():
+                totals[key] = totals.get(key, 0.0) + value
+        return totals
+
+    def shard_stats(self) -> List[Dict[str, int]]:
+        """Per-shard balance view for the report and the benchmarks."""
+        return [shard.stats() for shard in self.shards]

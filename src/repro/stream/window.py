@@ -134,7 +134,13 @@ class SlidingWindow:
 
     # ------------------------------------------------------------ assembly
 
-    def _usable_pairs(self) -> Tuple[Pair, ...]:
+    def usable_pairs(self) -> Tuple[Pair, ...]:
+        """Pairs with both slots live and no dark endpoint, sorted.
+
+        Public because the cross-shard merger unions these across shard
+        windows to build the merged snapshot in the same sorted-pair
+        order a single window would produce.
+        """
         pairs = []
         for pair, _entry in self._current.items():
             if pair not in self._baseline:
@@ -144,6 +150,31 @@ class SlidingWindow:
                 continue
             pairs.append(pair)
         return tuple(sorted(pairs))
+
+    # Backwards-compatible private alias.
+    _usable_pairs = usable_pairs
+
+    def baseline_for(self, pair: Pair) -> Optional[Tuple[int, ProbePath]]:
+        """The live baseline slot for ``pair`` (counts as a lookup)."""
+        return self._baseline.get(pair)
+
+    def current_for(self, pair: Pair) -> Optional[Tuple[int, ProbePath]]:
+        """The live current slot for ``pair`` (counts as a lookup)."""
+        return self._current.get(pair)
+
+    def feed_entries(
+        self,
+    ) -> Tuple[
+        List[Tuple[int, int, WithdrawalObservation]],
+        List[Tuple[int, int, IgpLinkDownObservation]],
+    ]:
+        """Raw ``(tick, seq, observation)`` feed entries, arrival order.
+
+        The merger deduplicates these by ``(tick, seq)`` across shards
+        before sorting — seq is globally monotonic, so the merged order
+        equals the single-window order.
+        """
+        return list(self._withdrawals), list(self._igp_downs)
 
     def snapshot(
         self, asn_of: Callable[[str], Optional[int]]

@@ -1,0 +1,74 @@
+"""The shared nearest-rank percentile: edge cases pinned and properties
+checked.  This helper replaced two divergent private copies (the stream
+report's and the stream benchmark's) — these tests are the contract that
+keeps the next copy from forking."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.experiments.stats import percentile
+
+values = st.lists(
+    st.floats(-1e9, 1e9, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=50,
+)
+quantiles = st.floats(0.0, 1.0, allow_nan=False)
+
+
+class TestEdgeCases:
+    def test_empty_input_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile((), 0.99) == 0.0
+
+    def test_single_element_is_every_percentile(self):
+        assert percentile([7.0], 0.0) == 7.0
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 1.0) == 7.0
+
+    def test_two_elements(self):
+        # rank = round(q * 1): q < .5 -> min, q > .5 -> max.
+        assert percentile([3.0, 9.0], 0.0) == 3.0
+        assert percentile([9.0, 3.0], 0.49) == 3.0
+        assert percentile([3.0, 9.0], 0.51) == 9.0
+        assert percentile([3.0, 9.0], 1.0) == 9.0
+
+    def test_p99_of_small_samples_is_the_max(self):
+        """The latency benches report p99 over a handful of episode
+        latencies; nearest-rank must surface the max, not interpolate
+        below it."""
+        assert percentile([5, 1, 4, 2, 3], 0.99) == 5
+        assert percentile(list(range(50)), 0.99) == 49
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ReproError):
+            percentile([1.0], -0.01)
+        with pytest.raises(ReproError):
+            percentile([1.0], 1.01)
+
+    def test_unsorted_input_is_sorted_first(self):
+        assert percentile([9.0, 1.0, 5.0], 0.5) == 5.0
+
+
+class TestProperties:
+    @given(data=values, q=quantiles)
+    def test_result_is_always_an_observed_value(self, data, q):
+        assert percentile(data, q) in data
+
+    @given(data=values)
+    def test_q0_is_min_and_q1_is_max(self, data):
+        assert percentile(data, 0.0) == min(data)
+        assert percentile(data, 1.0) == max(data)
+
+    @given(data=values, lo=quantiles, hi=quantiles)
+    def test_monotone_in_q(self, data, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        assert percentile(data, lo) <= percentile(data, hi)
+
+    @given(data=values, q=quantiles)
+    def test_invariant_under_permutation(self, data, q):
+        assert percentile(data, q) == percentile(sorted(data), q)
+        assert percentile(data, q) == percentile(list(reversed(data)), q)

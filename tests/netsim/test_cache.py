@@ -151,3 +151,56 @@ class TestLruCacheEdgeCases:
                 lookups += 1
         assert cache.hits + cache.misses == lookups
         assert cache.hits > 0 and cache.misses > 0
+
+
+class TestLruCacheCounterInvariants:
+    """pop/items/__contains__ are accounting-neutral: only get() counts.
+
+    The sliding window leans on this — eviction sweeps (items + pop) and
+    membership checks must not skew the hit-rate the report prints."""
+
+    def test_hits_plus_misses_survives_interleaved_pops(self):
+        cache = LruCache(capacity=4)
+        lookups = 0
+        for index in range(30):
+            cache.put(index % 6, index)
+            cache.get(index % 6)
+            lookups += 1
+            if index % 3 == 0:
+                cache.pop(index % 6)  # policy eviction: not a lookup
+                cache.get(index % 6)  # honest miss after the pop
+                lookups += 1
+        assert cache.hits + cache.misses == lookups
+        assert cache.misses > 0
+
+    def test_pop_missing_key_counts_nothing(self):
+        cache = LruCache(capacity=2)
+        assert cache.pop("absent") is None
+        assert cache.counters() == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "entries": 0,
+        }
+
+    def test_items_never_perturbs_recency(self):
+        """Scanning items() must leave the LRU order untouched: the next
+        over-capacity put still evicts the true LRU entry, and the scan
+        itself counts no lookups."""
+        cache = LruCache(capacity=3)
+        for key in ("a", "b", "c"):
+            cache.put(key, key)
+        cache.get("a")  # recency now b < c < a
+        before = cache.counters()
+        assert [key for key, _value in cache.items()] == ["b", "c", "a"]
+        assert cache.counters() == before
+        cache.put("d", "d")  # evicts "b", not the first-scanned entry
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache and "d" in cache
+
+    def test_contains_counts_nothing(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        assert "a" in cache
+        assert "b" not in cache
+        assert cache.hits == 0 and cache.misses == 0

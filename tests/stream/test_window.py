@@ -148,3 +148,63 @@ class TestControlView:
         view = window.control_view(64500)
         assert view.withdrawals == (early, late)
         assert view.asx_asn == 64500
+
+
+class TestCacheAccountingThroughWindow:
+    """The slot caches' hit/miss accounting stays honest through the
+    window's own operations: eviction sweeps (items + pop) and dark-
+    sensor screening are lookup-free, snapshot assembly is the only
+    thing that spends lookups."""
+
+    def test_eviction_sweep_is_lookup_free(self):
+        window = SlidingWindow(width=2)
+        seed_pair(window, A, B, tick=0)
+        seed_pair(window, A, C, tick=0)
+        dropped = window.evict(10)  # everything is stale
+        assert dropped == 4
+        for cache in (window._baseline, window._current):
+            counters = cache.counters()
+            assert counters["hits"] == 0 and counters["misses"] == 0
+            assert counters["entries"] == 0
+        # An empty window snapshots to None without spending lookups.
+        assert window.snapshot(asn_of) is None
+        assert window._baseline.counters()["misses"] == 0
+
+    def test_snapshot_spends_exactly_one_lookup_per_slot(self):
+        window = SlidingWindow(width=4)
+        seed_pair(window, A, B, tick=0)
+        seed_pair(window, B, C, tick=0)
+        assert window.snapshot(asn_of) is not None
+        for cache in (window._baseline, window._current):
+            assert cache.counters() == {
+                "hits": 2,
+                "misses": 0,
+                "evictions": 0,
+                "entries": 2,
+            }
+        # hits + misses == lookups holds for the whole window lifetime.
+        lookups = 4  # two pairs x (baseline + current)... per cache: 2
+        total = sum(
+            cache.hits + cache.misses
+            for cache in (window._baseline, window._current)
+        )
+        assert total == lookups
+
+    def test_dark_sensor_forgetting_screens_without_lookups(self):
+        """Dropping and re-admitting a sensor flows through the dark set
+        and __contains__ checks — usable-pair screening never perturbs
+        the caches' recency or counters."""
+        window = SlidingWindow(width=4)
+        seed_pair(window, A, B, tick=0)
+        seed_pair(window, B, C, tick=0)
+        window.observe(SensorDropoutEvent(tick=1, seq=100, address=A))
+        assert window.usable_pairs() == ((B, C),)
+        for cache in (window._baseline, window._current):
+            assert cache.hits == 0 and cache.misses == 0
+        snapshot = window.snapshot(asn_of)
+        assert snapshot.after.pairs() == ((B, C),)
+        assert window._baseline.hits == 1  # only the usable pair
+        window.observe(SensorHeartbeatEvent(tick=2, seq=101, address=A))
+        assert window.usable_pairs() == ((A, B), (B, C))
+        assert window._baseline.hits == 1  # screening stayed lookup-free
+        assert window.counters()["dark_sensors"] == 0

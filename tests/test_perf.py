@@ -1,0 +1,147 @@
+"""Perf-helper regressions: the ru_maxrss platform units bug and the
+benchmark-artifact read-update-write discipline.
+
+``getrusage().ru_maxrss`` is KiB on Linux but **bytes** on macOS; the
+old benchmark helper divided by 1024 unconditionally, inflating Darwin
+readings 1024x.  These tests pin both conversions with a mocked
+``getrusage`` so the guard is verified on any host."""
+
+import json
+
+import pytest
+
+from repro import perf
+from repro.perf import (
+    bench_artifact_paths,
+    maxrss_to_mb,
+    merge_bench_artifact,
+    peak_rss_mb,
+    write_bench_artifact,
+)
+
+
+class _FakeUsage:
+    def __init__(self, ru_maxrss):
+        self.ru_maxrss = ru_maxrss
+
+
+class TestMaxrssConversion:
+    def test_linux_reports_kib(self):
+        assert maxrss_to_mb(512 * 1024, platform="linux") == 512.0
+
+    def test_darwin_reports_bytes(self):
+        assert maxrss_to_mb(512 * 1024 * 1024, platform="darwin") == 512.0
+
+    def test_same_reading_differs_1024x_across_platforms(self):
+        """The exact bug: one raw reading, two meanings.  On Linux the
+        raw KiB value is 1024x the MiB count; interpreting it as bytes
+        (the old unconditional /1024 applied on Darwin data, or vice
+        versa) is off by exactly that factor."""
+        raw = 2_097_152  # 2 GiB in KiB, but only 2 MiB in bytes
+        assert maxrss_to_mb(raw, platform="linux") == 2048.0
+        assert maxrss_to_mb(raw, platform="darwin") == 2.0
+
+    def test_defaults_to_the_running_platform(self):
+        import sys
+
+        assert maxrss_to_mb(1024) == maxrss_to_mb(1024, platform=sys.platform)
+
+    def test_peak_rss_mb_linux_with_mocked_getrusage(self, monkeypatch):
+        monkeypatch.setattr(
+            perf.resource,
+            "getrusage",
+            lambda _who: _FakeUsage(300 * 1024),  # 300 MiB in KiB
+        )
+        assert peak_rss_mb(platform="linux") == 300.0
+
+    def test_peak_rss_mb_darwin_with_mocked_getrusage(self, monkeypatch):
+        monkeypatch.setattr(
+            perf.resource,
+            "getrusage",
+            lambda _who: _FakeUsage(300 * 1024 * 1024),  # 300 MiB in bytes
+        )
+        assert peak_rss_mb(platform="darwin") == 300.0
+
+    def test_peak_rss_without_resource_module_is_zero(self, monkeypatch):
+        monkeypatch.setattr(perf, "resource", None)
+        assert peak_rss_mb() == 0.0
+
+
+class TestMergeBenchArtifact:
+    def test_creates_fresh_document(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+
+        def merge(data):
+            data["rows"] = {"a": 1}
+
+        result = merge_bench_artifact(path, "schema-v1", merge)
+        assert result == {"schema": "schema-v1", "rows": {"a": 1}}
+        assert json.loads(path.read_text()) == result
+
+    def test_merges_into_existing_same_schema(self, tmp_path):
+        """Read-update-write: a second run adds its rows next to the
+        first run's instead of clobbering them."""
+        path = tmp_path / "BENCH_x.json"
+        merge_bench_artifact(
+            path, "schema-v1", lambda data: data.setdefault("rows", {}).update(a=1)
+        )
+        result = merge_bench_artifact(
+            path, "schema-v1", lambda data: data.setdefault("rows", {}).update(b=2)
+        )
+        assert result["rows"] == {"a": 1, "b": 2}
+
+    def test_different_schema_starts_fresh(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        merge_bench_artifact(path, "schema-v1", lambda data: data.update(old=True))
+        result = merge_bench_artifact(
+            path, "schema-v2", lambda data: data.update(new=True)
+        )
+        assert result == {"schema": "schema-v2", "new": True}
+        assert "old" not in result
+
+    def test_corrupt_json_starts_fresh(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{ torn write")
+        result = merge_bench_artifact(
+            path, "schema-v1", lambda data: data.update(ok=True)
+        )
+        assert result == {"schema": "schema-v1", "ok": True}
+
+    def test_non_dict_document_starts_fresh(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("[1, 2, 3]")
+        result = merge_bench_artifact(path, "schema-v1", lambda data: None)
+        assert result == {"schema": "schema-v1"}
+
+
+class TestWriteBenchArtifact:
+    def test_writes_repo_root_and_results_copies(self, tmp_path):
+        result = write_bench_artifact(
+            "demo", "schema-v1", lambda data: data.update(x=1), tmp_path
+        )
+        root_path, results_path = bench_artifact_paths("demo", tmp_path)
+        assert root_path == tmp_path / "BENCH_demo.json"
+        assert results_path == tmp_path / "results" / "BENCH_demo.json"
+        assert root_path.exists() and results_path.exists()
+        assert json.loads(root_path.read_text()) == result
+        assert json.loads(results_path.read_text()) == result
+
+    def test_copies_merge_independently(self, tmp_path):
+        """Each copy keeps what it already had: a tier present only in
+        the results/ copy survives a later run that rewrites both."""
+        _root, results_path = bench_artifact_paths("demo", tmp_path)
+        merge_bench_artifact(
+            results_path,
+            "schema-v1",
+            lambda data: data.setdefault("tiers", {}).update(old={"n": 1}),
+        )
+        write_bench_artifact(
+            "demo",
+            "schema-v1",
+            lambda data: data.setdefault("tiers", {}).update(new={"n": 2}),
+            tmp_path,
+        )
+        results_doc = json.loads(results_path.read_text())
+        assert set(results_doc["tiers"]) == {"old", "new"}
+        root_doc = json.loads((tmp_path / "BENCH_demo.json").read_text())
+        assert set(root_doc["tiers"]) == {"new"}
