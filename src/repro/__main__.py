@@ -233,6 +233,31 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         source_tenant_of,
     )
 
+    if args.dlq_inspect:
+        from repro.stream import load_dead_letters
+
+        if not args.dlq:
+            print("--dlq-inspect needs --dlq PATH")
+            return 2
+        entries = load_dead_letters(args.dlq)
+        print(f"=== dead letters ({len(entries)} entries) ===")
+        for index, entry in enumerate(entries):
+            shard = entry.get("shard")
+            where = f"shard {shard}" if shard is not None else "unsharded"
+            if entry["kind"] == "episode":
+                print(
+                    f"  {index}: episode {entry['episode_id']} "
+                    f"{entry['transition']} @tick {entry['tick']} "
+                    f"({len(entry['pairs'])} pairs, {where}) — "
+                    f"{entry['reason']}"
+                )
+            else:
+                print(
+                    f"  {index}: event {entry['event'].get('type')} "
+                    f"@tick {entry['tick']} ({where}) — {entry['reason']}"
+                )
+        return 0
+
     workers = args.workers or (os.cpu_count() or 1)
     tenants = tenant_of = None
     if args.tenants > 0:
@@ -259,6 +284,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             fault_rate=rate,
             corrupt=args.corrupt,
             seed=args.seed,
+            chaos_rate=args.chaos,
         )
         journal = cached = None
         if args.journal:
@@ -283,9 +309,13 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             journal=journal,
             cached_reports=cached,
             save_log=args.save_log,
+            supervise=bool(args.dlq),
+            dlq_path=args.dlq,
         )
         print(f"=== stream replay @ fault rate {rate} "
-              f"(policy={args.policy}, window={args.window}) ===")
+              f"(policy={args.policy}, window={args.window}"
+              + (f", chaos={args.chaos}" if args.chaos else "")
+              + ") ===")
         for index, episode in enumerate(result.episodes):
             print(f"injected episode {index}: {episode.description} "
                   f"[ticks {episode.baseline_tick}-{episode.last_tick}]")
@@ -566,6 +596,25 @@ def main(argv=None) -> int:
         "--save-log",
         default=None,
         help="also write the built event log (repro-event-log-v1) here",
+    )
+    stream.add_argument(
+        "--chaos",
+        type=_fault_rate,
+        default=0.0,
+        help="service-chaos rate in [0, 1]: seeded shard crashes/stalls, "
+        "slow shards and worker poison, handled by the supervision layer "
+        "(implies >= 2 shards)",
+    )
+    stream.add_argument(
+        "--dlq",
+        default=None,
+        help="dead-letter journal path (repro-dlq-v1); written during the "
+        "run, or inspected with --dlq-inspect",
+    )
+    stream.add_argument(
+        "--dlq-inspect",
+        action="store_true",
+        help="print the entries of the --dlq journal and exit (no replay)",
     )
     stream.set_defaults(func=_cmd_stream)
 

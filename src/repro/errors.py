@@ -23,6 +23,8 @@ __all__ = [
     "ValidationError",
     "StreamError",
     "EpisodeOverflowError",
+    "SupervisionError",
+    "CheckpointError",
 ]
 
 
@@ -100,7 +102,35 @@ class EpisodeOverflowError(StreamError):
     full: episodes are opening faster than diagnoses retire them.  The
     engine refuses to shed diagnosis work silently — the caller must
     widen ``max_pending``/``overflow_limit``, drain more often, or slow
-    the event source."""
+    the event source.
+
+    ``shard`` carries the owning shard id when the overflow happened
+    inside a sharded engine (``None`` for the single-shard engine), so
+    an overflow crossing a worker-process boundary surfaces as this
+    typed error naming the shard instead of a raw
+    ``BrokenProcessPool`` loss.  The custom constructor makes the
+    exception round-trip through pickle (the default reduction would
+    re-call ``__init__`` with only ``args``).
+    """
+
+    def __init__(self, message: str, shard: "int | None" = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+    def __reduce__(self):
+        return (type(self), (self.args[0] if self.args else "", self.shard))
+
+
+class SupervisionError(StreamError):
+    """The shard supervisor was misconfigured or asked something
+    impossible (supervising an unsharded engine, restarting a shard it
+    never registered, a dead-letter queue path that cannot be written)."""
+
+
+class CheckpointError(StreamError):
+    """A per-shard checkpoint could not be written or restored: the store
+    signature does not match the run fingerprint, or a record is
+    corrupt beyond the tolerated torn tail."""
 
 
 class ValidationError(ReproError):

@@ -26,11 +26,76 @@ from typing import Any, Dict, Union
 
 from repro.errors import ReproError
 
-__all__ = ["RunJournal"]
+__all__ = ["RunJournal", "append_pickle_record", "iter_pickle_records"]
 
 logger = logging.getLogger(__name__)
 
 _FORMAT = "repro-run-journal-v1"
+
+
+def append_pickle_record(
+    path: Path, record: Any, header: Dict[str, Any]
+) -> None:
+    """Durably append one pickle record, writing ``header`` first on a
+    fresh file.  Flush + fsync per append: a crash loses at most the
+    record being written.  Shared by :class:`RunJournal` and the
+    per-shard :class:`~repro.stream.checkpoint.CheckpointStore`."""
+    new_file = not path.exists()
+    with open(path, "ab") as handle:
+        if new_file:
+            pickle.dump(header, handle)
+        pickle.dump(record, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def iter_pickle_records(
+    path: Path,
+    expected_format: str,
+    fingerprint: Any,
+    error_cls: type = ReproError,
+):
+    """Yield the records of a pickle journal, torn-tail tolerantly.
+
+    Validates the header's format tag and fingerprint (mismatch raises
+    ``error_cls`` — a journal written by a *different* run must refuse
+    to load rather than silently mix state).  A truncated trailing
+    record (crash mid-append) is dropped with a warning; an unreadable
+    header means "not our file yet", yielding nothing.
+    """
+    if not path.exists():
+        return
+    with open(path, "rb") as handle:
+        try:
+            header = pickle.load(handle)
+        except (EOFError, pickle.UnpicklingError, AttributeError):
+            logger.warning("journal %s has no readable header; ignoring", path)
+            return
+        if not isinstance(header, dict) or header.get("format") != expected_format:
+            raise error_cls(
+                f"{path} is not a {expected_format} journal (header {header!r})"
+            )
+        if header.get("fingerprint") != fingerprint:
+            raise error_cls(
+                f"journal {path} was written by a different run "
+                "(fingerprint mismatch); refusing to load it"
+            )
+        count = 0
+        while True:
+            try:
+                record = pickle.load(handle)
+            except EOFError:
+                return
+            except (pickle.UnpicklingError, AttributeError, IndexError,
+                    ValueError) as exc:
+                logger.warning(
+                    "journal %s has a truncated trailing record (%s); "
+                    "recovered %d records",
+                    path, exc, count,
+                )
+                return
+            count += 1
+            yield record
 
 
 class RunJournal:
@@ -55,16 +120,11 @@ class RunJournal:
 
     def append(self, result: Any) -> None:
         """Durably append one completed placement result."""
-        new_file = not self.path.exists()
-        with open(self.path, "ab") as handle:
-            if new_file:
-                pickle.dump(
-                    {"format": _FORMAT, "fingerprint": self.fingerprint},
-                    handle,
-                )
-            pickle.dump(result, handle)
-            handle.flush()
-            os.fsync(handle.fileno())
+        append_pickle_record(
+            self.path,
+            result,
+            {"format": _FORMAT, "fingerprint": self.fingerprint},
+        )
 
     def load_completed(self) -> Dict[int, Any]:
         """Completed results by placement index; ``{}`` when absent.
@@ -72,39 +132,9 @@ class RunJournal:
         A truncated trailing record (crash mid-append) is dropped with a
         warning; everything before it is recovered.
         """
-        if not self.path.exists():
-            return {}
         completed: Dict[int, Any] = {}
-        with open(self.path, "rb") as handle:
-            try:
-                header = pickle.load(handle)
-            except (EOFError, pickle.UnpicklingError, AttributeError):
-                logger.warning("journal %s has no readable header; ignoring", self.path)
-                return {}
-            if (
-                not isinstance(header, dict)
-                or header.get("format") != _FORMAT
-            ):
-                raise ReproError(
-                    f"{self.path} is not a repro run journal (header {header!r})"
-                )
-            if header.get("fingerprint") != self.fingerprint:
-                raise ReproError(
-                    f"journal {self.path} was written by a different sweep "
-                    "(fingerprint mismatch); refusing to resume from it"
-                )
-            while True:
-                try:
-                    result = pickle.load(handle)
-                except EOFError:
-                    break
-                except (pickle.UnpicklingError, AttributeError, IndexError,
-                        ValueError) as exc:
-                    logger.warning(
-                        "journal %s has a truncated trailing record (%s); "
-                        "recovered %d placements",
-                        self.path, exc, len(completed),
-                    )
-                    break
-                completed[result.placement_index] = result
+        for result in iter_pickle_records(
+            self.path, _FORMAT, self.fingerprint, error_cls=ReproError
+        ):
+            completed[result.placement_index] = result
         return completed

@@ -176,6 +176,21 @@ def render_runner_stats(stats: "RunnerStats") -> str:
             f"serial fallbacks={stats.serial_fallbacks}  "
             f"resumed={stats.placements_resumed}"
         )
+    breakers = (
+        stats.breaker_opened,
+        stats.breaker_reclosed,
+        stats.breaker_short_circuits,
+        stats.breaker_probes,
+        stats.dead_lettered,
+    )
+    if any(breakers):
+        lines.append(
+            f"   breakers: opened={stats.breaker_opened}  "
+            f"reclosed={stats.breaker_reclosed}  "
+            f"short-circuited={stats.breaker_short_circuits}  "
+            f"probes={stats.breaker_probes}  "
+            f"dead-lettered={stats.dead_lettered}"
+        )
     return "\n".join(lines)
 
 
@@ -248,6 +263,51 @@ def render_stream_report(result: "StreamRunResult") -> str:
                 f"   admission: admitted={engine.get('admission_admitted', 0)}  "
                 f"shed={engine.get('admission_shed', 0)}  "
                 f"unknown tenant={engine.get('admission_rejected_unknown', 0)}"
+            )
+    if result.supervision is not None:
+        sup = result.supervision["counters"]
+        recoveries = result.supervision["ticks_to_recover"]
+        mean_recover = (
+            sum(recoveries) / len(recoveries) if recoveries else 0.0
+        )
+        lines.append(
+            f"   supervision: crashes={sup['shard_crashes']}  "
+            f"stalls={sup['shard_stalls']}  slow ticks={sup['slow_ticks']}  "
+            f"recoveries={sup['recoveries']}  "
+            f"mean ticks-to-recover={mean_recover:.1f}"
+        )
+        lines.append(
+            f"   degraded coverage: ticks dark={sup['ticks_dark']}  "
+            f"pairs uncovered={sup['pairs_uncovered']}  "
+            f"episodes delayed={sup['episodes_delayed']}  "
+            f"buffered={sup['events_buffered']}  "
+            f"checkpoints={sup['checkpoints_saved']}"
+        )
+        breakers = result.supervision["breakers"]
+        opened = sum(b["times_opened"] for b in breakers.values())
+        if opened or result.supervision["diagnoses_short_circuited"]:
+            open_now = sorted(
+                label
+                for label, b in breakers.items()
+                if b["state"] != "closed"
+            )
+            lines.append(
+                f"   breakers: opened={opened}  "
+                f"reclosed={sum(b['times_reclosed'] for b in breakers.values())}  "
+                f"short-circuited="
+                f"{result.supervision['diagnoses_short_circuited']}  "
+                f"probes={sum(b['probes'] for b in breakers.values())}  "
+                f"open now={','.join(open_now) or 'none'}"
+            )
+        dead = (
+            result.supervision["dead_letters"]
+            + result.supervision["transitions_dead_lettered"]
+        )
+        if dead or result.supervision["diagnoses_poisoned"]:
+            lines.append(
+                f"   dead letters: entries={result.supervision['dead_letters']}  "
+                f"transitions={result.supervision['transitions_dead_lettered']}  "
+                f"poisoned diagnoses={result.supervision['diagnoses_poisoned']}"
             )
     return "\n".join(lines)
 

@@ -28,6 +28,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
+    Any,
     Callable,
     Dict,
     FrozenSet,
@@ -574,7 +575,11 @@ class RunnerStats:
     (``jobs_retried``), exhausted their retry budget (``jobs_failed``),
     were replayed from a resume journal (``placements_resumed``), and
     whole batches that degraded to serial because the jobs were not
-    picklable (``serial_fallbacks``).
+    picklable (``serial_fallbacks``).  The ``breaker_*`` and
+    ``dead_lettered`` counters mirror a supervised stream run's circuit
+    breakers and dead-letter queue (folded in via
+    :meth:`absorb_supervision`), so mixed batch + stream harnesses
+    report one resilience block.
     """
 
     workers: int = 1
@@ -637,6 +642,11 @@ class RunnerStats:
     jobs_failed: int = 0
     serial_fallbacks: int = 0
     placements_resumed: int = 0
+    breaker_opened: int = 0
+    breaker_reclosed: int = 0
+    breaker_short_circuits: int = 0
+    breaker_probes: int = 0
+    dead_lettered: int = 0
     setup_seconds: float = 0.0
     scenario_seconds: float = 0.0
     wall_seconds: float = 0.0
@@ -743,6 +753,25 @@ class RunnerStats:
         for name in self._SUMMED_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(stats, name))
         self.per_placement.append(stats)
+
+    def absorb_supervision(self, supervision: Mapping[str, Any]) -> None:
+        """Fold a supervised stream run's breaker/DLQ accounting in.
+
+        Accepts the dict shape produced by
+        :meth:`repro.stream.SupervisedStreamEngine.supervision_stats`, so
+        harnesses that drive both batch placements and supervised stream
+        replays report one consolidated resilience block.
+        """
+        for breaker in supervision.get("breakers", {}).values():
+            self.breaker_opened += breaker["times_opened"]
+            self.breaker_reclosed += breaker["times_reclosed"]
+            self.breaker_short_circuits += breaker["short_circuits"]
+            self.breaker_probes += breaker["probes"]
+        counters = supervision.get("counters", {})
+        self.dead_lettered += (
+            counters.get("events_dead_lettered", 0)
+            + supervision.get("transitions_dead_lettered", 0)
+        )
 
 
 @dataclass

@@ -18,12 +18,18 @@ messages, and Looking Glass answers served from the wrong epoch.
 Corrupted records are screened by :mod:`repro.validate` before they
 reach a diagnoser.
 
+A third family, the *chaos* modes (:data:`CHAOS_MODES`), faults the
+diagnosis service itself — shard crashes, stalls, slow shards, poisoned
+diagnosis workers — and drives the supervision layer of
+:mod:`repro.stream.supervise`.
+
 Injection happens at the measurement seams (probing, sensors, Looking
 Glass, collector feeds); the diagnosis layer never sees this package,
 only the degraded inputs — exactly like a real deployment.
 """
 
 from repro.faults.plan import (
+    CHAOS_MODES,
     CORRUPTION_MODES,
     FAULT_MODES,
     FORGED_ADDRESS_PREFIX,
@@ -33,6 +39,7 @@ from repro.faults.plan import (
 from repro.faults.report import DegradationReport
 
 __all__ = [
+    "CHAOS_MODES",
     "CORRUPTION_MODES",
     "FAULT_MODES",
     "FORGED_ADDRESS_PREFIX",

@@ -25,7 +25,14 @@ from typing import Optional, Tuple
 
 from repro.errors import FaultInjectionError
 
-__all__ = ["FaultConfig", "FaultPlan", "FAULT_MODES", "CORRUPTION_MODES", "FORGED_ADDRESS_PREFIX"]
+__all__ = [
+    "FaultConfig",
+    "FaultPlan",
+    "FAULT_MODES",
+    "CORRUPTION_MODES",
+    "CHAOS_MODES",
+    "FORGED_ADDRESS_PREFIX",
+]
 
 #: The five injectable fault modes, as named in reports and docs.
 FAULT_MODES = (
@@ -49,6 +56,17 @@ CORRUPTION_MODES = (
     "feed-dup",       # a control-feed message is delivered twice
     "feed-misorder",  # two feed messages arrive out of sequence order
     "lg-stale",       # an LG answers from a stale, wrong-epoch cache
+)
+
+#: The injectable *chaos* modes: faults of the diagnosis service itself
+#: rather than the measurement plane.  These drive the supervision layer
+#: (:mod:`repro.stream.supervise`): a supervised engine detects each mode
+#: on the logical clock and recovers without losing accounted work.
+CHAOS_MODES = (
+    "shard-crash",    # a shard loses all in-memory state mid-tick
+    "shard-stall",    # a shard stops responding for N ticks, then resumes
+    "slow-shard",     # a shard's tick output arrives one tick late
+    "worker-poison",  # a diagnoser variant crashes on one episode's input
 )
 
 #: Dotted prefix of forged hop addresses (TEST-NET-3): guaranteed outside
@@ -118,6 +136,23 @@ class FaultConfig:
         Per-query probability that a Looking Glass answers from a stale
         cache: the AS path of the *other* epoch, recorded at the wrong
         vantage (its head AS is not the queried AS).
+    shard_crash_rate:
+        Per-(shard, tick) probability that the shard crashes at the end
+        of that tick, losing all state accumulated since its last
+        checkpoint.  The supervisor restarts it from the checkpoint and
+        replays the journalled tail.
+    shard_stall_rate:
+        Per-(shard, tick) probability that the shard stops heartbeating
+        for a few ticks and then resumes with its state intact (a long
+        GC pause, a wedged host).  Its events buffer while it is dark.
+    slow_shard_rate:
+        Per-(shard, tick) probability that the shard's tick output is
+        one tick late: its events for tick *t* are folded only after
+        tick *t* has otherwise completed.
+    worker_poison_rate:
+        Per-(variant, episode) probability that the diagnosis worker for
+        that variant crashes on that episode's input — the poison-pill
+        mode the circuit breaker and dead-letter queue exist for.
     """
 
     trace_drop_rate: float = 0.0
@@ -139,6 +174,10 @@ class FaultConfig:
     feed_duplicate_rate: float = 0.0
     feed_misorder_rate: float = 0.0
     lg_stale_rate: float = 0.0
+    shard_crash_rate: float = 0.0
+    shard_stall_rate: float = 0.0
+    slow_shard_rate: float = 0.0
+    worker_poison_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for field in fields(self):
@@ -188,6 +227,21 @@ class FaultConfig:
             lg_stale_rate=rate,
         )
 
+    @classmethod
+    def chaos(cls, rate: float) -> "FaultConfig":
+        """Every *chaos* mode at the same rate, nothing else.
+
+        This is what ``--chaos RATE`` builds: the measurement plane is
+        clean, but the diagnosis service itself crashes, stalls, lags,
+        and chokes on poison inputs at ``rate``.
+        """
+        return cls(
+            shard_crash_rate=rate,
+            shard_stall_rate=rate,
+            slow_shard_rate=rate,
+            worker_poison_rate=rate,
+        )
+
     _CORRUPTION_FIELDS = (
         "hop_forge_rate",
         "hop_duplicate_rate",
@@ -207,9 +261,20 @@ class FaultConfig:
             if field.name != "lg_query_budget"
         ) or bool(self.lg_query_budget)
 
+    _CHAOS_FIELDS = (
+        "shard_crash_rate",
+        "shard_stall_rate",
+        "slow_shard_rate",
+        "worker_poison_rate",
+    )
+
     def any_corruption(self) -> bool:
         """True when at least one corruption mode can fire."""
         return any(getattr(self, name) for name in self._CORRUPTION_FIELDS)
+
+    def any_chaos(self) -> bool:
+        """True when at least one service-chaos mode can fire."""
+        return any(getattr(self, name) for name in self._CHAOS_FIELDS)
 
 
 class FaultPlan:
@@ -394,6 +459,51 @@ class FaultPlan:
         """Does this Looking Glass answer from its stale cache?"""
         return self._fires(
             self.config.lg_stale_rate, "lg-stale", asn, dst_address, epoch
+        )
+
+    def lg_backoff_jitter(
+        self, asn: int, dst_address: str, epoch: str, attempt: int
+    ) -> float:
+        """Deterministic jitter factor in ``[0, 1)`` for one retry delay.
+
+        The collector multiplies its exponential delay by
+        ``0.5 + jitter`` so concurrent retries against one flaky Looking
+        Glass decorrelate instead of thundering in lockstep, while the
+        schedule stays a pure function of the run seed.
+        """
+        return self._rng("lg-jitter", asn, dst_address, epoch, attempt).random()
+
+    # -- service chaos: faults of the diagnosis service itself
+
+    def shard_crashes(self, shard: int, tick: int) -> bool:
+        """Does shard ``shard`` crash at the end of tick ``tick``?"""
+        return self._fires(
+            self.config.shard_crash_rate, "shard-crash", shard, tick
+        )
+
+    def shard_stall_ticks(self, shard: int, tick: int) -> int:
+        """Ticks shard ``shard`` goes dark from ``tick`` (0 = no stall).
+
+        A stalled shard keeps its state but stops heartbeating; the
+        supervisor buffers its events and folds them on resume.
+        """
+        if self.config.shard_stall_rate <= 0.0:
+            return 0
+        rng = self._rng("shard-stall", shard, tick)
+        if rng.random() >= self.config.shard_stall_rate:
+            return 0
+        return rng.randint(1, 3)
+
+    def shard_slow(self, shard: int, tick: int) -> bool:
+        """Is shard ``shard``'s output for tick ``tick`` one tick late?"""
+        return self._fires(
+            self.config.slow_shard_rate, "slow-shard", shard, tick
+        )
+
+    def worker_poisoned(self, variant: str, episode_id: str) -> bool:
+        """Does the ``variant`` worker crash on this episode's input?"""
+        return self._fires(
+            self.config.worker_poison_rate, "worker-poison", variant, episode_id
         )
 
     # ------------------------------------------------------------ plumbing

@@ -311,11 +311,14 @@ def make_lg_lookup(
     Under an active fault plan the service is wrapped in a
     :class:`~repro.netsim.lookingglass.FlakyLookingGlassService` and
     each query is retried up to ``max_attempts`` times with exponential
-    backoff (``backoff_base * 2**attempt``; pass ``sleep=time.sleep`` to
-    wait in real time — the default records the schedule without
-    sleeping, since simulated Looking Glasses answer instantly).  A
-    rate-limited AS or an exhausted retry budget degrades to ``None`` —
-    to ND-LG, indistinguishable from an AS with no Looking Glass at all.
+    backoff plus seeded jitter (``backoff_base * 2**attempt`` scaled by
+    a factor in ``[0.5, 1.5)`` drawn from the fault plan's per-decision
+    RNG, so retrying sensors decorrelate without losing bit-determinism
+    under the run seed; pass ``sleep=time.sleep`` to wait in real time —
+    the default records the schedule without sleeping, since simulated
+    Looking Glasses answer instantly).  A rate-limited AS or an
+    exhausted retry budget degrades to ``None`` — to ND-LG,
+    indistinguishable from an AS with no Looking Glass at all.
 
     The ``lg-stale`` corruption mode serves an answer from the *other*
     epoch's table with the local head AS missing — a web cache replaying
@@ -353,7 +356,16 @@ def make_lg_lookup(
                     if report is not None:
                         report.lg_retries += 1
                     if sleep is not None:
-                        sleep(backoff_base * (2 ** attempt))
+                        delay = backoff_base * (2 ** attempt)
+                        if faults is not None:
+                            # Full-jitter-lite: scale by [0.5, 1.5) from
+                            # the plan's keyed RNG, so a thundering herd
+                            # of retries decorrelates yet the schedule
+                            # is a pure function of the run seed.
+                            delay *= 0.5 + faults.lg_backoff_jitter(
+                                asn, dst_address, epoch, attempt
+                            )
+                        sleep(delay)
         if report is not None:
             report.lg_exhausted += 1
         return None

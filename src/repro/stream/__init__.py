@@ -25,11 +25,19 @@ This package is that online layer over the existing batch machinery:
 * :mod:`repro.stream.merge` — cross-shard snapshot/control/episode
   merging in global ``(tick, seq)`` order;
 * :mod:`repro.stream.serve` — the asyncio ingest front end with bounded
-  per-tenant queues and round-robin fair pumping.
+  per-tenant queues, round-robin fair pumping, and graceful shutdown;
+* :mod:`repro.stream.checkpoint` — per-shard checkpoints in the fsync'd
+  torn-tail-tolerant journal format, for crash recovery;
+* :mod:`repro.stream.supervise` — the self-healing layer: shard
+  supervision with checkpointed restart and replay, per-variant circuit
+  breakers, a dead-letter queue, and deterministic chaos injection via
+  the :mod:`repro.faults` chaos modes.
 
 CLI: ``python -m repro stream`` replays a configured stream (optionally
-sharded via ``--shards`` / multi-tenant via ``--tenants``) and renders
-throughput, backpressure and episode-latency statistics.
+sharded via ``--shards`` / multi-tenant via ``--tenants`` / under
+seeded chaos via ``--chaos``) and renders throughput, backpressure,
+episode-latency and supervision statistics; ``--dlq PATH`` journals and
+inspects dead letters.
 """
 
 from repro.stream.engine import (
@@ -64,6 +72,7 @@ from repro.stream.events import (
     stream_event_from_dict,
     stream_event_to_dict,
 )
+from repro.stream.checkpoint import CheckpointStore, ShardCheckpoint
 from repro.stream.ingest import StreamIngestor
 from repro.stream.merge import (
     CrossShardMerger,
@@ -80,6 +89,15 @@ from repro.stream.router import (
     stable_hash,
 )
 from repro.stream.serve import StreamServer
+from repro.stream.supervise import (
+    DLQ_FORMAT,
+    CircuitBreaker,
+    DeadLetterQueue,
+    ShardSupervisor,
+    SupervisedStreamEngine,
+    SupervisionConfig,
+    load_dead_letters,
+)
 from repro.stream.replay import (
     ReplayConfig,
     ReplayEpisodeInfo,
@@ -129,6 +147,15 @@ __all__ = [
     "merged_snapshot",
     "merged_control_view",
     "StreamServer",
+    "CheckpointStore",
+    "ShardCheckpoint",
+    "DLQ_FORMAT",
+    "CircuitBreaker",
+    "DeadLetterQueue",
+    "ShardSupervisor",
+    "SupervisedStreamEngine",
+    "SupervisionConfig",
+    "load_dead_letters",
     "StaticAsnMap",
     "EpisodeDiagnosis",
     "EpisodeReport",

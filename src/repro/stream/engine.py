@@ -420,44 +420,45 @@ class StreamEngine:
         )
 
         labels = list(self.diagnosers)
-        parallel_labels = [
-            label for label in labels if self.diagnosers[label].variant != "nd-lg"
-        ]
         use_pool = self.workers > 1 and diagnosable and any(
             t.kind != CLOSE for _i, t in live
         )
         pooled: Dict[Tuple[int, str], EpisodeDiagnosis] = {}
-        if use_pool and parallel_labels:
-            if self._pool is None:
-                self._pool = ProcessPoolExecutor(max_workers=self.workers)
-            static_map = self._static_asn_map(snapshot, control)
-            picklable_snapshot = MeasurementSnapshot(
-                before=snapshot.before,
-                after=snapshot.after,
-                asn_of=static_map,
-            )
+        if use_pool:
             jobs = []
             for index, transition in live:
                 if transition.kind == CLOSE:
                     continue
-                for label in parallel_labels:
-                    jobs.append(
-                        (
-                            (index, label),
+                for label in labels:
+                    if not self._pool_allowed(label, transition):
+                        continue
+                    jobs.append((index, label, transition))
+            if jobs:
+                if self._pool is None:
+                    self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                static_map = self._static_asn_map(snapshot, control)
+                picklable_snapshot = MeasurementSnapshot(
+                    before=snapshot.before,
+                    after=snapshot.after,
+                    asn_of=static_map,
+                )
+                futures = [
+                    (
+                        (index, label),
+                        self._pool.submit(
+                            _diagnose_payload,
                             (
                                 label,
                                 self.diagnosers[label],
                                 picklable_snapshot,
                                 control,
                             ),
-                        )
+                        ),
                     )
-            futures = [
-                (key, self._pool.submit(_diagnose_payload, payload))
-                for key, payload in jobs
-            ]
-            for key, future in futures:
-                pooled[key] = future.result()
+                    for index, label, _transition in jobs
+                ]
+                for key, future in futures:
+                    pooled[key] = future.result()
 
         reports: Dict[int, EpisodeReport] = dict(cached)
         for index, transition in live:
@@ -469,7 +470,8 @@ class StreamEngine:
                         verdict = pooled[(index, label)]
                     else:
                         verdict = self._diagnose_inline(
-                            label, diagnoser, snapshot, control
+                            label, diagnoser, snapshot, control,
+                            transition=transition,
                         )
                     if verdict.error is not None:
                         self.diagnoses_failed += 1
@@ -485,12 +487,23 @@ class StreamEngine:
             )
         return [reports[next_index + offset] for offset in range(len(batch))]
 
+    def _pool_allowed(self, label: str, transition: EpisodeTransition) -> bool:
+        """May this diagnoser's work for this transition use the pool?
+
+        ``nd-lg`` closures are never picklable; the supervised engine
+        further excludes variants whose circuit breaker is not closed
+        and poison-injected work (those must run inline, where the
+        breaker observes the outcome deterministically).
+        """
+        return self.diagnosers[label].variant != "nd-lg"
+
     def _diagnose_inline(
         self,
         label: str,
         diagnoser: NetDiagnoser,
         snapshot: MeasurementSnapshot,
         control: Optional[ControlPlaneView],
+        transition: Optional[EpisodeTransition] = None,
     ) -> EpisodeDiagnosis:
         try:
             return _summarise(

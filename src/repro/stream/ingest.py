@@ -23,6 +23,7 @@ stream CLI renders the same counters as the batch runner.
 
 from __future__ import annotations
 
+import copy
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import StreamError
@@ -190,3 +191,36 @@ class StreamIngestor:
             "events_quarantined": self.events_quarantined,
             "events_repaired": self.events_repaired,
         }
+
+    # -------------------------------------------------------- checkpointing
+
+    def state(self) -> Dict[str, object]:
+        """A picklable snapshot of the screening state for checkpoints.
+
+        Captures the counters, the per-feed dedup/ordering state, and a
+        deep copy of the validation report — everything a recovered
+        shard needs so re-screening its replayed tail lands on the same
+        totals as an uninterrupted run.  The shared
+        :class:`~repro.faults.DegradationReport` (if any) is deliberately
+        *not* captured: it aggregates across shards and survives a
+        single shard's crash.
+        """
+        return {
+            "events_screened": self.events_screened,
+            "events_quarantined": self.events_quarantined,
+            "events_repaired": self.events_repaired,
+            "feed_seen": {kind: set(seen) for kind, seen in self._feed_seen.items()},
+            "feed_highest": dict(self._feed_highest),
+            "report": copy.deepcopy(self.validator.report),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Rebuild the screening state from a :meth:`state` snapshot."""
+        self.events_screened = state["events_screened"]
+        self.events_quarantined = state["events_quarantined"]
+        self.events_repaired = state["events_repaired"]
+        self._feed_seen = {
+            kind: set(seen) for kind, seen in state["feed_seen"].items()
+        }
+        self._feed_highest = dict(state["feed_highest"])
+        self.validator.report = copy.deepcopy(state["report"])

@@ -44,7 +44,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.core.control_plane import ControlPlaneView
 from repro.core.diagnoser import NetDiagnoser
 from repro.core.pathset import EPOCH_POST, EPOCH_PRE, MeasurementSnapshot
-from repro.errors import StreamError
+from repro.errors import EpisodeOverflowError, StreamError
 from repro.faults import DegradationReport
 from repro.stream.engine import EpisodeReport, StreamEngine
 from repro.stream.episodes import EpisodeTransition, PairAlarmTracker
@@ -140,10 +140,18 @@ class ShardRouter:
             dst = event.dst
         else:
             return None
+        return self.key_for_destination(dst)
+
+    def key_for_destination(self, dst: str) -> str:
+        """The routing key of a destination address (origin AS or /24)."""
         asn = self.asn_of(dst) if self.asn_of is not None else None
         if asn is not None:
             return f"as{asn}"
         return f"pfx{dst.rsplit('.', 1)[0]}"
+
+    def shard_for_destination(self, dst: str) -> int:
+        """The shard owning a destination address's pairs."""
+        return self.shard_for_key(self.key_for_destination(dst))
 
     def shard_for_key(self, key: str) -> int:
         """The shard owning ``key`` on the ring (wraps clockwise)."""
@@ -318,15 +326,37 @@ class StreamShard:
         degradation: Optional[DegradationReport] = None,
     ) -> None:
         self.index = index
-        self.ingestor = StreamIngestor(
-            asn_of,
-            policy,
-            expected_epochs=(EPOCH_PRE, EPOCH_POST),
+        self._params = dict(
+            asn_of=asn_of,
+            policy=policy,
+            window_width=window_width,
+            window_capacity=window_capacity,
+            open_after=open_after,
+            close_after=close_after,
             degradation=degradation,
         )
-        self.window = SlidingWindow(window_width, capacity=window_capacity)
+        self.reset()
+
+    def reset(self) -> None:
+        """Wipe the shard to a just-constructed state.
+
+        This is what a crash *is* to the supervisor: the shard object
+        survives (its identity, routing slot, and configuration do not
+        live in the failed process) but every byte of accumulated state
+        is gone until a checkpoint restore and tail replay rebuild it.
+        """
+        p = self._params
+        self.ingestor = StreamIngestor(
+            p["asn_of"],
+            p["policy"],
+            expected_epochs=(EPOCH_PRE, EPOCH_POST),
+            degradation=p["degradation"],
+        )
+        self.window = SlidingWindow(
+            p["window_width"], capacity=p["window_capacity"]
+        )
         self.alarms = PairAlarmTracker(
-            open_after=open_after, close_after=close_after
+            open_after=p["open_after"], close_after=p["close_after"]
         )
         self.events_offered = 0
         self.events_admitted = 0
@@ -368,6 +398,31 @@ class StreamShard:
             self.alarms.forget(event.address)
         self.seconds["detect"] += time.perf_counter() - started
 
+    # -------------------------------------------------------- checkpointing
+
+    def state(self) -> Dict[str, object]:
+        """A picklable snapshot of the shard for per-shard checkpoints.
+
+        Wall-clock stage timings are excluded on purpose: they are not
+        part of the deterministic state, and a recovered shard's timings
+        legitimately differ from an uninterrupted one's.
+        """
+        return {
+            "window": self.window.state(),
+            "alarms": self.alarms.state(),
+            "ingest": self.ingestor.state(),
+            "events_offered": self.events_offered,
+            "events_admitted": self.events_admitted,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Rebuild the shard from a :meth:`state` snapshot."""
+        self.window.restore_state(state["window"])
+        self.alarms.restore_state(state["alarms"])
+        self.ingestor.restore_state(state["ingest"])
+        self.events_offered = state["events_offered"]
+        self.events_admitted = state["events_admitted"]
+
     def stats(self) -> Dict[str, int]:
         """Per-shard accounting for the stream report."""
         counts = {
@@ -399,21 +454,46 @@ class _MergeEngine(StreamEngine):
     """
 
     def __init__(
-        self, shards: Sequence[StreamShard], merger: CrossShardMerger, **kwargs
+        self,
+        shards: Sequence[StreamShard],
+        merger: CrossShardMerger,
+        router: Optional[ShardRouter] = None,
+        **kwargs,
     ) -> None:
         super().__init__(**kwargs)
         self._shards = list(shards)
         self._merger = merger
+        self._router = router
 
     def advance(self, tick: int) -> List[EpisodeTransition]:
         for shard in self._shards:
             shard.window.evict(tick)
-        transitions = self._merger.advance(
-            tick, [shard.alarms.alarmed_pairs() for shard in self._shards]
-        )
+        transitions = self._merger.advance(tick, self._shard_alarms(tick))
         for transition in transitions:
             self._schedule(transition)
         return transitions
+
+    def _shard_alarms(self, tick: int) -> List[Tuple[Pair, ...]]:
+        """Each shard's alarmed-pair contribution for this tick's merge.
+
+        Overridable: the supervised engine substitutes held/stale views
+        for shards that are dark or running behind.
+        """
+        return [shard.alarms.alarmed_pairs() for shard in self._shards]
+
+    def _schedule(self, transition: EpisodeTransition) -> None:
+        try:
+            super()._schedule(transition)
+        except EpisodeOverflowError as exc:
+            # Name the owning shard before the overflow crosses any
+            # worker/process boundary — a bare BrokenProcessPool tells
+            # an operator nothing about *which* shard's episode wedged
+            # the queue.
+            if exc.shard is None and self._router is not None and transition.pairs:
+                exc.shard = self._router.shard_for_destination(
+                    transition.pairs[0][1]
+                )
+            raise
 
     def _assemble(
         self,
@@ -485,9 +565,7 @@ class ShardedStreamEngine:
         self.merger = CrossShardMerger()
         self.admission = AdmissionController(tenants)
         self.tenant_of = tenant_of
-        self._engine = _MergeEngine(
-            self.shards,
-            self.merger,
+        self._engine = self._make_merge_engine(
             asn_of=asn_of,
             diagnosers=diagnosers,
             asx=asx,
@@ -506,6 +584,13 @@ class ShardedStreamEngine:
         self.events_offered = 0
         self.events_admitted = 0
         self.events_broadcast = 0
+
+    def _make_merge_engine(self, **kwargs) -> _MergeEngine:
+        """Build the global merge engine; the supervised engine overrides
+        this to slot in its breaker/poison-aware variant."""
+        return _MergeEngine(
+            self.shards, self.merger, router=self.router, **kwargs
+        )
 
     # ----------------------------------------------------- engine protocol
 

@@ -69,6 +69,8 @@ class StreamServer:
         self.tenant_of = tenant_of
         self.max_events_per_tick = max_events_per_tick
         self._queues: Dict[str, Deque[StreamEvent]] = {}
+        self._tick = 0
+        self._closed = False
         self.events_submitted = 0
         self.events_pumped = 0
         self.events_shed = 0
@@ -83,6 +85,8 @@ class StreamServer:
 
     async def submit(self, event: StreamEvent) -> bool:
         """Enqueue one event; ``False`` means its queue was full (shed)."""
+        if self._closed:
+            raise StreamError("cannot submit to a closed StreamServer")
         self.events_submitted += 1
         tenant = self._tenant(event)
         queue = self._queues.setdefault(tenant, deque())
@@ -126,6 +130,7 @@ class StreamServer:
         for event in sorted(self._select(), key=lambda e: e.seq):
             self.engine.offer(event)
             self.events_pumped += 1
+        self._tick = max(self._tick, tick)
         self.engine.advance(tick)
         reports = self.engine.drain(tick)
         await asyncio.sleep(0)
@@ -135,13 +140,46 @@ class StreamServer:
     def backlog(self) -> int:
         return sum(len(queue) for queue in self._queues.values())
 
+    # ---------------------------------------------------------- shutdown
+
+    async def aclose(self) -> None:
+        """Graceful shutdown: drain every tenant queue, retire every
+        queued diagnosis, then release the engine's resources.
+
+        Runs grace ticks past the last pumped tick until both the serve
+        backlog and the engine's work queue are empty — nothing a
+        producer successfully submitted is dropped by stopping — then
+        closes the engine (worker pool, dead-letter journal).
+        Idempotent: a second close is a no-op.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        tick = self._tick
+        while self.backlog or not self.engine.idle:
+            tick += 1
+            await self.advance(tick)
+            self.engine.flush(tick)
+        self.engine.close()
+
+    def close(self) -> None:
+        """Synchronous :meth:`aclose` for non-async teardown paths."""
+        asyncio.run(self.aclose())
+
+    async def __aenter__(self) -> "StreamServer":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
     async def run(
         self, events: Iterable[StreamEvent], last_tick: Optional[int] = None
     ) -> List[EpisodeReport]:
         """Convenience driver: submit and advance a whole event log.
 
-        Groups events by tick, pumps each tick in order, then runs grace
-        ticks until the backlog and the engine's queue are empty.
+        Groups events by tick, pumps each tick in order, then shuts down
+        gracefully (grace ticks until the backlog and the engine's queue
+        are empty — a tick-budget backlog drains a budget per tick).
         """
         by_tick: Dict[int, List[StreamEvent]] = {}
         for event in events:
@@ -153,13 +191,7 @@ class StreamServer:
             for event in by_tick.get(tick, []):
                 await self.submit(event)
             await self.advance(tick)
-        # Grace ticks: a tick-budget backlog drains a budget per tick.
-        tick = final
-        while self.backlog or not self.engine.idle:
-            tick += 1
-            await self.advance(tick)
-            self.engine.flush(tick)
-        self.engine.close()
+        await self.aclose()
         return self.engine.reports
 
     def counters(self) -> Dict[str, int]:

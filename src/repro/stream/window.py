@@ -213,6 +213,49 @@ class SlidingWindow:
             ),
         )
 
+    # -------------------------------------------------------- checkpointing
+
+    def state(self) -> Dict[str, object]:
+        """A picklable snapshot of the window for shard checkpoints.
+
+        Probe slots are captured in LRU order (``LruCache.items`` is
+        LRU-first), so :meth:`restore_state`'s re-inserts rebuild the
+        exact recency order — a restored window sheds the same cold
+        pairs a never-crashed one would.
+        """
+        return {
+            "baseline": self._baseline.items(),
+            "current": self._current.items(),
+            "withdrawals": list(self._withdrawals),
+            "igp_downs": list(self._igp_downs),
+            "dark_sensors": sorted(self._dark_sensors),
+            "stale_evictions": self.stale_evictions,
+            "probes_ignored": self.probes_ignored,
+            "lru_counters": tuple(
+                (cache.hits, cache.misses, cache.evictions)
+                for cache in (self._baseline, self._current)
+            ),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Rebuild the window from a :meth:`state` snapshot."""
+        for cache, key in (
+            (self._baseline, "baseline"),
+            (self._current, "current"),
+        ):
+            cache.clear()
+            for pair, entry in state[key]:
+                cache.put(pair, entry)
+        self._withdrawals = list(state["withdrawals"])
+        self._igp_downs = list(state["igp_downs"])
+        self._dark_sensors = set(state["dark_sensors"])
+        self.stale_evictions = state["stale_evictions"]
+        self.probes_ignored = state["probes_ignored"]
+        for cache, counters in zip(
+            (self._baseline, self._current), state["lru_counters"]
+        ):
+            cache.hits, cache.misses, cache.evictions = counters
+
     # ---------------------------------------------------------- inspection
 
     def failed_pairs(self) -> Tuple[Pair, ...]:

@@ -160,8 +160,36 @@ class TestLookingGlassSeam:
         assert report.lg_failures == 3
         assert report.lg_retries == 2
         assert report.lg_exhausted == 1
-        # Exponential backoff: base * 2**attempt between attempts.
-        assert schedule == [pytest.approx(0.1), pytest.approx(0.2)]
+        # Exponential backoff with seeded jitter: each delay lands in
+        # [0.5, 1.5) of base * 2**attempt, and the exact values are a
+        # pure function of the plan seed + query key.
+        assert len(schedule) == 2
+        for attempt, delay in enumerate(schedule):
+            nominal = 0.1 * (2 ** attempt)
+            assert 0.5 * nominal <= delay < 1.5 * nominal
+        assert schedule == [
+            0.1 * (2 ** attempt)
+            * (0.5 + plan.lg_backoff_jitter(asn, dst, EPOCH_POST, attempt))
+            for attempt in range(2)
+        ]
+
+    def test_backoff_jitter_is_reproducible(self, small_session):
+        _topo, session = small_session
+        service = LookingGlassService.everywhere(session.net)
+        dst = session.sensors[0].address
+        asn = session.net.asn_of_router(session.sensors[1].router_id)
+        schedules = []
+        for _run in range(2):
+            plan = FaultPlan(5, FaultConfig(lg_failure_rate=1.0))
+            schedule = []
+            lookup = make_lg_lookup(
+                session.sim, service, session.base_state,
+                session.base_state, faults=plan, max_attempts=3,
+                backoff_base=0.1, sleep=schedule.append,
+            )
+            assert lookup(asn, dst, EPOCH_POST) is None
+            schedules.append(schedule)
+        assert schedules[0] == schedules[1]
 
     def test_clean_plan_matches_direct_service(self, small_session):
         _topo, session = small_session

@@ -1,0 +1,138 @@
+"""The acceptance contract for the self-healing layer: a seeded chaos
+replay (shard crashes + stalls + slow shards + worker poison) completes
+with zero unhandled exceptions, accounts every offered event exactly
+once, and re-running the same seed is bit-identical — including the
+full incident schedule and every recovery."""
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.stream import ReplayConfig, make_replay_setup, run_stream_replay
+
+SETUP_ARGS = dict(seed=7, n_sensors=6)
+CHAOS_CONFIG = ReplayConfig(
+    kind="link-1",
+    episodes=2,
+    incident_rounds=2,
+    recovery_rounds=2,
+    seed=7,
+    chaos_rate=0.15,
+)
+
+
+def _chaos_run(**kwargs):
+    # A fresh setup per run: the session sampler is stateful, so two
+    # runs over ONE setup would stream different scenarios.
+    return run_stream_replay(
+        make_replay_setup(**SETUP_ARGS), CHAOS_CONFIG, **kwargs
+    )
+
+
+@pytest.fixture(scope="module")
+def chaos_result():
+    return _chaos_run()
+
+
+class TestChaosCompletion:
+    def test_chaos_replay_completes_and_reports(self, chaos_result):
+        """Crashes, stalls and poison all fire on this seed — and the
+        run still finishes every injected episode."""
+        assert chaos_result.supervision is not None
+        counters = chaos_result.supervision["counters"]
+        assert counters["shard_crashes"] > 0
+        assert counters["shard_stalls"] > 0
+        assert counters["recoveries"] == (
+            counters["shard_crashes"] + counters["shard_stalls"]
+        )
+        assert chaos_result.supervision["diagnoses_poisoned"] > 0
+        assert chaos_result.reports  # verdicts were still produced
+
+    def test_every_offered_event_is_accounted_exactly_once(
+        self, chaos_result
+    ):
+        """offered == admitted + shed + rejected + quarantined +
+        dead-lettered: chaos may delay or park events, never lose one
+        silently."""
+        engine = chaos_result.engine_counters
+        ingest = chaos_result.ingest_counters
+        assert engine["events_offered"] == (
+            engine["events_admitted"]
+            + engine["admission_shed"]
+            + engine["admission_rejected_unknown"]
+            + ingest["events_quarantined"]
+            + engine["events_dead_lettered"]
+        )
+
+    def test_recoveries_leave_nothing_dark_at_flush(self, chaos_result):
+        counters = chaos_result.supervision["counters"]
+        recoveries = chaos_result.supervision["ticks_to_recover"]
+        assert len(recoveries) == counters["recoveries"]
+        assert all(ticks >= 0 for ticks in recoveries)
+        # Buffered events were all folded back (or dead-lettered).
+        assert counters["events_buffered"] >= 0
+        assert chaos_result.engine_counters["dead_lettered"] == (
+            counters["events_dead_lettered"]
+            + chaos_result.supervision["transitions_dead_lettered"]
+        )
+
+
+class TestChaosDeterminism:
+    def test_same_seed_is_bit_identical(self, chaos_result):
+        again = _chaos_run()
+        assert again.reports == chaos_result.reports
+        assert again.episodes == chaos_result.episodes
+        # The whole supervision record replays: incident schedule,
+        # recovery times, breaker trips, dead letters.
+        assert again.supervision == chaos_result.supervision
+        assert again.engine_counters == chaos_result.engine_counters
+        assert again.ingest_counters == chaos_result.ingest_counters
+
+    def test_chaos_rate_zero_never_supervises_by_accident(self):
+        config = ReplayConfig(
+            kind="link-1",
+            episodes=1,
+            incident_rounds=1,
+            recovery_rounds=1,
+            seed=7,
+        )
+        result = run_stream_replay(make_replay_setup(**SETUP_ARGS), config)
+        assert result.supervision is None
+
+
+class TestChaosCli:
+    FAST_ARGS = [
+        "stream",
+        "--kind",
+        "link-1",
+        "--episodes",
+        "1",
+        "--sensors",
+        "5",
+        "--seed",
+        "4",
+    ]
+
+    def test_chaos_flag_renders_the_supervision_block(self, capsys):
+        assert repro_main(self.FAST_ARGS + ["--chaos", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos=0.15" in out
+        assert "supervision:" in out
+        assert "recoveries=" in out
+
+    def test_dlq_journal_is_written_and_inspectable(self, tmp_path, capsys):
+        dlq = tmp_path / "dead.jsonl"
+        assert (
+            repro_main(self.FAST_ARGS + ["--dlq", str(dlq)]) == 0
+        )
+        capsys.readouterr()
+        assert dlq.exists()
+        code = repro_main(
+            self.FAST_ARGS + ["--dlq", str(dlq), "--dlq-inspect"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dead letters" in out
+
+    def test_dlq_inspect_without_path_exits_2(self, capsys):
+        assert repro_main(self.FAST_ARGS + ["--dlq-inspect"]) == 2
+        assert "--dlq" in capsys.readouterr().out

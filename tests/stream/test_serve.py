@@ -169,6 +169,54 @@ class TestServeDeterminism:
         assert server.backlog == 0
 
 
+class TestGracefulShutdown:
+    def test_aclose_drains_backlog_before_closing(self):
+        """Stopping must pump everything submitted, not drop it."""
+
+        async def scenario():
+            engine = _SpyEngine()
+            server = StreamServer(engine, max_events_per_tick=2)
+            for seq in range(5):
+                await server.submit(reach("s", "d", seq=seq))
+            await server.aclose()
+            return engine, server
+
+        engine, server = asyncio.run(scenario())
+        assert server.backlog == 0
+        assert server.events_pumped == 5
+        assert [event.seq for event in engine.offered] == list(range(5))
+
+    def test_submit_after_close_raises_typed_error(self):
+        async def scenario():
+            server = StreamServer(_SpyEngine())
+            await server.aclose()
+            with pytest.raises(StreamError):
+                await server.submit(reach("s", "d"))
+            # Idempotent: a second close is a no-op.
+            await server.aclose()
+
+        asyncio.run(scenario())
+
+    def test_async_context_manager_closes_on_exit(self):
+        async def scenario():
+            engine = _SpyEngine()
+            async with StreamServer(engine) as server:
+                await server.submit(reach("s", "d"))
+            return server
+
+        server = asyncio.run(scenario())
+        assert server.backlog == 0
+        assert server.events_pumped == 1
+
+    def test_sync_close_wraps_aclose(self):
+        engine = _SpyEngine()
+        server = StreamServer(engine)
+        asyncio.run(server.submit(reach("s", "d")))
+        server.close()
+        assert server.backlog == 0
+        assert server.events_pumped == 1
+
+
 class TestRunReplayProtocol:
     def test_run_replay_drives_any_engine_protocol_object(self):
         """run_replay only needs the engine protocol; the spy suffices."""
