@@ -1,0 +1,107 @@
+"""Flight-recorder benchmark: sustained monitoring throughput and the
+quality of what it records.
+
+Runs the ``mixed-ops`` scenario (every trouble mode at once) for a long
+horizon and records the numbers the ISSUE asks the monitor lane to
+track: sustained events/sec over the full observe→record→score
+pipeline, detection latency against the seeded outage schedule, the
+false-alarm rate the hysteresis holds under flapping noise, and the
+blocked-vs-failed classifier's precision/recall on the seeded ground
+truth.
+
+Run with the slow lane::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_monitor.py -m slow -s
+
+Scale knobs: ``REPRO_BENCH_MONITOR_TICKS`` (default 10000) and
+``REPRO_BENCH_MONITOR_SHARDS`` (default 1).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.monitor import (
+    make_monitor_setup,
+    render_monitor_report,
+    run_monitor,
+    scenario,
+)
+from repro.perf import write_bench_artifact
+
+from conftest import REPO_ROOT
+
+TOPO_SEED = 100
+SEED = 0
+
+SCHEMA = "bench-monitor-v1"
+
+
+@pytest.mark.slow
+def test_monitor_throughput_detection_and_classification():
+    ticks = int(os.environ.get("REPRO_BENCH_MONITOR_TICKS", "10000"))
+    shards = int(os.environ.get("REPRO_BENCH_MONITOR_SHARDS", "1"))
+    setup = make_monitor_setup(seed=SEED, topo_seed=TOPO_SEED)
+    result = run_monitor(
+        setup,
+        scenario("mixed-ops", ticks),
+        SEED,
+        policy="quarantine",
+        shards=shards,
+    )
+
+    assert result.events_total >= ticks  # >= one event per tick sustained
+    assert result.recorder.intervals, "mixed-ops must record bad intervals"
+    detection = result.detection
+    classifier = result.classifier
+    events_per_second = result.events_per_second
+
+    def merge(data):
+        data["monitor"] = {
+            "scenario": "mixed-ops",
+            "ticks": ticks,
+            "shards": shards,
+            "pairs_monitored": result.pairs_monitored,
+            "events_total": result.events_total,
+            "events_thinned": result.observations_skipped,
+            "wall_seconds": round(result.wall_seconds, 4),
+            "events_per_second": round(events_per_second, 1),
+            "intervals_total": len(result.recorder.intervals),
+            "outages_scored": detection.outages_total,
+            "detected_fraction": round(detection.detected_fraction, 4),
+            "detection_latency_mean": round(detection.latency_mean, 2),
+            "detection_latency_p99": detection.latency_p99,
+            "false_alarm_rate": round(detection.false_alarm_rate, 4),
+            "classifier_scored": classifier.scored,
+            "blocked_precision": round(classifier.precision_blocked, 4),
+            "blocked_recall": round(classifier.recall_blocked, 4),
+            "failed_precision": round(classifier.precision_failed, 4),
+            "failed_recall": round(classifier.recall_failed, 4),
+        }
+
+    write_bench_artifact("monitor", SCHEMA, merge, REPO_ROOT)
+
+    print()
+    print(render_monitor_report(result))
+    print(
+        f"\nmixed-ops, {ticks} ticks, {result.pairs_monitored} pairs: "
+        f"{result.events_total} events in {result.wall_seconds:.2f}s "
+        f"-> {events_per_second:.0f} events/s; detection latency "
+        f"mean={detection.latency_mean:.1f} p99={detection.latency_p99} "
+        f"ticks, false alarms {detection.false_alarm_rate:.3f}, classifier "
+        f"P/R blocked {classifier.precision_blocked:.3f}/"
+        f"{classifier.recall_blocked:.3f} failed "
+        f"{classifier.precision_failed:.3f}/{classifier.recall_failed:.3f}"
+    )
+
+    # The ISSUE's quality floors: near-total detection of confirmable
+    # outages, hysteresis holding false alarms down under flapping, and
+    # the blocked-vs-failed classifier at >= 0.9 precision AND recall.
+    assert detection.detected_fraction >= 0.9
+    assert detection.false_alarm_rate <= 0.1
+    assert classifier.precision_blocked >= 0.9
+    assert classifier.recall_blocked >= 0.9
+    assert classifier.precision_failed >= 0.9
+    assert classifier.recall_failed >= 0.9

@@ -25,6 +25,10 @@ Examples::
     # report throughput, backpressure and episode-diagnosis latency
     python -m repro stream --rates 0 0.1 --window 4 --policy quarantine
 
+    # Replay a seeded long-horizon monitoring scenario and print the
+    # health timeline, bad intervals and blocked-vs-failed verdicts
+    python -m repro monitor --scenario mixed-ops --ticks 2000 --seed 7
+
     # Regenerate evaluation figures (delegates to repro.experiments)
     python -m repro.experiments --figure 6
 """
@@ -33,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
 from pathlib import Path
@@ -40,6 +45,8 @@ from pathlib import Path
 from repro.core.diagnoser import VARIANTS, NetDiagnoser
 from repro.errors import (
     ControlPlaneFeedError,
+    FaultInjectionError,
+    MonitorError,
     StreamError,
     TopologyError,
     ValidationError,
@@ -220,6 +227,25 @@ def _cmd_degradation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _interrupted(command: str, journal) -> int:
+    """One-line SIGINT epilogue for long-running stream/monitor runs.
+
+    Reports already emitted were durably appended to the journal as they
+    happened, so the interrupt loses no completed work; exit 130 is the
+    conventional fatal-SIGINT status.
+    """
+    if journal:
+        hint = (
+            f"resume with: python -m repro {command} ... "
+            f"--journal {journal} --resume"
+        )
+    else:
+        hint = f"re-run with --journal PATH to make {command} runs resumable"
+    print(f"interrupted — journal checkpoints are durable; {hint}",
+          file=sys.stderr)
+    return 130
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     import os
 
@@ -297,21 +323,24 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             journal = RunJournal(f"{args.journal}.rate{rate}", fingerprint)
             if args.resume:
                 cached = journal.load_completed()
-        result = run_stream_replay(
-            setup,
-            config,
-            policy=args.policy,
-            window_width=args.window,
-            workers=workers,
-            shards=args.shards,
-            tenants=tenants,
-            tenant_of=tenant_of,
-            journal=journal,
-            cached_reports=cached,
-            save_log=args.save_log,
-            supervise=bool(args.dlq),
-            dlq_path=args.dlq,
-        )
+        try:
+            result = run_stream_replay(
+                setup,
+                config,
+                policy=args.policy,
+                window_width=args.window,
+                workers=workers,
+                shards=args.shards,
+                tenants=tenants,
+                tenant_of=tenant_of,
+                journal=journal,
+                cached_reports=cached,
+                save_log=args.save_log,
+                supervise=bool(args.dlq),
+                dlq_path=args.dlq,
+            )
+        except KeyboardInterrupt:
+            return _interrupted("stream", args.journal)
         print(f"=== stream replay @ fault rate {rate} "
               f"(policy={args.policy}, window={args.window}"
               + (f", chaos={args.chaos}" if args.chaos else "")
@@ -332,6 +361,73 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 f"{len(report.pairs)} pairs)  {verdicts}"
             )
         print(render_stream_report(result))
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.experiments.journal import RunJournal
+    from repro.monitor import (
+        make_monitor_setup,
+        render_monitor_report,
+        run_monitor,
+        scenario,
+        scenario_names,
+    )
+
+    if args.list_scenarios:
+        from repro.monitor import SCENARIOS
+
+        for name in scenario_names():
+            config = SCENARIOS[name]
+            print(f"{name:18s} {config.ticks} ticks")
+        return 0
+
+    workers = args.workers or (os.cpu_count() or 1)
+    config = scenario(args.scenario, args.ticks)
+    setup = make_monitor_setup(
+        seed=args.seed,
+        topo_seed=args.topo_seed,
+        n_tier2=args.tier2,
+        n_stub=args.stubs,
+        n_sensors=args.sensors,
+    )
+    journal = cached = None
+    if args.journal:
+        fingerprint = {
+            "format": "repro-monitor-journal",
+            "scenario": config,
+            "seed": args.seed,
+            "policy": args.policy,
+            "window": args.window,
+        }
+        journal = RunJournal(args.journal, fingerprint)
+        if args.resume:
+            cached = journal.load_completed()
+    print(
+        f"=== monitor {config.name} ({config.ticks} ticks, seed {args.seed}"
+        + (f", shards={args.shards}" if args.shards > 1 else "")
+        + (f", chaos={args.chaos}" if args.chaos else "")
+        + ") ==="
+    )
+    try:
+        result = run_monitor(
+            setup,
+            config,
+            args.seed,
+            policy=args.policy,
+            window_width=args.window,
+            workers=workers,
+            shards=args.shards,
+            chaos_rate=args.chaos,
+            journal=journal,
+            cached_reports=cached,
+            retention=args.retention,
+        )
+    except KeyboardInterrupt:
+        return _interrupted("monitor", args.journal)
+    print(render_monitor_report(result))
     return 0
 
 
@@ -618,6 +714,81 @@ def main(argv=None) -> int:
     )
     stream.set_defaults(func=_cmd_stream)
 
+    monitor = sub.add_parser(
+        "monitor",
+        help="replay a long-horizon monitoring scenario (flight recorder)",
+    )
+    monitor.add_argument(
+        "--scenario",
+        default="mixed-ops",
+        help="catalog scenario name (see --list-scenarios)",
+    )
+    monitor.add_argument(
+        "--ticks",
+        type=int,
+        default=0,
+        help="override the scenario's run length (0 = catalog default)",
+    )
+    monitor.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print the scenario catalog and exit",
+    )
+    monitor.add_argument("--seed", type=int, default=0)
+    monitor.add_argument("--topo-seed", type=int, default=100)
+    monitor.add_argument("--sensors", type=int, default=6)
+    monitor.add_argument("--tier2", type=int, default=6)
+    monitor.add_argument("--stubs", type=int, default=40)
+    monitor.add_argument(
+        "--policy",
+        choices=POLICIES,
+        default="quarantine",
+        help="repro.validate policy applied to every ingested event",
+    )
+    monitor.add_argument(
+        "--window",
+        type=int,
+        default=4,
+        help="sliding window width in logical ticks (>= 1)",
+    )
+    monitor.add_argument(
+        "--retention",
+        type=int,
+        default=256,
+        help="flight-recorder ring-buffer size (observations kept per pair)",
+    )
+    monitor.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=1,
+        help="diagnosis worker processes (0 = all cores, 1 = serial)",
+    )
+    monitor.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="ingest shards behind the consistent-hash router "
+        "(1 = serial single-shard engine)",
+    )
+    monitor.add_argument(
+        "--chaos",
+        type=_fault_rate,
+        default=0.0,
+        help="service-chaos rate in [0, 1]: seeded shard crashes/stalls "
+        "under the supervision layer (implies >= 2 shards)",
+    )
+    monitor.add_argument(
+        "--journal",
+        default=None,
+        help="checkpoint journal path for crash-safe --resume",
+    )
+    monitor.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse episode reports already in the journal file",
+    )
+    monitor.set_defaults(func=_cmd_monitor)
+
     replay = sub.add_parser(
         "replay", help="re-diagnose an archived scenario file"
     )
@@ -635,6 +806,8 @@ def main(argv=None) -> int:
         return args.func(args)
     except (
         ControlPlaneFeedError,
+        FaultInjectionError,
+        MonitorError,
         StreamError,
         TopologyError,
         ValidationError,
@@ -644,6 +817,13 @@ def main(argv=None) -> int:
         # stderr, nonzero exit, no traceback.
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream reader (e.g. `| head`) closed the pipe: exit quietly
+        # like other Unix tools. Detach stdout so the interpreter does not
+        # raise again while flushing at shutdown.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ __all__ = [
     "EpisodeOverflowError",
     "SupervisionError",
     "CheckpointError",
+    "MonitorError",
 ]
 
 
@@ -131,6 +132,15 @@ class CheckpointError(StreamError):
     """A per-shard checkpoint could not be written or restored: the store
     signature does not match the run fingerprint, or a record is
     corrupt beyond the tolerated torn tail."""
+
+
+class MonitorError(ReproError):
+    """A long-horizon monitoring scenario was misconfigured or failed.
+
+    Raised by :mod:`repro.monitor` for bad scenario knobs (negative
+    dwell, unknown scenario name, empty candidate pools) before any
+    expensive log building starts.
+    """
 
 
 class ValidationError(ReproError):

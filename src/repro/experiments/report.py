@@ -229,6 +229,7 @@ def render_stream_report(result: "StreamRunResult") -> str:
         f"   episodes: detected={detector['episodes_total']}  "
         f"open at end={detector['episodes_open']}  "
         f"transitions={detector['transitions']}  "
+        f"flaps={detector.get('flaps', 0)}  "
         f"pairs alarmed={detector['pairs_alarmed']}",
         f"   backpressure: coalesced={engine['episodes_coalesced']}  "
         f"deferred={engine['transitions_deferred']}  "

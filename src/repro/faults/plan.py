@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, fields
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.errors import FaultInjectionError
 
@@ -31,6 +31,7 @@ __all__ = [
     "FAULT_MODES",
     "CORRUPTION_MODES",
     "CHAOS_MODES",
+    "MONITOR_MODES",
     "FORGED_ADDRESS_PREFIX",
 ]
 
@@ -67,6 +68,23 @@ CHAOS_MODES = (
     "shard-stall",    # a shard stops responding for N ticks, then resumes
     "slow-shard",     # a shard's tick output arrives one tick late
     "worker-poison",  # a diagnoser variant crashes on one episode's input
+)
+
+#: The long-horizon *monitoring* scenario modes (:mod:`repro.monitor`).
+#: Unlike the fault/corruption/chaos modes these have no dedicated
+#: :class:`FaultConfig` rate fields — the monitor owns its knobs in
+#: ``MonitorConfig`` and routes every decision through the generic
+#: :meth:`FaultPlan.fires` / :meth:`FaultPlan.dwell_ticks` /
+#: :meth:`FaultPlan.pick` seam, so scenario schedules stay pure
+#: functions of ``(seed, mode, decision key)`` like every other fault.
+MONITOR_MODES = (
+    "link-flap",     # one link flaps with a seeded dwell-time distribution
+    "srlg-failure",  # a shared-risk link group fails as a unit
+    "maintenance",   # a rolling (announced or silent) maintenance window
+    "diurnal-probe", # per-pair liveness checks thinned by time of day
+    "sensor-churn",  # sensors going dark and returning mid-run
+    "as-block",      # an AS drops probe packets but still answers its LG
+    "probe-noise",   # a healthy liveness check reported as failed
 )
 
 #: Dotted prefix of forged hop addresses (TEST-NET-3): guaranteed outside
@@ -309,6 +327,59 @@ class FaultPlan:
         if rate <= 0.0:
             return False
         return self._rng(kind, *key).random() < rate
+
+    # -- generic seam (monitor scenarios and other callers with own knobs)
+
+    def fires(self, rate: float, kind: str, *key: object) -> bool:
+        """Does the decision named ``(kind, *key)`` fire at ``rate``?
+
+        The public face of the seeded-hash machinery for callers whose
+        rates live outside :class:`FaultConfig` (the :mod:`repro.monitor`
+        scenario engine).  Same contract as every built-in mode: a pure
+        function of ``(plan seed, kind, key)``, independent of call
+        order and of every other decision.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise FaultInjectionError(
+                f"rate for {kind!r} must be a probability in [0, 1], got {rate}"
+            )
+        return self._fires(rate, kind, *key)
+
+    def dwell_ticks(
+        self, mean: float, cap: int, kind: str, *key: object
+    ) -> int:
+        """A seeded dwell time in ``[1, cap]`` with geometric mean ``mean``.
+
+        Drives how long a flapped link stays down, a stalled sensor stays
+        dark, a blocking filter stays installed.  Geometric (memoryless)
+        dwell is the classic link-flap model; the cap keeps one unlucky
+        draw from freezing a whole scenario.
+        """
+        if mean < 1.0 or cap < 1:
+            raise FaultInjectionError(
+                f"dwell for {kind!r} needs mean >= 1 and cap >= 1 "
+                f"(got mean={mean}, cap={cap})"
+            )
+        rng = self._rng(kind, *key)
+        continue_p = 1.0 - 1.0 / mean
+        dwell = 1
+        while dwell < cap and rng.random() < continue_p:
+            dwell += 1
+        return dwell
+
+    def pick(self, population: Sequence, k: int, kind: str, *key: object) -> list:
+        """A seeded ``k``-sample of ``population`` (sorted first).
+
+        Sorting before sampling makes the draw independent of the
+        caller's iteration order — two processes enumerating the same
+        candidate pool differently still pick the same members.
+        """
+        pool = sorted(population)
+        if k > len(pool):
+            raise FaultInjectionError(
+                f"cannot pick {k} of {len(pool)} candidates for {kind!r}"
+            )
+        return self._rng(kind, *key).sample(pool, k)
 
     # -- traceroute plane
 

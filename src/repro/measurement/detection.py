@@ -10,20 +10,27 @@ measurements."
 one reachability observation per measurement round per pair and raises a
 pair's alarm only after ``confirmations`` consecutive failed rounds.  A
 single good round clears the streak — transient flaps never alarm.
+
+The streak machine itself is the shared
+:class:`~repro.core.streak.PairAlarmTracker`, run at ``close_after=1``:
+batch rounds are converged snapshots, so one success *is* proof of
+recovery.  The streaming detector runs the same tracker with a larger
+``close_after`` — live streams see half-recovered pairs and need the
+clearing hysteresis.  That threshold is the entire, deliberate semantic
+difference between the two detectors.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Tuple
+from typing import FrozenSet, Iterable, Tuple
 
 from repro.core.pathset import Pair
-from repro.errors import MeasurementError
+from repro.core.streak import PairAlarmTracker
+from repro.errors import MeasurementError, StreamError
 
 __all__ = ["FailureDetector"]
 
 
-@dataclass
 class FailureDetector:
     """Debounces per-pair reachability into confirmed failures.
 
@@ -35,43 +42,39 @@ class FailureDetector:
         implicitly uses, since converged states never flap).
     """
 
-    confirmations: int = 3
-    _streaks: Dict[Pair, int] = field(default_factory=dict)
-    _alarmed: set = field(default_factory=set)
+    def __init__(self, confirmations: int = 3) -> None:
+        try:
+            self._tracker = PairAlarmTracker(
+                open_after=confirmations, close_after=1
+            )
+        except StreamError:
+            raise MeasurementError("confirmations must be at least 1") from None
+        self.confirmations = confirmations
 
-    def __post_init__(self) -> None:
-        if self.confirmations < 1:
-            raise MeasurementError("confirmations must be at least 1")
-
-    def observe_round(self, statuses: Iterable[Tuple[Pair, bool]]) -> FrozenSet[Pair]:
+    def observe_round(
+        self, statuses: Iterable[Tuple[Pair, bool]]
+    ) -> FrozenSet[Pair]:
         """Feed one measurement round; return pairs *newly* alarmed by it.
 
         ``statuses`` yields (pair, reached) for every probed pair of the
         round.
         """
-        newly = set()
+        before = set(self._tracker.alarmed_pairs())
         for pair, reached in statuses:
-            if reached:
-                self._streaks[pair] = 0
-                self._alarmed.discard(pair)
-                continue
-            streak = self._streaks.get(pair, 0) + 1
-            self._streaks[pair] = streak
-            if streak >= self.confirmations and pair not in self._alarmed:
-                self._alarmed.add(pair)
-                newly.add(pair)
-        return frozenset(newly)
+            self._tracker.observe(pair, reached)
+        return frozenset(set(self._tracker.alarmed_pairs()) - before)
 
     @property
     def alarmed_pairs(self) -> FrozenSet[Pair]:
         """Pairs currently in the alarmed state."""
-        return frozenset(self._alarmed)
+        return frozenset(self._tracker.alarmed_pairs())
 
     def should_invoke_troubleshooter(self) -> bool:
         """True when at least one pair has a confirmed unreachability."""
-        return bool(self._alarmed)
+        return bool(self._tracker.alarmed_pairs())
 
     def reset(self) -> None:
         """Forget all state (e.g. after the operator fixed the network)."""
-        self._streaks.clear()
-        self._alarmed.clear()
+        self._tracker = PairAlarmTracker(
+            open_after=self.confirmations, close_after=1
+        )

@@ -1,0 +1,83 @@
+"""Flight-recorder monitoring: long-horizon scenarios over the stream engine.
+
+The package splits cleanly along the observe/record/judge boundary:
+
+* :mod:`repro.monitor.scenario` — the knobs and the named catalog;
+* :mod:`repro.monitor.schedule` — seeded expansion into outage timelines;
+* :mod:`repro.monitor.runner` — driving the scenario through the
+  streaming engine (serial, sharded or supervised);
+* :mod:`repro.monitor.recorder` — bounded-retention health history,
+  bad intervals, per-AS-pair quality;
+* :mod:`repro.monitor.classify` — blocked-vs-failed disambiguation via
+  the ND-LG Looking Glass discipline, plus ground-truth scoring;
+* :mod:`repro.monitor.report` — the CLI rendering.
+"""
+
+from repro.monitor.classify import (
+    BLOCKED,
+    FAILED,
+    ClassifierScore,
+    DetectionStats,
+    MonitorLookingGlass,
+    assign_truth,
+    classify_intervals,
+    link_token,
+    pair_link_map,
+    path_tokens,
+    score_classifier,
+    score_detection,
+    suffix_link_map,
+)
+from repro.monitor.recorder import BadInterval, FlightRecorder, PairQuality
+from repro.monitor.report import render_monitor_report, render_monitor_timeline
+from repro.monitor.runner import (
+    MonitorRunResult,
+    baseline_paths,
+    make_monitor_setup,
+    run_monitor,
+)
+from repro.monitor.scenario import (
+    SCENARIOS,
+    MonitorConfig,
+    scenario,
+    scenario_names,
+)
+from repro.monitor.schedule import (
+    MonitorSchedule,
+    Outage,
+    build_schedule,
+    monitor_plan,
+)
+
+__all__ = [
+    "BLOCKED",
+    "FAILED",
+    "BadInterval",
+    "ClassifierScore",
+    "DetectionStats",
+    "FlightRecorder",
+    "MonitorConfig",
+    "MonitorLookingGlass",
+    "MonitorRunResult",
+    "MonitorSchedule",
+    "Outage",
+    "PairQuality",
+    "SCENARIOS",
+    "assign_truth",
+    "baseline_paths",
+    "build_schedule",
+    "classify_intervals",
+    "link_token",
+    "make_monitor_setup",
+    "monitor_plan",
+    "pair_link_map",
+    "path_tokens",
+    "render_monitor_report",
+    "render_monitor_timeline",
+    "run_monitor",
+    "scenario",
+    "scenario_names",
+    "score_classifier",
+    "score_detection",
+    "suffix_link_map",
+]

@@ -1,0 +1,377 @@
+"""Blocked-vs-failed disambiguation and ground-truth scoring.
+
+A monitored pair that stops answering has two very different stories
+behind it: the route is *gone* (link down, maintenance, SRLG failure)
+or the route is *fine* and an AS on it is silently dropping probe
+packets.  The ND-LG insight (§5 of the paper) is that Looking Glass
+servers disambiguate the two — an AS that blocks traceroute usually
+still answers LG queries, so a route that is visible via LG while
+end-to-end probes die means *blocked*, and a vanished route means
+*failed*.
+
+:class:`MonitorLookingGlass` is that control-plane oracle for a
+monitoring run.  It reuses the real machinery end to end — the
+converged RIB via :meth:`Simulator.routing
+<repro.netsim.simulator.Simulator.routing>`, prefix resolution via
+``mapper.prefix_containing`` and per-AS answers via
+:meth:`LookingGlassService.query
+<repro.netsim.lookingglass.LookingGlassService.query>` — and follows
+the :data:`~repro.core.nd_lg.LgLookup` calling convention with the
+logical tick standing in for the epoch.  Scheduled link outages make
+the route invisible (the query answers ``None``, indistinguishable
+from "no LG here", exactly as in ND-LG); AS-level probe blocking
+leaves the RIB untouched, so the LG keeps answering.
+
+Scoring is strictly separated: :func:`assign_truth` labels intervals
+from the seeded schedule (what *actually* happened),
+:func:`classify_intervals` fills verdicts using only what a real
+monitor could see (probe failures + LG answers), and
+:func:`score_classifier` / :func:`score_detection` compare the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.core.pathset import Pair, ProbePath
+from repro.monitor.recorder import BadInterval
+from repro.monitor.schedule import MonitorSchedule
+
+__all__ = [
+    "BLOCKED",
+    "FAILED",
+    "link_token",
+    "path_tokens",
+    "pair_link_map",
+    "suffix_link_map",
+    "MonitorLookingGlass",
+    "assign_truth",
+    "classify_intervals",
+    "ClassifierScore",
+    "score_classifier",
+    "DetectionStats",
+    "score_detection",
+]
+
+BLOCKED = "blocked"
+FAILED = "failed"
+
+
+def link_token(a: str, b: str) -> str:
+    """Canonical undirected token for the physical link between two hops.
+
+    Scheduled outages take physical links down, which kills *both*
+    directions of every traceroute crossing them — so the schedule, the
+    reachability model and the classifier all speak in one undirected
+    token per link.
+    """
+    lo, hi = sorted((a, b))
+    return f"{lo}<->{hi}"
+
+
+def path_tokens(path: ProbePath) -> Tuple[str, ...]:
+    """The undirected link tokens along a baseline path, in hop order."""
+    return tuple(
+        link_token(a, b)
+        for a, b in zip(path.hops, path.hops[1:])
+        if isinstance(a, str) and isinstance(b, str)
+    )
+
+
+def pair_link_map(paths: Dict[Pair, ProbePath]) -> Dict[Pair, FrozenSet[str]]:
+    """Pair -> the link tokens its baseline path crosses."""
+    return {pair: frozenset(path_tokens(path)) for pair, path in paths.items()}
+
+
+def suffix_link_map(
+    paths: Dict[Pair, ProbePath], asn_of: Callable[[str], Optional[int]]
+) -> Dict[Tuple[int, str], FrozenSet[str]]:
+    """``(asn, dst_address) -> links`` an LG answer from ``asn`` vouches for.
+
+    Destination-based forwarding means an AS's route to ``dst`` follows
+    the path suffix from that AS onwards; if any suffix link is down,
+    the route is gone from that AS's point of view.  Built once from
+    the baseline probe mesh.
+    """
+    suffixes: Dict[Tuple[int, str], FrozenSet[str]] = {}
+    for path in paths.values():
+        tokens = path_tokens(path)
+        for index, hop in enumerate(path.hops):
+            if not isinstance(hop, str):
+                continue
+            asn = asn_of(hop)
+            if asn is None:
+                continue
+            key = (asn, path.dst)
+            if key not in suffixes:
+                suffixes[key] = frozenset(tokens[index:])
+    return suffixes
+
+
+class MonitorLookingGlass:
+    """Per-tick LG answers for a scheduled monitoring run.
+
+    ``lookup(asn, dst_address, tick)`` follows the
+    :data:`~repro.core.nd_lg.LgLookup` convention (tick as epoch): the
+    AS path from the converged baseline RIB, or ``None`` when the AS
+    runs no LG *or* its route to the destination is gone — the two are
+    deliberately indistinguishable, as in ND-LG.  A blocked AS answers
+    normally: blocking drops probe packets, not BGP.
+    """
+
+    def __init__(
+        self,
+        lg_service,
+        sim,
+        base_state,
+        schedule: MonitorSchedule,
+        suffixes: Dict[Tuple[int, str], FrozenSet[str]],
+    ) -> None:
+        self._lg = lg_service
+        self._mapper = sim.mapper
+        self._routing = sim.routing(base_state)
+        self._schedule = schedule
+        self._suffixes = suffixes
+        self.queries = 0
+
+    def lookup(
+        self, asn: int, dst_address: str, tick: int
+    ) -> Optional[Tuple[int, ...]]:
+        self.queries += 1
+        suffix = self._suffixes.get((asn, dst_address), frozenset())
+        if suffix & self._schedule.down_links_at(tick):
+            return None
+        prefix = self._mapper.prefix_containing(dst_address)
+        return self._lg.query(asn, prefix, self._routing)
+
+
+def assign_truth(
+    intervals: Iterable[BadInterval],
+    schedule: MonitorSchedule,
+    pair_links: Dict[Pair, FrozenSet[str]],
+    asn_of: Callable[[str], Optional[int]],
+) -> None:
+    """Label each interval with what the schedule says really happened.
+
+    Evaluated at ``opened_at`` — the tick the confirming failure was
+    observed, so whatever caused that failure is active then.  Priority
+    mirrors the reachability model: a down path link fails the pair
+    regardless of blocking, so link outages outrank AS blocks; an
+    interval matching neither is measurement noise
+    (``truth_label="none"``).  Censored intervals are left unlabelled.
+    """
+    for interval in intervals:
+        if interval.censored:
+            continue
+        tick = interval.opened_at
+        links = pair_links.get(interval.pair, frozenset())
+        hit = links & schedule.down_links_at(tick)
+        if hit:
+            interval.truth_label = FAILED
+            interval.announced = bool(hit & schedule.announced_links_at(tick))
+            for outage in schedule.active_outages(tick):
+                if hit & set(outage.links):
+                    interval.truth_mode = outage.mode
+                    break
+        elif asn_of(interval.pair[1]) in schedule.blocked_asns_at(tick):
+            interval.truth_label = BLOCKED
+            interval.truth_mode = "as-block"
+        else:
+            interval.truth_label = "none"
+            interval.truth_mode = "probe-noise"
+
+
+def classify_intervals(
+    intervals: Iterable[BadInterval],
+    paths: Dict[Pair, ProbePath],
+    asn_of: Callable[[str], Optional[int]],
+    lg_service,
+    lookup: Callable[[int, str, int], Optional[Tuple[int, ...]]],
+) -> int:
+    """Fill each interval's blocked-vs-failed verdict from LG evidence.
+
+    The ND-LG discipline: walk the pair's baseline path and query the
+    *first* AS that operates a Looking Glass.  A route in the answer
+    while probes die means the packets are being dropped downstream —
+    **blocked**; no answer means the route is gone — **failed** (also
+    the conservative default when no path AS runs an LG at all).
+    Returns the number of intervals classified.
+    """
+    classified = 0
+    for interval in intervals:
+        if interval.censored:
+            continue
+        path = paths.get(interval.pair)
+        if path is None:
+            continue
+        verdict = FAILED
+        for hop in path.hops:
+            if not isinstance(hop, str):
+                continue
+            asn = asn_of(hop)
+            if asn is None or not lg_service.has_lg(asn):
+                continue
+            answer = lookup(asn, interval.pair[1], interval.opened_at)
+            verdict = BLOCKED if answer is not None else FAILED
+            break
+        interval.verdict = verdict
+        classified += 1
+    return classified
+
+
+@dataclass(frozen=True)
+class ClassifierScore:
+    """Confusion counts over intervals with real (blocked/failed) truth.
+
+    ``blocked`` is the positive class.  Empty denominators score 1.0 —
+    a scenario with nothing to classify has made no mistakes.
+    """
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def scored(self) -> int:
+        return self.tp + self.fp + self.fn + self.tn
+
+    @property
+    def precision_blocked(self) -> float:
+        return self.tp / (self.tp + self.fp) if (self.tp + self.fp) else 1.0
+
+    @property
+    def recall_blocked(self) -> float:
+        return self.tp / (self.tp + self.fn) if (self.tp + self.fn) else 1.0
+
+    @property
+    def precision_failed(self) -> float:
+        return self.tn / (self.tn + self.fn) if (self.tn + self.fn) else 1.0
+
+    @property
+    def recall_failed(self) -> float:
+        return self.tn / (self.tn + self.fp) if (self.tn + self.fp) else 1.0
+
+
+def score_classifier(intervals: Iterable[BadInterval]) -> ClassifierScore:
+    """Score verdicts against truth over genuinely-caused intervals.
+
+    Noise intervals (truth ``none``) are excluded here — they are false
+    *alarms*, accounted by :func:`score_detection`, not classification
+    errors: there is no right answer to "blocked or failed?" for an
+    outage that never happened.
+    """
+    tp = fp = fn = tn = 0
+    for interval in intervals:
+        if interval.censored or not interval.verdict:
+            continue
+        if interval.truth_label == BLOCKED:
+            if interval.verdict == BLOCKED:
+                tp += 1
+            else:
+                fn += 1
+        elif interval.truth_label == FAILED:
+            if interval.verdict == BLOCKED:
+                fp += 1
+            else:
+                tn += 1
+    return ClassifierScore(tp=tp, fp=fp, fn=fn, tn=tn)
+
+
+@dataclass(frozen=True)
+class DetectionStats:
+    """How fast and how honestly the recorder noticed scheduled trouble."""
+
+    outages_total: int
+    outages_detected: int
+    latencies: Tuple[int, ...]
+    false_alarms: int
+    intervals_scored: int
+
+    @property
+    def detected_fraction(self) -> float:
+        return (
+            self.outages_detected / self.outages_total
+            if self.outages_total
+            else 1.0
+        )
+
+    @property
+    def latency_mean(self) -> float:
+        return (
+            sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+        )
+
+    @property
+    def latency_p99(self) -> int:
+        if not self.latencies:
+            return 0
+        ordered = sorted(self.latencies)
+        return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+    @property
+    def false_alarm_rate(self) -> float:
+        return (
+            self.false_alarms / self.intervals_scored
+            if self.intervals_scored
+            else 0.0
+        )
+
+
+def score_detection(
+    schedule: MonitorSchedule,
+    intervals: Iterable[BadInterval],
+    pair_links: Dict[Pair, FrozenSet[str]],
+    asn_of: Callable[[str], Optional[int]],
+    open_after: int,
+) -> DetectionStats:
+    """Detection latency and false-alarm accounting against the schedule.
+
+    An outage is *detectable* when it hurts at least one monitored pair
+    and lasts at least ``open_after`` ticks (shorter ones cannot
+    legally confirm).  Its detection latency is the earliest interval
+    open among affected pairs within the outage, minus the outage
+    start.  A non-censored interval whose truth is ``none`` is a false
+    alarm — the rate the hysteresis is graded on under flapping noise.
+    """
+    interval_list = [i for i in intervals if not i.censored]
+    by_pair: Dict[Pair, List[BadInterval]] = {}
+    for interval in interval_list:
+        by_pair.setdefault(interval.pair, []).append(interval)
+
+    total = detected = 0
+    latencies: List[int] = []
+    for outage in schedule.outages:
+        if outage.mode == "sensor-churn" or outage.duration < open_after:
+            continue
+        if outage.mode == "as-block":
+            affected = [
+                pair for pair in pair_links if asn_of(pair[1]) == outage.asn
+            ]
+        else:
+            targets = set(outage.links)
+            affected = [
+                pair for pair, links in pair_links.items() if links & targets
+            ]
+        if not affected:
+            continue
+        total += 1
+        opened = [
+            interval.opened_at
+            for pair in affected
+            for interval in by_pair.get(pair, ())
+            if outage.start <= interval.opened_at <= outage.end
+        ]
+        if opened:
+            detected += 1
+            latencies.append(min(opened) - outage.start)
+
+    false_alarms = sum(1 for i in interval_list if i.truth_label == "none")
+    return DetectionStats(
+        outages_total=total,
+        outages_detected=detected,
+        latencies=tuple(latencies),
+        false_alarms=false_alarms,
+        intervals_scored=len(interval_list),
+    )

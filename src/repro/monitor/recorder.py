@@ -1,0 +1,274 @@
+"""The flight recorder: bounded history, bad intervals, quality scores.
+
+The streaming engine answers "*why* is this failing right now"; the
+flight recorder answers the questions an operator asks *afterwards*:
+when was each pair down, for how long, how often did it flap, and how
+healthy has each AS pair been over the whole run.
+
+It rides on the same consecutive-observation streak machine as the
+episode detector (:class:`~repro.core.streak.PairAlarmTracker`): a pair
+enters a :class:`BadInterval` after ``open_after`` consecutive failed
+liveness checks and leaves it after ``close_after`` consecutive
+successes, so probe noise is absorbed by hysteresis rather than
+post-hoc filtering.  A sensor that goes dark mid-interval **censors**
+the interval (closed, ``censored=True``): silence is not recovery and
+not failure, and censored intervals are excluded from false-alarm and
+classifier scoring.
+
+Retention is bounded by construction — per-pair raw observation
+history and the baseline log are ``deque(maxlen=...)`` ring buffers, so
+a month-long run holds the same memory as a ten-minute one.  The
+intervals themselves (the recorder's *product*, like the engine's
+episode reports) are kept in full.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.streak import Pair, PairAlarmTracker
+from repro.errors import MonitorError
+from repro.stream.episodes import DEFAULT_FLAP_WINDOW
+
+__all__ = ["BadInterval", "PairQuality", "FlightRecorder"]
+
+
+@dataclass
+class BadInterval:
+    """One contiguous stretch of confirmed unreachability for one pair.
+
+    ``opened_at`` is the tick the ``open_after``-th consecutive failure
+    landed; ``closed_at`` the tick the clearing success streak
+    completed (``None`` while still open at end of run).  The scorer
+    fills ``truth_mode``/``truth_label`` from the seeded schedule and
+    the classifier fills ``verdict`` — keeping ground truth, detection
+    and classification separable in tests.
+    """
+
+    pair: Pair
+    opened_at: int
+    closed_at: Optional[int] = None
+    censored: bool = False
+    truth_mode: str = ""
+    truth_label: str = ""
+    announced: bool = False
+    verdict: str = ""
+
+    @property
+    def is_open(self) -> bool:
+        return self.closed_at is None
+
+    def duration(self, now: int) -> int:
+        """Length in ticks (an open interval is measured up to ``now``)."""
+        end = self.closed_at if self.closed_at is not None else now
+        return max(1, end - self.opened_at + 1)
+
+
+@dataclass
+class PairQuality:
+    """Health of one AS pair over the whole run."""
+
+    src_asn: int
+    dst_asn: int
+    observations: int = 0
+    failures: int = 0
+    intervals: int = 0
+    bad_ticks: int = 0
+    worst_interval: int = 0
+    flaps: int = 0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of liveness checks that succeeded (1.0 if unobserved)."""
+        if not self.observations:
+            return 1.0
+        return 1.0 - self.failures / self.observations
+
+
+class FlightRecorder:
+    """Bounded-retention health recorder over a monitoring run.
+
+    Drive it like the detector: :meth:`observe` per liveness check,
+    :meth:`advance` once per tick after the tick's observations landed,
+    :meth:`forget` when a sensor drops out, :meth:`note_baseline` when
+    a baseline probe mesh refreshes.  Everything it keeps besides the
+    interval list lives in fixed-size ring buffers.
+    """
+
+    def __init__(
+        self,
+        open_after: int = 2,
+        close_after: int = 2,
+        retention: int = 256,
+        flap_window: int = DEFAULT_FLAP_WINDOW,
+    ) -> None:
+        if retention < 1:
+            raise MonitorError(f"retention must be >= 1, got {retention}")
+        if flap_window < 0:
+            raise MonitorError(f"flap_window must be >= 0, got {flap_window}")
+        self.retention = retention
+        self.flap_window = flap_window
+        self._tracker = PairAlarmTracker(open_after, close_after)
+        self._history: Dict[Pair, Deque[Tuple[int, bool]]] = {}
+        self._baselines: Deque[Tuple[int, int]] = deque(maxlen=retention)
+        self._open: Dict[Pair, BadInterval] = {}
+        self._last_closed: Dict[Pair, int] = {}
+        self._obs: Dict[Pair, List[int]] = {}
+        self.intervals: List[BadInterval] = []
+        self.flaps = 0
+        self.censored = 0
+        self.last_tick = 0
+
+    # ----------------------------------------------------------- ingestion
+
+    def observe(self, tick: int, pair: Pair, reached: bool) -> None:
+        """Fold one liveness check for ``pair`` at ``tick``."""
+        self.last_tick = max(self.last_tick, tick)
+        self._tracker.observe(pair, reached)
+        history = self._history.get(pair)
+        if history is None:
+            history = self._history[pair] = deque(maxlen=self.retention)
+        history.append((tick, reached))
+        counts = self._obs.setdefault(pair, [0, 0])
+        counts[0] += 1
+        if not reached:
+            counts[1] += 1
+
+    def advance(self, tick: int) -> None:
+        """Reconcile open intervals with the tracker's alarmed set."""
+        self.last_tick = max(self.last_tick, tick)
+        alarmed = set(self._tracker.alarmed_pairs())
+        for pair in sorted(alarmed - set(self._open)):
+            interval = BadInterval(pair=pair, opened_at=tick)
+            last = self._last_closed.get(pair)
+            if last is not None and tick - last <= self.flap_window:
+                self.flaps += 1
+            self._open[pair] = interval
+            self.intervals.append(interval)
+        for pair in sorted(set(self._open) - alarmed):
+            interval = self._open.pop(pair)
+            interval.closed_at = tick
+            self._last_closed[pair] = tick
+
+    def forget(self, tick: int, pair_member: str) -> None:
+        """A sensor went dark: censor its open intervals, drop its state.
+
+        Mirrors :meth:`PairAlarmTracker.forget` — silence must neither
+        hold an interval open forever nor count as recovery.
+        """
+        self.last_tick = max(self.last_tick, tick)
+        self._tracker.forget(pair_member)
+        for pair in sorted(p for p in self._open if pair_member in p):
+            interval = self._open.pop(pair)
+            interval.closed_at = tick
+            interval.censored = True
+            self.censored += 1
+            self._last_closed.pop(pair, None)
+
+    def note_baseline(self, tick: int, pairs: int) -> None:
+        """Record one baseline probe-mesh refresh (bounded log)."""
+        self.last_tick = max(self.last_tick, tick)
+        self._baselines.append((tick, pairs))
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def open_intervals(self) -> Tuple[BadInterval, ...]:
+        return tuple(self._open[pair] for pair in sorted(self._open))
+
+    @property
+    def baselines(self) -> Tuple[Tuple[int, int], ...]:
+        return tuple(self._baselines)
+
+    def history(self, pair: Pair) -> Tuple[Tuple[int, bool], ...]:
+        """The retained observation ring for one pair (newest last)."""
+        return tuple(self._history.get(pair, ()))
+
+    def timeline(self, ticks: int, buckets: int = 60) -> List[float]:
+        """Health per time bucket in ``[0, 1]`` (1.0 = no bad intervals).
+
+        Health of a bucket is the fraction of tracked pair-ticks *not*
+        covered by a (non-censored) bad interval — the at-a-glance
+        downtime strip of the monitor report.
+        """
+        if ticks < 1 or buckets < 1:
+            raise MonitorError("timeline needs ticks >= 1 and buckets >= 1")
+        buckets = min(buckets, ticks)
+        width = ticks / buckets
+        pairs = max(1, len(self._obs))
+        bad = [0.0] * buckets
+        for interval in self.intervals:
+            if interval.censored:
+                continue
+            end = interval.closed_at if interval.closed_at is not None else ticks - 1
+            for bucket in range(
+                int(interval.opened_at / width), min(int(end / width), buckets - 1) + 1
+            ):
+                lo = bucket * width
+                hi = min((bucket + 1) * width, ticks)
+                overlap = min(end + 1, hi) - max(interval.opened_at, lo)
+                if overlap > 0:
+                    bad[bucket] += overlap
+        return [
+            max(0.0, 1.0 - bad[bucket] / (width * pairs))
+            for bucket in range(buckets)
+        ]
+
+    def quality(self, asn_of: Callable[[str], int]) -> List[PairQuality]:
+        """Per-AS-pair quality rows, worst availability first."""
+        rows: Dict[Tuple[int, int], PairQuality] = {}
+
+        def row(pair: Pair) -> PairQuality:
+            key = (asn_of(pair[0]), asn_of(pair[1]))
+            entry = rows.get(key)
+            if entry is None:
+                entry = rows[key] = PairQuality(src_asn=key[0], dst_asn=key[1])
+            return entry
+
+        for pair, (observations, failures) in self._obs.items():
+            entry = row(pair)
+            entry.observations += observations
+            entry.failures += failures
+        for interval in self.intervals:
+            if interval.censored:
+                continue
+            entry = row(interval.pair)
+            entry.intervals += 1
+            duration = interval.duration(self.last_tick)
+            entry.bad_ticks += duration
+            entry.worst_interval = max(entry.worst_interval, duration)
+        # Apportion flaps per AS pair by re-deriving them from intervals.
+        flap_rows: Dict[Tuple[int, int], int] = {}
+        seen_close: Dict[Pair, int] = {}
+        for interval in sorted(
+            self.intervals, key=lambda i: (i.opened_at, i.pair)
+        ):
+            last = seen_close.get(interval.pair)
+            if (
+                last is not None
+                and interval.opened_at - last <= self.flap_window
+            ):
+                key = (asn_of(interval.pair[0]), asn_of(interval.pair[1]))
+                flap_rows[key] = flap_rows.get(key, 0) + 1
+            if interval.closed_at is not None and not interval.censored:
+                seen_close[interval.pair] = interval.closed_at
+        for key, flaps in flap_rows.items():
+            if key in rows:
+                rows[key].flaps = flaps
+        return sorted(
+            rows.values(),
+            key=lambda q: (q.availability, -q.bad_ticks, q.src_asn, q.dst_asn),
+        )
+
+    def counters(self) -> Dict[str, int]:
+        """Recorder accounting for the monitor report."""
+        return {
+            "pairs_tracked": self._tracker.pairs_tracked(),
+            "intervals_total": len(self.intervals),
+            "intervals_open": len(self._open),
+            "intervals_censored": self.censored,
+            "flaps": self.flaps,
+            "baselines_kept": len(self._baselines),
+        }

@@ -1,0 +1,294 @@
+"""Long-horizon monitoring scenarios: the knobs and the catalog.
+
+Every workload the streaming engine replayed before this package was a
+short, single-incident episode.  A real deployment watches the network
+for weeks and sees an entirely different texture of trouble: links that
+flap with heavy dwell-time tails, shared-risk groups that fail as a
+unit, maintenance windows that roll through announced or not, probe
+volume that breathes with the time of day, sensors that come and go,
+and ASes that silently drop probe packets while their Looking Glass
+keeps answering.  A :class:`MonitorConfig` names the rates and dwell
+times of each of those behaviours; :data:`SCENARIOS` is the curated
+catalog the CLI, the tests and the CI smoke lane all replay.
+
+Scenario *decisions* never happen here — :mod:`repro.monitor.schedule`
+routes every one of them through the generic seeded-hash seam of
+:class:`~repro.faults.FaultPlan` (:meth:`~repro.faults.FaultPlan.fires`
+/ :meth:`~repro.faults.FaultPlan.dwell_ticks` /
+:meth:`~repro.faults.FaultPlan.pick`), so a scenario is a pure function
+of ``(seed, config)`` and replays bit-for-bit serial, sharded, or
+resumed mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from repro.errors import MonitorError
+
+__all__ = ["MonitorConfig", "SCENARIOS", "scenario", "scenario_names"]
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """The knobs of one long-horizon monitoring scenario.
+
+    All rates are per-candidate per-tick probabilities in ``[0, 1]``;
+    all dwells are geometric means in ticks (capped at ``dwell_cap`` so
+    one unlucky draw cannot freeze a whole scenario).  A zero rate (or
+    a zero count) disables its behaviour entirely, so the default
+    instance is a quiet network.
+
+    Attributes
+    ----------
+    name:
+        Catalog name, echoed in reports and artifact keys.
+    ticks:
+        Scenario length on the logical clock.
+    flap_rate / flap_dwell / flap_links:
+        Independent link flapping: each of ``flap_links`` seeded
+        candidate links starts an outage at ``flap_rate`` per tick and
+        stays down for a geometric dwell of mean ``flap_dwell``.
+    srlg_rate / srlg_groups / srlg_size / srlg_dwell:
+        Correlated failures: ``srlg_groups`` disjoint shared-risk link
+        groups of ``srlg_size`` links each fail *as a unit*.
+    maintenance_every / maintenance_duration / maintenance_links /
+    maintenance_announced:
+        Rolling maintenance: every ``maintenance_every`` ticks (at a
+        seeded phase) a window of ``maintenance_duration`` ticks takes
+        ``maintenance_links`` links down; each window is announced with
+        probability ``maintenance_announced`` (announced downtime is
+        expected downtime — it never counts as a false alarm).
+    diurnal_period / diurnal_floor:
+        Diurnal probe intensity: per-pair liveness checks thin to
+        ``diurnal_floor`` of full volume at night over a cosine day of
+        ``diurnal_period`` ticks (0 = constant full volume).
+    churn_rate / churn_dwell:
+        Sensor churn: each sensor goes dark at ``churn_rate`` per tick
+        for a geometric dwell, with dropout/heartbeat events emitted at
+        the edges.
+    block_rate / block_dwell / block_ases:
+        AS-level probe blocking: each of ``block_ases`` seeded
+        destination ASes starts dropping probe packets at
+        ``block_rate`` per tick — while its Looking Glass keeps
+        answering, which is exactly what the blocked-vs-failed
+        classifier (:mod:`repro.monitor.classify`) keys on.
+    noise_rate:
+        Measurement noise: a healthy liveness check is reported failed
+        with this per-observation probability (the false-alarm fuel the
+        detection hysteresis has to absorb).
+    baseline_every:
+        Emit a full ``pre``-epoch probe mesh every this many ticks (the
+        flight recorder's bounded baseline history; 0 = never).
+    dwell_cap:
+        Hard cap on every dwell draw, in ticks.
+    open_after / close_after:
+        Bad-interval hysteresis of the flight recorder (same semantics
+        as the stream episode detector's debounce).
+    """
+
+    name: str = "custom"
+    ticks: int = 2000
+    flap_rate: float = 0.0
+    flap_dwell: float = 4.0
+    flap_links: int = 2
+    srlg_rate: float = 0.0
+    srlg_groups: int = 0
+    srlg_size: int = 2
+    srlg_dwell: float = 6.0
+    maintenance_every: int = 0
+    maintenance_duration: int = 0
+    maintenance_links: int = 1
+    maintenance_announced: float = 0.5
+    diurnal_period: int = 0
+    diurnal_floor: float = 1.0
+    churn_rate: float = 0.0
+    churn_dwell: float = 8.0
+    block_rate: float = 0.0
+    block_dwell: float = 12.0
+    block_ases: int = 1
+    noise_rate: float = 0.0
+    baseline_every: int = 50
+    dwell_cap: int = 64
+    open_after: int = 2
+    close_after: int = 2
+
+    def __post_init__(self) -> None:
+        if self.ticks < 1:
+            raise MonitorError(f"a scenario needs >= 1 tick, got {self.ticks}")
+        for rate_name in (
+            "flap_rate",
+            "srlg_rate",
+            "maintenance_announced",
+            "churn_rate",
+            "block_rate",
+            "noise_rate",
+            "diurnal_floor",
+        ):
+            value = getattr(self, rate_name)
+            if not 0.0 <= value <= 1.0:
+                raise MonitorError(
+                    f"{rate_name} must be a probability in [0, 1], got {value}"
+                )
+        for dwell_name in ("flap_dwell", "srlg_dwell", "churn_dwell", "block_dwell"):
+            value = getattr(self, dwell_name)
+            if value < 1.0:
+                raise MonitorError(
+                    f"{dwell_name} must be >= 1 tick, got {value}"
+                )
+        for count_name in (
+            "flap_links",
+            "srlg_groups",
+            "srlg_size",
+            "maintenance_links",
+            "block_ases",
+        ):
+            if getattr(self, count_name) < 0:
+                raise MonitorError(
+                    f"{count_name} must be >= 0, got {getattr(self, count_name)}"
+                )
+        if self.srlg_size < 1:
+            raise MonitorError(f"srlg_size must be >= 1, got {self.srlg_size}")
+        if self.maintenance_every < 0 or self.maintenance_duration < 0:
+            raise MonitorError(
+                "maintenance_every and maintenance_duration must be >= 0"
+            )
+        if self.maintenance_every and not self.maintenance_duration:
+            raise MonitorError(
+                "maintenance_every without maintenance_duration schedules "
+                "zero-length windows; set both or neither"
+            )
+        if self.diurnal_period < 0:
+            raise MonitorError(
+                f"diurnal_period must be >= 0, got {self.diurnal_period}"
+            )
+        if self.dwell_cap < 1:
+            raise MonitorError(f"dwell_cap must be >= 1, got {self.dwell_cap}")
+        if self.baseline_every < 0:
+            raise MonitorError(
+                f"baseline_every must be >= 0, got {self.baseline_every}"
+            )
+        if self.open_after < 1 or self.close_after < 1:
+            raise MonitorError(
+                "bad-interval hysteresis thresholds must be >= 1 "
+                f"(open_after={self.open_after}, close_after={self.close_after})"
+            )
+
+    def intensity(self, tick: int) -> float:
+        """Probe intensity in ``[diurnal_floor, 1]`` at ``tick``.
+
+        A cosine day: full volume at midday (``tick % period ==
+        period/2``), ``diurnal_floor`` at midnight.  Pure float math on
+        the logical clock — identical on every host.
+        """
+        if self.diurnal_period <= 0:
+            return 1.0
+        import math
+
+        phase = (tick % self.diurnal_period) / self.diurnal_period
+        daylight = 0.5 - 0.5 * math.cos(2.0 * math.pi * phase)
+        return self.diurnal_floor + (1.0 - self.diurnal_floor) * daylight
+
+
+#: The scenario catalog: every entry is a permanent, CI-smokeable
+#: workload.  Knobs are tuned for the default deployment (6 sensors on
+#: the 6x40 research internet) so each scenario exhibits its named
+#: behaviour within ~2k ticks without drowning the others out.
+SCENARIOS: Dict[str, MonitorConfig] = {
+    config.name: config
+    for config in (
+        # Control: a quiet network.  Any bad interval here is a bug.
+        MonitorConfig(name="steady"),
+        # Independent link flapping with heavy churn.
+        MonitorConfig(
+            name="flaky-core",
+            flap_rate=0.008,
+            flap_dwell=6.0,
+            flap_links=3,
+        ),
+        # Correlated multi-link failures via shared-risk link groups.
+        MonitorConfig(
+            name="srlg-storm",
+            srlg_rate=0.004,
+            srlg_groups=2,
+            srlg_size=3,
+            srlg_dwell=8.0,
+        ),
+        # Rolling maintenance windows, half of them unannounced.
+        MonitorConfig(
+            name="maintenance-week",
+            maintenance_every=400,
+            maintenance_duration=36,
+            maintenance_links=2,
+            maintenance_announced=0.5,
+        ),
+        # Diurnal probe volume plus measurement noise: the hysteresis
+        # has to absorb single-observation lies at night-time volumes.
+        MonitorConfig(
+            name="diurnal-noise",
+            diurnal_period=288,
+            diurnal_floor=0.3,
+            noise_rate=0.02,
+        ),
+        # Sensors coming and going mid-run.
+        MonitorConfig(
+            name="sensor-churn",
+            churn_rate=0.002,
+            churn_dwell=16.0,
+        ),
+        # ASes that drop probe packets but still answer their LG.
+        MonitorConfig(
+            name="blocked-as",
+            block_rate=0.003,
+            block_dwell=24.0,
+            block_ases=2,
+        ),
+        # Everything at once, at operational (moderate) rates.
+        MonitorConfig(
+            name="mixed-ops",
+            flap_rate=0.004,
+            flap_dwell=6.0,
+            flap_links=2,
+            srlg_rate=0.002,
+            srlg_groups=1,
+            srlg_size=2,
+            srlg_dwell=8.0,
+            maintenance_every=600,
+            maintenance_duration=30,
+            maintenance_links=1,
+            diurnal_period=288,
+            diurnal_floor=0.5,
+            churn_rate=0.001,
+            churn_dwell=12.0,
+            block_rate=0.002,
+            block_dwell=20.0,
+            block_ases=1,
+            noise_rate=0.01,
+        ),
+    )
+}
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """Catalog names in a stable order (for ``--list-scenarios``)."""
+    return tuple(SCENARIOS)
+
+
+def scenario(name: str, ticks: int = 0) -> MonitorConfig:
+    """Look up a catalog scenario, optionally re-scaled to ``ticks``.
+
+    Re-scaling only changes the run length — rates and dwells are
+    per-tick, so a shortened scenario is a prefix in distribution (and,
+    because every decision is keyed on absolute tick, a shortened run's
+    schedule is bit-identical to the same prefix of the full run).
+    """
+    try:
+        config = SCENARIOS[name]
+    except KeyError:
+        raise MonitorError(
+            f"unknown scenario {name!r}; catalog: {', '.join(SCENARIOS)}"
+        ) from None
+    if ticks and ticks != config.ticks:
+        config = replace(config, ticks=ticks)
+    return config

@@ -1,0 +1,332 @@
+"""Seeded outage schedules: turning scenario knobs into a timeline.
+
+:func:`build_schedule` expands a :class:`~repro.monitor.scenario.MonitorConfig`
+into a concrete :class:`MonitorSchedule` — the full list of
+:class:`Outage` records (which links are down, which ASes drop probes,
+which sensors are dark, when, and for how long) plus per-tick lookups
+the runner, the ground-truth scorer and the blocked-vs-failed
+classifier all consult.
+
+Every decision goes through the generic seeded-hash seam of
+:class:`~repro.faults.FaultPlan`, keyed on ``(mode, target, tick)``:
+
+* whether link ``L`` starts flapping at tick ``t`` —
+  ``plan.fires(rate, "monitor-flap", L, t)``;
+* how long it stays down — ``plan.dwell_ticks(...)`` on the same key;
+* which links are flappable at all — ``plan.pick(...)`` over the sorted
+  candidate pool.
+
+Because each answer is a pure function of ``(seed, key)`` — never of
+call order, wall clock, or process layout — the same ``(seed, config)``
+yields the same schedule in a serial run, a sharded run, a worker-pool
+run, and a journalled resume, bit for bit.  While a link is already
+down its start-decision is simply not consulted (a down link cannot
+re-fail), so each target's timeline is a deterministic chain of
+independent draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.errors import MonitorError
+from repro.faults.plan import FaultConfig, FaultPlan
+from repro.monitor.scenario import MonitorConfig
+
+__all__ = ["Outage", "MonitorSchedule", "monitor_plan", "build_schedule"]
+
+
+def monitor_plan(config: MonitorConfig, seed: int) -> FaultPlan:
+    """The one seeded plan every decision of a scenario run flows through.
+
+    Scoped by scenario name so ``steady`` and ``flaky-core`` under the
+    same seed draw from unrelated decision spaces.  The schedule builder
+    and the runner's per-observation draws (diurnal thinning, probe
+    noise) must use this same plan — that shared scope is what makes a
+    run a pure function of ``(seed, config)``.
+    """
+    return FaultPlan(f"{seed}/monitor/{config.name}", FaultConfig())
+
+
+@dataclass(frozen=True)
+class Outage:
+    """One contiguous scheduled trouble interval, ``[start, end]`` inclusive.
+
+    Exactly one of the target fields is populated, according to
+    ``mode``: ``links`` for ``link-flap`` / ``srlg-failure`` /
+    ``maintenance`` (an SRLG or maintenance window takes several links
+    down as one record), ``asn`` for ``as-block``, ``sensor`` for
+    ``sensor-churn``.  ``announced`` marks maintenance the operator was
+    warned about — expected downtime, never a false alarm.
+    """
+
+    mode: str
+    start: int
+    end: int
+    links: Tuple[str, ...] = ()
+    asn: int = 0
+    sensor: str = ""
+    announced: bool = False
+    group: str = ""
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start + 1
+
+    def active_at(self, tick: int) -> bool:
+        return self.start <= tick <= self.end
+
+
+@dataclass
+class MonitorSchedule:
+    """The expanded timeline of one scenario run.
+
+    ``outages`` is the complete, chronologically useful record (the
+    seeded ground truth the classifier is scored against); the
+    ``*_at(tick)`` lookups answer the per-tick questions the runner
+    asks while replaying.
+    """
+
+    config: MonitorConfig
+    seed: int
+    link_candidates: Tuple[str, ...]
+    flap_links: Tuple[str, ...]
+    srlg_groups: Tuple[Tuple[str, ...], ...]
+    blockable_asns: Tuple[int, ...]
+    sensors: Tuple[str, ...]
+    outages: Tuple[Outage, ...]
+    _active: Dict[int, Tuple[int, ...]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        active: Dict[int, List[int]] = {}
+        for index, outage in enumerate(self.outages):
+            for tick in range(outage.start, outage.end + 1):
+                active.setdefault(tick, []).append(index)
+        self._active = {tick: tuple(ids) for tick, ids in active.items()}
+
+    def active_outages(self, tick: int) -> Tuple[Outage, ...]:
+        return tuple(self.outages[i] for i in self._active.get(tick, ()))
+
+    def down_links_at(self, tick: int) -> FrozenSet[str]:
+        """Every link scheduled down at ``tick`` (flap + SRLG + maintenance)."""
+        down: set = set()
+        for outage in self.active_outages(tick):
+            down.update(outage.links)
+        return frozenset(down)
+
+    def blocked_asns_at(self, tick: int) -> FrozenSet[int]:
+        """ASes dropping probe packets at ``tick`` (LGs still answer)."""
+        return frozenset(
+            outage.asn
+            for outage in self.active_outages(tick)
+            if outage.mode == "as-block"
+        )
+
+    def dark_sensors_at(self, tick: int) -> FrozenSet[str]:
+        """Sensor addresses that are offline at ``tick``."""
+        return frozenset(
+            outage.sensor
+            for outage in self.active_outages(tick)
+            if outage.mode == "sensor-churn"
+        )
+
+    def announced_links_at(self, tick: int) -> FrozenSet[str]:
+        """Links down under *announced* maintenance at ``tick``."""
+        announced: set = set()
+        for outage in self.active_outages(tick):
+            if outage.mode == "maintenance" and outage.announced:
+                announced.update(outage.links)
+        return frozenset(announced)
+
+    def counters(self) -> Dict[str, int]:
+        """Schedule accounting for the monitor report."""
+        by_mode: Dict[str, int] = {}
+        downtime = 0
+        for outage in self.outages:
+            by_mode[outage.mode] = by_mode.get(outage.mode, 0) + 1
+            downtime += outage.duration
+        counts: Dict[str, int] = {"outages_total": len(self.outages)}
+        for mode in sorted(by_mode):
+            counts[f"outages_{mode}"] = by_mode[mode]
+        counts["downtime_ticks"] = downtime
+        return counts
+
+
+def _dwell_timeline(
+    plan: FaultPlan,
+    config: MonitorConfig,
+    rate: float,
+    dwell_mean: float,
+    kind: str,
+    target: object,
+) -> List[Tuple[int, int]]:
+    """``(start, end)`` intervals for one target's fire-then-dwell chain.
+
+    Consulted only at ticks where the target is up: once an outage
+    starts, the clock jumps past its dwell (a down target cannot fail
+    again), then per-tick draws resume on absolute-tick keys.
+    """
+    intervals: List[Tuple[int, int]] = []
+    tick = 0
+    while tick < config.ticks:
+        if plan.fires(rate, kind, target, tick):
+            dwell = plan.dwell_ticks(
+                dwell_mean, config.dwell_cap, f"{kind}-dwell", target, tick
+            )
+            end = min(tick + dwell - 1, config.ticks - 1)
+            intervals.append((tick, end))
+            tick = end + 1
+        else:
+            tick += 1
+    return intervals
+
+
+def build_schedule(
+    config: MonitorConfig,
+    seed: int,
+    link_candidates: Sequence[str],
+    sensors: Sequence[str],
+    dst_asns: Sequence[int],
+) -> MonitorSchedule:
+    """Expand ``config`` into the full seeded outage timeline.
+
+    ``link_candidates`` is the pool of flappable links (the runner
+    passes the union of baseline pair-path links, so every scheduled
+    outage is guaranteed to hurt someone); ``sensors`` the churnable
+    sensor addresses; ``dst_asns`` the ASes eligible for probe
+    blocking (sensor-hosting ASes, excluding any protected vantage).
+    """
+    plan = monitor_plan(config, seed)
+    candidates = tuple(sorted(set(link_candidates)))
+    outages: List[Outage] = []
+
+    # Link flapping: independent per-link fire/dwell chains.
+    flap_links: Tuple[str, ...] = ()
+    if config.flap_rate > 0.0 and config.flap_links > 0:
+        if config.flap_links > len(candidates):
+            raise MonitorError(
+                f"scenario {config.name!r} wants {config.flap_links} flappable "
+                f"links but only {len(candidates)} candidates exist"
+            )
+        flap_links = tuple(
+            plan.pick(candidates, config.flap_links, "monitor-flap-links")
+        )
+        for link in flap_links:
+            for start, end in _dwell_timeline(
+                plan, config, config.flap_rate, config.flap_dwell,
+                "monitor-flap", link,
+            ):
+                outages.append(
+                    Outage("link-flap", start, end, links=(link,))
+                )
+
+    # Shared-risk link groups: disjoint groups failing as a unit.
+    srlg_groups: Tuple[Tuple[str, ...], ...] = ()
+    if config.srlg_rate > 0.0 and config.srlg_groups > 0:
+        remaining = [link for link in candidates if link not in set(flap_links)]
+        need = config.srlg_groups * config.srlg_size
+        if need > len(remaining):
+            raise MonitorError(
+                f"scenario {config.name!r} wants {config.srlg_groups} SRLGs of "
+                f"{config.srlg_size} links but only {len(remaining)} candidate "
+                "links remain after flap assignment"
+            )
+        groups: List[Tuple[str, ...]] = []
+        for group_index in range(config.srlg_groups):
+            members = tuple(
+                plan.pick(
+                    remaining, config.srlg_size, "monitor-srlg-members",
+                    group_index,
+                )
+            )
+            remaining = [link for link in remaining if link not in set(members)]
+            groups.append(tuple(sorted(members)))
+        srlg_groups = tuple(groups)
+        for group_index, members in enumerate(srlg_groups):
+            for start, end in _dwell_timeline(
+                plan, config, config.srlg_rate, config.srlg_dwell,
+                "monitor-srlg", group_index,
+            ):
+                outages.append(
+                    Outage(
+                        "srlg-failure", start, end, links=members,
+                        group=f"srlg-{group_index}",
+                    )
+                )
+
+    # Rolling maintenance: periodic windows at a seeded phase.
+    if config.maintenance_every > 0 and config.maintenance_duration > 0:
+        if config.maintenance_links > len(candidates):
+            raise MonitorError(
+                f"scenario {config.name!r} wants {config.maintenance_links} "
+                f"links per maintenance window but only {len(candidates)} "
+                "candidates exist"
+            )
+        phase = plan.pick(
+            range(config.maintenance_every), 1, "monitor-maintenance-phase"
+        )[0]
+        window = 0
+        start = phase
+        while start < config.ticks:
+            links = tuple(
+                sorted(
+                    plan.pick(
+                        candidates, config.maintenance_links,
+                        "monitor-maintenance-links", window,
+                    )
+                )
+            )
+            announced = plan.fires(
+                config.maintenance_announced,
+                "monitor-maintenance-announced", window,
+            )
+            end = min(start + config.maintenance_duration - 1, config.ticks - 1)
+            outages.append(
+                Outage(
+                    "maintenance", start, end, links=links,
+                    announced=announced, group=f"mw-{window}",
+                )
+            )
+            window += 1
+            start = phase + window * config.maintenance_every
+
+    # AS-level probe blocking: the AS drops probe packets, its LG answers.
+    blockable: Tuple[int, ...] = ()
+    if config.block_rate > 0.0 and config.block_ases > 0:
+        pool = tuple(sorted(set(dst_asns)))
+        if not pool:
+            raise MonitorError(
+                f"scenario {config.name!r} enables AS blocking but no "
+                "blockable destination ASes were supplied"
+            )
+        blockable = tuple(
+            plan.pick(pool, min(config.block_ases, len(pool)), "monitor-block-ases")
+        )
+        for asn in blockable:
+            for start, end in _dwell_timeline(
+                plan, config, config.block_rate, config.block_dwell,
+                "monitor-block", asn,
+            ):
+                outages.append(Outage("as-block", start, end, asn=asn))
+
+    # Sensor churn: vantage points going dark and returning.
+    if config.churn_rate > 0.0:
+        for sensor in sorted(set(sensors)):
+            for start, end in _dwell_timeline(
+                plan, config, config.churn_rate, config.churn_dwell,
+                "monitor-churn", sensor,
+            ):
+                outages.append(Outage("sensor-churn", start, end, sensor=sensor))
+
+    outages.sort(key=lambda o: (o.start, o.end, o.mode, o.links, o.asn, o.sensor))
+    return MonitorSchedule(
+        config=config,
+        seed=seed,
+        link_candidates=candidates,
+        flap_links=flap_links,
+        srlg_groups=srlg_groups,
+        blockable_asns=blockable,
+        sensors=tuple(sorted(set(sensors))),
+        outages=tuple(outages),
+    )

@@ -21,11 +21,20 @@ partition one and keep the other global:
 
 * :class:`PairAlarmTracker` holds the per-pair debounce state.  Pairs
   partition cleanly across shards (each pair's counters depend only on
-  that pair's own observations), so each shard owns one tracker.
+  that pair's own observations), so each shard owns one tracker.  The
+  implementation lives in :mod:`repro.core.streak` — it is the same
+  streak machine the batch
+  :class:`~repro.measurement.detection.FailureDetector` runs at
+  ``close_after=1`` (batch rounds are converged snapshots, so a single
+  good round proves recovery; live streams keep the hysteresis) — and
+  is re-exported here under its historical name.
 * :class:`EpisodeLifecycle` holds the open/update/close state machine.
   Episode identity is global — a failure whose suspect links span
   shards is still *one* episode — so the cross-shard merger owns
-  exactly one lifecycle and feeds it the union of shard alarms.
+  exactly one lifecycle and feeds it the union of shard alarms.  It
+  also accounts **flaps**: episodes that reopen within ``flap_window``
+  ticks of the previous close, the churn signature hysteresis alone
+  cannot surface.
 
 :class:`EpisodeDetector` composes the two and remains the single-shard
 surface.
@@ -36,12 +45,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.core.streak import Pair, PairAlarmTracker
 from repro.errors import StreamError
 
 __all__ = [
     "OPEN",
     "UPDATE",
     "CLOSE",
+    "DEFAULT_FLAP_WINDOW",
     "Episode",
     "EpisodeTransition",
     "PairAlarmTracker",
@@ -49,7 +60,9 @@ __all__ = [
     "EpisodeDetector",
 ]
 
-Pair = Tuple[str, str]
+#: An episode reopening within this many ticks of the previous close
+#: counts as a flap (the default for :class:`EpisodeLifecycle`).
+DEFAULT_FLAP_WINDOW = 4
 
 OPEN = "open"
 UPDATE = "update"
@@ -90,106 +103,32 @@ class Episode:
         return self.closed_at is None
 
 
-class _PairAlarm:
-    """Debounce/hysteresis state for one probe pair."""
-
-    __slots__ = ("fails", "successes", "alarmed")
-
-    def __init__(self) -> None:
-        self.fails = 0
-        self.successes = 0
-        self.alarmed = False
-
-
-class PairAlarmTracker:
-    """The shardable half of the detector: per-pair debounce state.
-
-    A pair's alarm depends only on its own observation sequence, so any
-    partition of pairs across trackers yields, pair for pair, the same
-    alarms the single tracker would — which is the keystone of the
-    sharded engine's bit-identical replay guarantee.
-    """
-
-    def __init__(self, open_after: int = 2, close_after: int = 2) -> None:
-        if open_after < 1 or close_after < 1:
-            raise StreamError(
-                "episode debounce thresholds must be >= 1 "
-                f"(open_after={open_after}, close_after={close_after})"
-            )
-        self.open_after = open_after
-        self.close_after = close_after
-        self._alarms: Dict[Pair, _PairAlarm] = {}
-        self.observations = 0
-
-    def observe(self, pair: Pair, reached: bool) -> None:
-        """Fold one reachability observation (probe or ping) for a pair."""
-        self.observations += 1
-        alarm = self._alarms.setdefault(pair, _PairAlarm())
-        if reached:
-            alarm.successes += 1
-            alarm.fails = 0
-            if alarm.alarmed and alarm.successes >= self.close_after:
-                alarm.alarmed = False
-        else:
-            alarm.fails += 1
-            alarm.successes = 0
-            if alarm.fails >= self.open_after:
-                alarm.alarmed = True
-
-    def forget(self, pair_member: str) -> None:
-        """Drop alarm state for every pair touching a dark sensor.
-
-        A sensor that stopped reporting is not *failing* — its silence
-        must not keep an episode open forever.
-        """
-        for pair in [p for p in self._alarms if pair_member in p]:
-            del self._alarms[pair]
-
-    def alarmed_pairs(self) -> Tuple[Pair, ...]:
-        return tuple(
-            sorted(pair for pair, alarm in self._alarms.items() if alarm.alarmed)
-        )
-
-    def pairs_tracked(self) -> int:
-        return len(self._alarms)
-
-    # -------------------------------------------------------- checkpointing
-
-    def state(self) -> Dict[str, object]:
-        """A picklable snapshot of the debounce state for checkpoints."""
-        return {
-            "alarms": [
-                (pair, alarm.fails, alarm.successes, alarm.alarmed)
-                for pair, alarm in sorted(self._alarms.items())
-            ],
-            "observations": self.observations,
-        }
-
-    def restore_state(self, state: Dict[str, object]) -> None:
-        """Rebuild the tracker from a :meth:`state` snapshot."""
-        self._alarms = {}
-        for pair, fails, successes, alarmed in state["alarms"]:
-            alarm = _PairAlarm()
-            alarm.fails = fails
-            alarm.successes = successes
-            alarm.alarmed = alarmed
-            self._alarms[pair] = alarm
-        self.observations = state["observations"]
-
-
 class EpisodeLifecycle:
     """The global half of the detector: the open/update/close machine.
 
     Owns episode identity (ids, the open episode, history).  Feed it the
     complete alarmed set each tick — whether from one tracker or the
     union of many shards' trackers — and it emits the transitions.
+
+    An open arriving within ``flap_window`` ticks of the previous close
+    is counted as a **flap**: the pair-level hysteresis absorbs probe
+    jitter, but a genuinely flapping link reopens episodes faster than
+    any sane ``close_after`` can suppress, and operators need that
+    churn visible (``flaps`` in :meth:`counters`).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, flap_window: int = DEFAULT_FLAP_WINDOW) -> None:
+        if flap_window < 0:
+            raise StreamError(
+                f"flap_window must be >= 0, got {flap_window}"
+            )
+        self.flap_window = flap_window
         self._episode: Optional[Episode] = None
         self._next_id = 0
+        self._last_closed_at: Optional[int] = None
         self.episodes: List[Episode] = []
         self.transitions_emitted = 0
+        self.flaps = 0
 
     @property
     def open_episode(self) -> Optional[Episode]:
@@ -213,6 +152,11 @@ class EpisodeLifecycle:
                 self._next_id += 1
                 self._episode = episode
                 self.episodes.append(episode)
+                if (
+                    self._last_closed_at is not None
+                    and tick - self._last_closed_at <= self.flap_window
+                ):
+                    self.flaps += 1
                 transitions.append(
                     EpisodeTransition(OPEN, episode.episode_id, tick, alarmed)
                 )
@@ -220,6 +164,7 @@ class EpisodeLifecycle:
             episode.closed_at = tick
             episode.active_pairs = ()
             self._episode = None
+            self._last_closed_at = tick
             transitions.append(
                 EpisodeTransition(CLOSE, episode.episode_id, tick, ())
             )
@@ -237,6 +182,7 @@ class EpisodeLifecycle:
             "episodes_total": len(self.episodes),
             "episodes_open": 1 if self._episode is not None else 0,
             "transitions": self.transitions_emitted,
+            "flaps": self.flaps,
         }
 
 

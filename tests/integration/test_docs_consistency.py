@@ -22,8 +22,8 @@ class TestApiDocMatchesCode:
     @pytest.mark.parametrize(
         "module_name",
         ["repro", "repro.core", "repro.netsim", "repro.measurement",
-         "repro.experiments", "repro.faults", "repro.serialize",
-         "repro.stream", "repro.validate"],
+         "repro.experiments", "repro.faults", "repro.monitor",
+         "repro.serialize", "repro.stream", "repro.validate"],
     )
     def test_documented_names_exist(self, module_name):
         """Every `backticked` identifier under a module's section of
@@ -116,4 +116,5 @@ class TestReadmeCommandsAreReal:
                 assert flags <= known, f"README documents unknown flag in: {line}"
             else:
                 assert argv[0] in {"topology", "diagnose", "replay",
-                                   "scaling", "degradation", "stream"}, line
+                                   "scaling", "degradation", "stream",
+                                   "monitor"}, line

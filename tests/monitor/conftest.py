@@ -1,0 +1,15 @@
+"""Shared fixtures for the monitor test suite.
+
+One deployment per test session: `make_monitor_setup` builds a topology,
+routes it and probes a baseline mesh — all pure functions of the seed, so
+sharing the object across tests changes nothing but the wall clock.
+"""
+
+import pytest
+
+from repro.monitor import make_monitor_setup
+
+
+@pytest.fixture(scope="session")
+def monitor_setup():
+    return make_monitor_setup(seed=7)

@@ -1,0 +1,265 @@
+"""Blocked-vs-failed classification and ground-truth scoring, in isolation.
+
+Synthetic paths and hand-built schedules — the full pipeline (real LGs,
+real RIBs) is exercised in ``test_runner.py``; here each scoring rule is
+pinned down on minimal inputs.
+"""
+
+import pytest
+
+from repro.core.linkspace import UhNode
+from repro.core.pathset import EPOCH_PRE, ProbePath
+from repro.monitor import (
+    BLOCKED,
+    FAILED,
+    BadInterval,
+    ClassifierScore,
+    MonitorConfig,
+    MonitorSchedule,
+    Outage,
+    assign_truth,
+    classify_intervals,
+    link_token,
+    pair_link_map,
+    path_tokens,
+    score_classifier,
+    score_detection,
+    suffix_link_map,
+)
+
+A, MID, B = "1.1.1.1", "9.9.9.1", "2.2.2.2"
+PAIR = (A, B)
+L_UP = link_token(A, MID)   # src-side link
+L_DOWN = link_token(MID, B)  # dst-side link
+
+ASN_OF = {A: 10, MID: 20, B: 30}.get
+
+
+def make_path(hops=(A, MID, B)):
+    return ProbePath(src=hops[0], dst=hops[-1], hops=tuple(hops), reached=True)
+
+
+def make_schedule(*outages, ticks=100):
+    return MonitorSchedule(
+        config=MonitorConfig(ticks=ticks),
+        seed=1,
+        link_candidates=(L_UP, L_DOWN),
+        flap_links=(),
+        srlg_groups=(),
+        blockable_asns=(30,),
+        sensors=(A, B),
+        outages=tuple(outages),
+    )
+
+
+class FakeLg:
+    """has_lg over a fixed AS set, plus a scripted lookup."""
+
+    def __init__(self, with_lg, answers=None):
+        self.with_lg = set(with_lg)
+        self.answers = answers or {}
+        self.queried = []
+
+    def has_lg(self, asn):
+        return asn in self.with_lg
+
+    def lookup(self, asn, dst, tick):
+        self.queried.append((asn, dst, tick))
+        return self.answers.get(asn)
+
+
+class TestTokens:
+    def test_link_token_is_undirected(self):
+        assert link_token(A, MID) == link_token(MID, A) == f"{A}<->{MID}"
+
+    def test_path_tokens_follow_hop_order(self):
+        assert path_tokens(make_path()) == (L_UP, L_DOWN)
+
+    def test_unidentified_hops_produce_no_tokens(self):
+        star = UhNode(src=A, dst=B, epoch=EPOCH_PRE, index=1)
+        path = make_path(hops=(A, star, B))
+        assert path_tokens(path) == ()
+
+    def test_pair_link_map(self):
+        assert pair_link_map({PAIR: make_path()}) == {
+            PAIR: frozenset({L_UP, L_DOWN})
+        }
+
+    def test_suffix_map_shrinks_along_the_path(self):
+        suffixes = suffix_link_map({PAIR: make_path()}, ASN_OF)
+        assert suffixes[(10, B)] == frozenset({L_UP, L_DOWN})
+        assert suffixes[(20, B)] == frozenset({L_DOWN})
+        assert suffixes[(30, B)] == frozenset()
+
+
+class TestTruth:
+    def test_down_path_link_means_failed(self):
+        schedule = make_schedule(Outage("link-flap", 10, 20, links=(L_DOWN,)))
+        interval = BadInterval(pair=PAIR, opened_at=15)
+        assign_truth([interval], schedule, pair_link_map({PAIR: make_path()}), ASN_OF)
+        assert interval.truth_label == FAILED
+        assert interval.truth_mode == "link-flap"
+        assert not interval.announced
+
+    def test_blocked_destination_as_means_blocked(self):
+        schedule = make_schedule(Outage("as-block", 40, 60, asn=30))
+        interval = BadInterval(pair=PAIR, opened_at=50)
+        assign_truth([interval], schedule, pair_link_map({PAIR: make_path()}), ASN_OF)
+        assert interval.truth_label == BLOCKED
+        assert interval.truth_mode == "as-block"
+
+    def test_link_outage_outranks_blocking(self):
+        schedule = make_schedule(
+            Outage("link-flap", 10, 20, links=(L_DOWN,)),
+            Outage("as-block", 10, 20, asn=30),
+        )
+        interval = BadInterval(pair=PAIR, opened_at=15)
+        assign_truth([interval], schedule, pair_link_map({PAIR: make_path()}), ASN_OF)
+        assert interval.truth_label == FAILED
+
+    def test_announced_maintenance_is_flagged(self):
+        schedule = make_schedule(
+            Outage("maintenance", 70, 80, links=(L_UP,), announced=True)
+        )
+        interval = BadInterval(pair=PAIR, opened_at=75)
+        assign_truth([interval], schedule, pair_link_map({PAIR: make_path()}), ASN_OF)
+        assert interval.truth_label == FAILED
+        assert interval.truth_mode == "maintenance"
+        assert interval.announced
+
+    def test_unexplained_interval_is_noise(self):
+        schedule = make_schedule()
+        interval = BadInterval(pair=PAIR, opened_at=5)
+        assign_truth([interval], schedule, pair_link_map({PAIR: make_path()}), ASN_OF)
+        assert interval.truth_label == "none"
+        assert interval.truth_mode == "probe-noise"
+
+    def test_censored_intervals_stay_unlabelled(self):
+        schedule = make_schedule(Outage("link-flap", 10, 20, links=(L_DOWN,)))
+        interval = BadInterval(pair=PAIR, opened_at=15, closed_at=16, censored=True)
+        assign_truth([interval], schedule, pair_link_map({PAIR: make_path()}), ASN_OF)
+        assert interval.truth_label == ""
+
+
+class TestClassifier:
+    def test_lg_answer_means_blocked(self):
+        lg = FakeLg(with_lg={20}, answers={20: (20, 30)})
+        interval = BadInterval(pair=PAIR, opened_at=15)
+        count = classify_intervals(
+            [interval], {PAIR: make_path()}, ASN_OF, lg, lg.lookup
+        )
+        assert count == 1
+        assert interval.verdict == BLOCKED
+
+    def test_no_lg_answer_means_failed(self):
+        lg = FakeLg(with_lg={20}, answers={})
+        interval = BadInterval(pair=PAIR, opened_at=15)
+        classify_intervals([interval], {PAIR: make_path()}, ASN_OF, lg, lg.lookup)
+        assert interval.verdict == FAILED
+
+    def test_only_the_first_lg_as_is_queried(self):
+        lg = FakeLg(with_lg={10, 20, 30}, answers={10: (10, 20, 30)})
+        interval = BadInterval(pair=PAIR, opened_at=15)
+        classify_intervals([interval], {PAIR: make_path()}, ASN_OF, lg, lg.lookup)
+        assert lg.queried == [(10, B, 15)]
+        assert interval.verdict == BLOCKED
+
+    def test_no_lg_anywhere_defaults_to_failed(self):
+        lg = FakeLg(with_lg=set())
+        interval = BadInterval(pair=PAIR, opened_at=15)
+        classify_intervals([interval], {PAIR: make_path()}, ASN_OF, lg, lg.lookup)
+        assert interval.verdict == FAILED
+        assert lg.queried == []
+
+    def test_censored_and_pathless_intervals_are_skipped(self):
+        lg = FakeLg(with_lg={20}, answers={20: (20,)})
+        censored = BadInterval(pair=PAIR, opened_at=1, censored=True)
+        pathless = BadInterval(pair=(A, "8.8.8.8"), opened_at=1)
+        count = classify_intervals(
+            [censored, pathless], {PAIR: make_path()}, ASN_OF, lg, lg.lookup
+        )
+        assert count == 0
+        assert censored.verdict == ""
+        assert pathless.verdict == ""
+
+
+class TestScores:
+    def test_confusion_counts(self):
+        def interval(truth, verdict):
+            return BadInterval(
+                pair=PAIR, opened_at=0, truth_label=truth, verdict=verdict
+            )
+
+        score = score_classifier(
+            [
+                interval(BLOCKED, BLOCKED),  # tp
+                interval(BLOCKED, FAILED),   # fn
+                interval(FAILED, BLOCKED),   # fp
+                interval(FAILED, FAILED),    # tn
+                interval(FAILED, FAILED),    # tn
+                interval("none", FAILED),    # noise: excluded
+                BadInterval(pair=PAIR, opened_at=0, censored=True),
+                BadInterval(pair=PAIR, opened_at=0, truth_label=FAILED),
+            ]
+        )
+        assert (score.tp, score.fp, score.fn, score.tn) == (1, 1, 1, 2)
+        assert score.scored == 5
+        assert score.precision_blocked == pytest.approx(0.5)
+        assert score.recall_blocked == pytest.approx(0.5)
+        assert score.precision_failed == pytest.approx(2 / 3)
+        assert score.recall_failed == pytest.approx(2 / 3)
+
+    def test_empty_denominators_score_perfect(self):
+        score = ClassifierScore(tp=0, fp=0, fn=0, tn=3)
+        assert score.precision_blocked == 1.0
+        assert score.recall_blocked == 1.0
+        empty = ClassifierScore(tp=0, fp=0, fn=0, tn=0)
+        assert empty.precision_failed == 1.0
+        assert empty.recall_failed == 1.0
+
+
+class TestDetection:
+    def test_latency_and_false_alarm_accounting(self):
+        schedule = make_schedule(
+            Outage("link-flap", 10, 20, links=(L_DOWN,)),
+            Outage("as-block", 40, 60, asn=30),
+            Outage("sensor-churn", 30, 50, sensor=A),   # never scored
+            Outage("link-flap", 90, 90, links=(L_DOWN,)),  # too short to confirm
+        )
+        pair_links = pair_link_map({PAIR: make_path()})
+        intervals = [
+            BadInterval(pair=PAIR, opened_at=12, closed_at=21, truth_label=FAILED),
+            BadInterval(pair=PAIR, opened_at=41, closed_at=55, truth_label=BLOCKED),
+            BadInterval(pair=PAIR, opened_at=30, closed_at=32, truth_label="none"),
+            BadInterval(pair=PAIR, opened_at=2, censored=True),
+        ]
+        stats = score_detection(schedule, intervals, pair_links, ASN_OF, open_after=2)
+        assert stats.outages_total == 2
+        assert stats.outages_detected == 2
+        assert stats.latencies == (2, 1)
+        assert stats.detected_fraction == 1.0
+        assert stats.latency_mean == pytest.approx(1.5)
+        assert stats.latency_p99 == 2
+        assert stats.false_alarms == 1
+        assert stats.intervals_scored == 3
+        assert stats.false_alarm_rate == pytest.approx(1 / 3)
+
+    def test_unaffected_outages_are_not_counted(self):
+        other_link = link_token("3.3.3.3", "4.4.4.4")
+        schedule = make_schedule(Outage("link-flap", 10, 20, links=(other_link,)))
+        stats = score_detection(
+            schedule, [], pair_link_map({PAIR: make_path()}), ASN_OF, open_after=2
+        )
+        assert stats.outages_total == 0
+        assert stats.detected_fraction == 1.0
+
+    def test_missed_outage_lowers_the_fraction(self):
+        schedule = make_schedule(Outage("link-flap", 10, 20, links=(L_DOWN,)))
+        stats = score_detection(
+            schedule, [], pair_link_map({PAIR: make_path()}), ASN_OF, open_after=2
+        )
+        assert stats.outages_total == 1
+        assert stats.outages_detected == 0
+        assert stats.detected_fraction == 0.0
+        assert stats.latency_mean == 0.0
+        assert stats.latency_p99 == 0

@@ -1,0 +1,197 @@
+"""FlightRecorder: intervals, censoring, flaps, retention, timelines."""
+
+import pytest
+
+from repro.errors import MonitorError
+from repro.monitor import FlightRecorder
+
+PAIR = ("10.0.0.1", "10.0.0.2")
+OTHER = ("10.0.0.1", "10.0.0.3")
+
+ASN_OF = {"10.0.0.1": 1, "10.0.0.2": 2, "10.0.0.3": 3}.get
+
+
+def drive(recorder, pair, outcomes, start=0):
+    """Feed one observation per tick, advancing after each."""
+    for offset, reached in enumerate(outcomes):
+        tick = start + offset
+        recorder.observe(tick, pair, reached)
+        recorder.advance(tick)
+    return start + len(outcomes)
+
+
+class TestIntervals:
+    def test_opens_after_the_confirmation_streak(self):
+        recorder = FlightRecorder(open_after=2, close_after=2)
+        drive(recorder, PAIR, [True, False, False, False])
+        assert len(recorder.intervals) == 1
+        interval = recorder.intervals[0]
+        assert interval.opened_at == 2  # second consecutive failure
+        assert interval.is_open
+
+    def test_one_failure_never_opens(self):
+        recorder = FlightRecorder(open_after=2, close_after=2)
+        drive(recorder, PAIR, [True, False, True, False, True])
+        assert recorder.intervals == []
+
+    def test_closes_after_the_recovery_streak(self):
+        recorder = FlightRecorder(open_after=2, close_after=2)
+        drive(recorder, PAIR, [False, False, True, True, True])
+        interval = recorder.intervals[0]
+        assert interval.closed_at == 3
+        assert not interval.is_open
+        assert not interval.censored
+        assert recorder.open_intervals == ()
+
+    def test_single_success_does_not_close(self):
+        recorder = FlightRecorder(open_after=2, close_after=2)
+        drive(recorder, PAIR, [False, False, True, False])
+        assert len(recorder.intervals) == 1
+        assert recorder.intervals[0].is_open
+
+    def test_pairs_are_independent(self):
+        recorder = FlightRecorder(open_after=2, close_after=2)
+        for tick in range(4):
+            recorder.observe(tick, PAIR, False)
+            recorder.observe(tick, OTHER, True)
+            recorder.advance(tick)
+        assert [i.pair for i in recorder.intervals] == [PAIR]
+
+
+class TestFlaps:
+    def test_quick_reopen_counts_as_a_flap(self):
+        recorder = FlightRecorder(open_after=2, close_after=2, flap_window=4)
+        # down, recover, down again within the flap window
+        drive(recorder, PAIR, [False, False, True, True, False, False])
+        assert len(recorder.intervals) == 2
+        assert recorder.flaps == 1
+        assert recorder.counters()["flaps"] == 1
+
+    def test_slow_reopen_is_not_a_flap(self):
+        recorder = FlightRecorder(open_after=2, close_after=2, flap_window=2)
+        outcomes = [False, False, True, True] + [True] * 6 + [False, False]
+        drive(recorder, PAIR, outcomes)
+        assert len(recorder.intervals) == 2
+        assert recorder.flaps == 0
+
+    def test_censored_close_resets_the_flap_clock(self):
+        recorder = FlightRecorder(open_after=2, close_after=2, flap_window=10)
+        now = drive(recorder, PAIR, [False, False])
+        recorder.forget(now, PAIR[1])
+        drive(recorder, PAIR, [False, False], start=now + 1)
+        # the reopen followed a censored close, so it is not a flap
+        assert recorder.flaps == 0
+
+
+class TestCensoring:
+    def test_forget_censors_the_open_interval(self):
+        recorder = FlightRecorder(open_after=2, close_after=2)
+        now = drive(recorder, PAIR, [False, False, False])
+        recorder.forget(now, PAIR[1])
+        interval = recorder.intervals[0]
+        assert interval.censored
+        assert interval.closed_at == now
+        assert recorder.open_intervals == ()
+        assert recorder.counters()["intervals_censored"] == 1
+
+    def test_forget_only_touches_the_member_pairs(self):
+        recorder = FlightRecorder(open_after=2, close_after=2)
+        for tick in range(3):
+            recorder.observe(tick, PAIR, False)
+            recorder.observe(tick, OTHER, False)
+            recorder.advance(tick)
+        recorder.forget(3, PAIR[1])  # only PAIR contains this address
+        censored = {i.pair: i.censored for i in recorder.intervals}
+        assert censored[PAIR] is True
+        assert censored[OTHER] is False
+        assert [i.pair for i in recorder.open_intervals] == [OTHER]
+
+    def test_censored_intervals_leave_the_timeline_healthy(self):
+        recorder = FlightRecorder(open_after=2, close_after=2)
+        now = drive(recorder, PAIR, [False] * 10)
+        recorder.forget(now, PAIR[1])
+        assert recorder.timeline(ticks=10, buckets=5) == [1.0] * 5
+
+
+class TestRetention:
+    def test_history_is_a_ring_buffer(self):
+        recorder = FlightRecorder(retention=8)
+        drive(recorder, PAIR, [True] * 50)
+        history = recorder.history(PAIR)
+        assert len(history) == 8
+        assert history[0][0] == 42  # oldest retained tick
+        assert history[-1][0] == 49
+
+    def test_baseline_log_is_bounded(self):
+        recorder = FlightRecorder(retention=4)
+        for tick in range(20):
+            recorder.note_baseline(tick, pairs=6)
+        assert len(recorder.baselines) == 4
+        assert recorder.counters()["baselines_kept"] == 4
+
+    def test_bad_retention_is_a_typed_error(self):
+        with pytest.raises(MonitorError, match="retention"):
+            FlightRecorder(retention=0)
+        with pytest.raises(MonitorError, match="flap_window"):
+            FlightRecorder(flap_window=-1)
+
+
+class TestTimeline:
+    def test_all_healthy_is_all_ones(self):
+        recorder = FlightRecorder()
+        drive(recorder, PAIR, [True] * 60)
+        assert recorder.timeline(ticks=60, buckets=6) == [1.0] * 6
+
+    def test_downtime_dents_the_covering_buckets(self):
+        recorder = FlightRecorder(open_after=1, close_after=1)
+        outcomes = [True] * 20 + [False] * 10 + [True] * 30
+        drive(recorder, PAIR, outcomes)
+        health = recorder.timeline(ticks=60, buckets=6)
+        assert health[0] == 1.0
+        assert health[2] < 1.0  # ticks 20-29 live in this bucket
+        assert health[5] == 1.0
+
+    def test_bucket_count_never_exceeds_ticks(self):
+        recorder = FlightRecorder()
+        drive(recorder, PAIR, [True] * 5)
+        assert len(recorder.timeline(ticks=5, buckets=60)) == 5
+
+    def test_bad_arguments_raise(self):
+        recorder = FlightRecorder()
+        with pytest.raises(MonitorError):
+            recorder.timeline(ticks=0)
+        with pytest.raises(MonitorError):
+            recorder.timeline(ticks=10, buckets=0)
+
+
+class TestQuality:
+    def test_rows_aggregate_by_as_pair(self):
+        recorder = FlightRecorder(open_after=1, close_after=1)
+        drive(recorder, PAIR, [True] * 8 + [False] * 2)
+        drive(recorder, OTHER, [True] * 10)
+        rows = recorder.quality(ASN_OF)
+        assert [(r.src_asn, r.dst_asn) for r in rows] == [(1, 2), (1, 3)]
+        worst = rows[0]
+        assert worst.observations == 10
+        assert worst.failures == 2
+        assert worst.availability == pytest.approx(0.8)
+        assert worst.intervals == 1
+        clean = rows[1]
+        assert clean.availability == 1.0
+        assert clean.intervals == 0
+
+    def test_flaps_are_apportioned_to_their_pair(self):
+        recorder = FlightRecorder(open_after=1, close_after=1, flap_window=5)
+        drive(recorder, PAIR, [False, True, False, True])
+        drive(recorder, OTHER, [True] * 4)
+        rows = {(r.src_asn, r.dst_asn): r for r in recorder.quality(ASN_OF)}
+        assert rows[(1, 2)].flaps == 1
+        assert rows[(1, 3)].flaps == 0
+
+    def test_worst_interval_tracks_the_longest_stretch(self):
+        recorder = FlightRecorder(open_after=1, close_after=1, flap_window=0)
+        outcomes = [False] * 2 + [True] * 8 + [False] * 5 + [True] * 5
+        drive(recorder, PAIR, outcomes)
+        row = recorder.quality(ASN_OF)[0]
+        assert row.intervals == 2
+        assert row.worst_interval == 6  # 5 bad ticks + the closing tick

@@ -1,0 +1,83 @@
+"""Scenario catalog and config validation."""
+
+import math
+
+import pytest
+
+from repro.errors import MonitorError
+from repro.monitor import SCENARIOS, MonitorConfig, scenario, scenario_names
+
+
+class TestCatalog:
+    def test_catalog_names_match_their_configs(self):
+        for name, config in SCENARIOS.items():
+            assert config.name == name
+
+    def test_scenario_names_is_the_full_catalog(self):
+        assert set(scenario_names()) == set(SCENARIOS)
+        assert "steady" in scenario_names()
+        assert "mixed-ops" in scenario_names()
+
+    def test_unknown_scenario_is_a_typed_error(self):
+        with pytest.raises(MonitorError, match="unknown scenario"):
+            scenario("does-not-exist")
+
+    def test_rescaling_only_changes_ticks(self):
+        short = scenario("flaky-core", 500)
+        full = scenario("flaky-core")
+        assert short.ticks == 500
+        assert short.flap_rate == full.flap_rate
+        assert short.name == full.name
+
+    def test_zero_ticks_keeps_catalog_length(self):
+        assert scenario("steady", 0).ticks == SCENARIOS["steady"].ticks
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ticks": 0},
+            {"flap_rate": 1.5},
+            {"noise_rate": -0.1},
+            {"flap_dwell": 0.5},
+            {"srlg_size": 0},
+            {"dwell_cap": 0},
+            {"baseline_every": -1},
+            {"open_after": 0},
+            {"close_after": 0},
+            {"maintenance_every": 100},  # without a duration
+            {"diurnal_period": -5},
+            {"diurnal_floor": 2.0},
+        ],
+    )
+    def test_bad_knobs_raise_monitor_error(self, kwargs):
+        with pytest.raises(MonitorError):
+            MonitorConfig(**kwargs)
+
+    def test_default_config_is_a_quiet_network(self):
+        config = MonitorConfig()
+        assert config.flap_rate == 0.0
+        assert config.block_rate == 0.0
+
+
+class TestIntensity:
+    def test_constant_without_a_period(self):
+        config = MonitorConfig()
+        assert config.intensity(0) == 1.0
+        assert config.intensity(12345) == 1.0
+
+    def test_cosine_day_peaks_at_midday_and_bottoms_at_midnight(self):
+        config = MonitorConfig(diurnal_period=100, diurnal_floor=0.25)
+        assert config.intensity(0) == pytest.approx(0.25)
+        assert config.intensity(50) == pytest.approx(1.0)
+        assert config.intensity(100) == pytest.approx(0.25)
+        for tick in range(200):
+            assert 0.25 <= config.intensity(tick) <= 1.0 + 1e-12
+
+    def test_intensity_is_periodic(self):
+        config = MonitorConfig(diurnal_period=288, diurnal_floor=0.3)
+        for tick in (0, 17, 100):
+            assert math.isclose(
+                config.intensity(tick), config.intensity(tick + 288)
+            )

@@ -1,0 +1,156 @@
+"""Seeded schedule expansion: determinism, structure, per-tick lookups."""
+
+import pytest
+
+from repro.errors import MonitorError
+from repro.monitor import MonitorConfig, build_schedule, scenario
+
+LINKS = tuple(f"10.0.{i}.1<->10.0.{i}.2" for i in range(12))
+SENSORS = tuple(f"192.168.0.{i}" for i in range(6))
+ASNS = (101, 102, 103, 104)
+
+
+def busy_config(ticks=600):
+    return MonitorConfig(
+        name="custom",
+        ticks=ticks,
+        flap_rate=0.01,
+        flap_dwell=5.0,
+        flap_links=3,
+        srlg_rate=0.005,
+        srlg_groups=2,
+        srlg_size=2,
+        srlg_dwell=6.0,
+        maintenance_every=200,
+        maintenance_duration=20,
+        maintenance_links=2,
+        churn_rate=0.003,
+        churn_dwell=8.0,
+        block_rate=0.004,
+        block_dwell=10.0,
+        block_ases=2,
+    )
+
+
+class TestDeterminism:
+    def test_same_inputs_same_schedule(self):
+        a = build_schedule(busy_config(), 42, LINKS, SENSORS, ASNS)
+        b = build_schedule(busy_config(), 42, LINKS, SENSORS, ASNS)
+        assert a.outages == b.outages
+        assert a.flap_links == b.flap_links
+        assert a.srlg_groups == b.srlg_groups
+        assert a.blockable_asns == b.blockable_asns
+
+    def test_candidate_iteration_order_does_not_matter(self):
+        a = build_schedule(busy_config(), 42, LINKS, SENSORS, ASNS)
+        b = build_schedule(
+            busy_config(), 42, tuple(reversed(LINKS)),
+            tuple(reversed(SENSORS)), tuple(reversed(ASNS)),
+        )
+        assert a.outages == b.outages
+
+    def test_different_seed_different_schedule(self):
+        a = build_schedule(busy_config(), 42, LINKS, SENSORS, ASNS)
+        b = build_schedule(busy_config(), 43, LINKS, SENSORS, ASNS)
+        assert a.outages != b.outages
+
+    def test_shorter_run_is_a_prefix_of_the_longer(self):
+        short = build_schedule(busy_config(300), 42, LINKS, SENSORS, ASNS)
+        full = build_schedule(busy_config(600), 42, LINKS, SENSORS, ASNS)
+        full_prefix = [o for o in full.outages if o.start < 300]
+        # Outages that straddle tick 300 are truncated in the short run;
+        # compare on (mode, start, targets), which truncation preserves.
+        key = lambda o: (o.mode, o.start, o.links, o.asn, o.sensor)
+        assert sorted(map(key, short.outages)) == sorted(map(key, full_prefix))
+
+
+class TestStructure:
+    def test_outages_stay_inside_the_run(self):
+        schedule = build_schedule(busy_config(), 42, LINKS, SENSORS, ASNS)
+        assert schedule.outages  # the busy config must actually fire
+        for outage in schedule.outages:
+            assert 0 <= outage.start <= outage.end < 600
+
+    def test_srlg_groups_are_disjoint_and_sized(self):
+        schedule = build_schedule(busy_config(), 42, LINKS, SENSORS, ASNS)
+        assert len(schedule.srlg_groups) == 2
+        seen = set()
+        for group in schedule.srlg_groups:
+            assert len(group) == 2
+            assert not (set(group) & seen)
+            seen.update(group)
+        assert not (seen & set(schedule.flap_links))
+
+    def test_srlg_outages_fail_as_a_unit(self):
+        schedule = build_schedule(busy_config(), 42, LINKS, SENSORS, ASNS)
+        srlg = [o for o in schedule.outages if o.mode == "srlg-failure"]
+        for outage in srlg:
+            assert outage.links in schedule.srlg_groups
+
+    def test_maintenance_windows_roll_on_a_cadence(self):
+        schedule = build_schedule(busy_config(), 42, LINKS, SENSORS, ASNS)
+        windows = sorted(
+            (o for o in schedule.outages if o.mode == "maintenance"),
+            key=lambda o: o.start,
+        )
+        assert len(windows) == 3  # 600 ticks / every 200
+        starts = [w.start for w in windows]
+        assert starts[1] - starts[0] == 200
+        assert starts[2] - starts[1] == 200
+        for window in windows:
+            assert len(window.links) == 2
+            assert window.duration <= 20
+
+    def test_per_tick_lookups_agree_with_the_outage_list(self):
+        schedule = build_schedule(busy_config(), 42, LINKS, SENSORS, ASNS)
+        for tick in range(0, 600, 7):
+            active = schedule.active_outages(tick)
+            down = set()
+            for outage in active:
+                assert outage.active_at(tick)
+                down.update(outage.links)
+            assert schedule.down_links_at(tick) == frozenset(down)
+
+    def test_announced_links_are_a_subset_of_down_links(self):
+        schedule = build_schedule(busy_config(), 42, LINKS, SENSORS, ASNS)
+        for tick in range(600):
+            assert schedule.announced_links_at(tick) <= schedule.down_links_at(
+                tick
+            )
+
+    def test_counters_account_every_outage(self):
+        schedule = build_schedule(busy_config(), 42, LINKS, SENSORS, ASNS)
+        counts = schedule.counters()
+        by_mode = sum(
+            value
+            for key, value in counts.items()
+            if key.startswith("outages_") and key != "outages_total"
+        )
+        assert counts["outages_total"] == len(schedule.outages) == by_mode
+        assert counts["downtime_ticks"] == sum(
+            o.duration for o in schedule.outages
+        )
+
+
+class TestPoolErrors:
+    def test_too_few_links_for_flapping(self):
+        config = MonitorConfig(flap_rate=0.01, flap_links=5)
+        with pytest.raises(MonitorError, match="flappable"):
+            build_schedule(config, 1, LINKS[:3], SENSORS, ASNS)
+
+    def test_too_few_links_for_srlgs(self):
+        config = MonitorConfig(srlg_rate=0.01, srlg_groups=3, srlg_size=3)
+        with pytest.raises(MonitorError, match="SRLG"):
+            build_schedule(config, 1, LINKS[:5], SENSORS, ASNS)
+
+    def test_blocking_needs_candidate_ases(self):
+        config = MonitorConfig(block_rate=0.01, block_ases=1)
+        with pytest.raises(MonitorError, match="blockable"):
+            build_schedule(config, 1, LINKS, SENSORS, ())
+
+    def test_quiet_config_builds_an_empty_schedule(self):
+        schedule = build_schedule(
+            scenario("steady", 200), 1, LINKS, SENSORS, ASNS
+        )
+        assert schedule.outages == ()
+        assert schedule.counters()["outages_total"] == 0
