@@ -1,0 +1,119 @@
+"""Empathy-engine throughput bench: diagnoses/sec per topology tier.
+
+The crossval experiment shows empathy matching hitting-set recall on
+link failures at a fraction of the cost; this bench pins the cost side
+down.  Each tier runs the same deterministic failure scenarios through
+``nd-edge``, ``empathy`` and the two-member ensemble, recording
+per-engine diagnosis throughput and the tier's verdict tally into
+``BENCH_empathy.json`` (repo root + ``results/``, the copies CI uploads
+and diffs across PRs).
+"""
+
+import json
+import random
+import time
+
+from repro.core.diagnoser import NetDiagnoser
+from repro.empathy import EmpathyDiagnoser, EnsembleDiagnoser, EnsembleDisagreement
+from repro.experiments.runner import make_session
+from repro.measurement.collector import take_snapshot
+from repro.measurement.sensors import random_stub_placement
+from repro.netsim.gen.internet import research_internet
+from repro.netsim.gen.powerlaw import powerlaw_internet
+from repro.perf import peak_rss_mb, write_bench_artifact
+
+from conftest import REPO_ROOT, RESULTS_DIR
+
+SCHEMA = "bench-empathy-v1"
+BENCH_PATH = RESULTS_DIR / "BENCH_empathy.json"
+
+
+def _failure_lids(topo, session, index):
+    """Deterministic scenario ``index``: cut one sensor stub's uplinks."""
+    net = topo.net
+    sensor = session.sensors[index % len(session.sensors)]
+    stub_asn = net.asn_of_router(sensor.router_id)
+    return [link.lid for link in net.inter_links_of_as(stub_asn)]
+
+
+def _measure_tier(label, build, n_sensors, n_diagnoses):
+    topo = build()
+    rng = random.Random(f"perf-empathy/{label}")
+    session = make_session(
+        topo, random_stub_placement(topo, n_sensors, rng), rng
+    )
+    engines = {
+        "nd-edge": NetDiagnoser("nd-edge"),
+        "empathy": EmpathyDiagnoser(),
+        "ensemble": EnsembleDiagnoser(),
+    }
+    snapshots = []
+    for index in range(n_diagnoses):
+        after = session.base_state.with_failed_links(
+            _failure_lids(topo, session, index)
+        )
+        snapshots.append(
+            take_snapshot(
+                session.sim, session.sensors, session.base_state, after
+            )
+        )
+    verdicts = EnsembleDisagreement()
+    throughput = {}
+    for name, engine in engines.items():
+        started = time.perf_counter()
+        for snapshot in snapshots:
+            result = engine.diagnose(snapshot)
+            assert result.hypothesis, f"degenerate diagnosis at tier {label}"
+            if name == "ensemble":
+                verdicts.record(result.details["ensemble"]["verdict"])
+        elapsed = time.perf_counter() - started
+        throughput[f"{name.replace('-', '_')}_dps"] = round(
+            n_diagnoses / elapsed, 4
+        )
+    return {
+        "label": label,
+        "n_ases": topo.net.num_ases,
+        "n_links": topo.net.num_links,
+        "n_sensors": n_sensors,
+        "diagnoses": n_diagnoses,
+        "verdicts": verdicts.as_dict(),
+        "agreement_rate": round(verdicts.agreement_rate(), 4),
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+        **throughput,
+    }
+
+
+def test_perf_empathy(benchmark):
+    def run():
+        tiers = []
+        for label, build, n_sensors, n_diagnoses in (
+            (
+                "research-165",
+                lambda: research_internet(n_tier2=22, n_stub=140, seed=0),
+                10,
+                4,
+            ),
+            ("powerlaw-1000", lambda: powerlaw_internet(1000, seed=0), 12, 2),
+            ("powerlaw-5000", lambda: powerlaw_internet(5000, seed=0), 64, 1),
+        ):
+            tiers.append(_measure_tier(label, build, n_sensors, n_diagnoses))
+
+        def merge(data):
+            data.setdefault("tiers", {})
+            for row in tiers:
+                data["tiers"][row["label"]] = row
+
+        return write_bench_artifact("empathy", SCHEMA, merge, REPO_ROOT)
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(json.dumps(data, indent=2, sort_keys=True))
+
+    assert data["schema"] == SCHEMA
+    assert len(data["tiers"]) >= 3
+    for row in data["tiers"].values():
+        assert row["empathy_dps"] > 0
+        assert row["nd_edge_dps"] > 0
+        assert row["ensemble_dps"] > 0
+        # The two families must at least overlap on the bench scenarios.
+        assert row["agreement_rate"] >= 0.8

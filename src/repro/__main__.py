@@ -42,9 +42,10 @@ import random
 import sys
 from pathlib import Path
 
-from repro.core.diagnoser import VARIANTS, NetDiagnoser
+from repro.diagnosers import DIAGNOSER_NAMES, make_diagnoser, make_diagnosers
 from repro.errors import (
     ControlPlaneFeedError,
+    EmpathyError,
     FaultInjectionError,
     MonitorError,
     StreamError,
@@ -94,11 +95,10 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     scenario = session.sampler.sample(args.kind)
     print(f"scenario: {scenario.event.describe(session.net)}")
 
-    diagnosers = {
-        name: NetDiagnoser(name)
-        for name in args.algorithms
-        if name != "nd-lg"  # needs blocked ASes + LGs; see the figures CLI
-    }
+    diagnosers = make_diagnosers(
+        # nd-lg needs blocked ASes + LGs; see the figures CLI
+        [name for name in args.algorithms if name != "nd-lg"]
+    )
     record = run_scenario(
         session, scenario, diagnosers, asx=topo.core_asns[0]
     )
@@ -351,6 +351,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         for report in result.reports:
             verdicts = "  ".join(
                 f"{d.algorithm}:|H|={d.hypothesis_size}"
+                + (f"[{d.verdict}]" if d.verdict else "")
                 + ("!" if d.error else "")
                 for d in report.diagnoses
             ) or "(episode summary only)"
@@ -361,6 +362,23 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 f"{len(report.pairs)} pairs)  {verdicts}"
             )
         print(render_stream_report(result))
+    return 0
+
+
+def _cmd_crossval(args: argparse.Namespace) -> int:
+    from repro.experiments.crossval import CrossvalConfig, run_crossval
+
+    config = CrossvalConfig(
+        seed=args.seed,
+        topo_seed=args.topo_seed,
+        placements=args.placements,
+        failures_per_kind=args.failures,
+        n_sensors=args.sensors,
+        kinds=tuple(args.kinds),
+        diagnosers=tuple(args.diagnosers),
+    )
+    result = run_crossval(config)
+    print(result.render())
     return 0
 
 
@@ -457,7 +475,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     for name in args.algorithms:
         if name == "nd-lg":
             continue  # needs the blocked/LG configuration, not archived
-        result = NetDiagnoser(name).diagnose(snapshot, control=control)
+        result = make_diagnoser(name).diagnose(snapshot, control=control)
         hypothesis = result.physical_hypothesis()
         hits = len(truth & hypothesis)
         print(
@@ -507,8 +525,9 @@ def main(argv=None) -> int:
     diagnose.add_argument("--topo-seed", type=int, default=100)
     diagnose.add_argument(
         "--algorithms",
+        "--diagnosers",
         nargs="+",
-        choices=VARIANTS,
+        choices=DIAGNOSER_NAMES,
         default=["tomo", "nd-edge", "nd-bgpigp"],
     )
     diagnose.add_argument(
@@ -647,9 +666,12 @@ def main(argv=None) -> int:
     )
     stream.add_argument(
         "--algorithms",
+        "--diagnosers",
         nargs="+",
-        choices=VARIANTS,
+        choices=DIAGNOSER_NAMES,
         default=["tomo", "nd-edge", "nd-bgpigp"],
+        help="registry diagnosers to run per episode; 'ensemble' runs "
+        "hitting-set + empathy and grades their agreement",
     )
     stream.add_argument(
         "--workers",
@@ -713,6 +735,36 @@ def main(argv=None) -> int:
         help="print the entries of the --dlq journal and exit (no replay)",
     )
     stream.set_defaults(func=_cmd_stream)
+
+    crossval = sub.add_parser(
+        "crossval",
+        help="cross-validate hitting-set vs empathy on identical scenarios",
+    )
+    crossval.add_argument("--placements", type=int, default=2)
+    crossval.add_argument(
+        "--failures",
+        type=int,
+        default=6,
+        help="failure scenarios per kind per placement",
+    )
+    crossval.add_argument("--sensors", type=int, default=8)
+    crossval.add_argument("--seed", type=int, default=0)
+    crossval.add_argument("--topo-seed", type=int, default=100)
+    crossval.add_argument(
+        "--kinds",
+        nargs="+",
+        choices=SCENARIO_KINDS,
+        default=["link-1", "link-2", "misconfig"],
+    )
+    crossval.add_argument(
+        "--diagnosers",
+        nargs="+",
+        choices=[name for name in DIAGNOSER_NAMES if name != "nd-lg"],
+        default=["nd-edge", "empathy"],
+        help="at least two registry diagnosers to compare "
+        "(nd-lg needs a Looking Glass deployment and is excluded)",
+    )
+    crossval.set_defaults(func=_cmd_crossval)
 
     monitor = sub.add_parser(
         "monitor",
@@ -795,8 +847,9 @@ def main(argv=None) -> int:
     replay.add_argument("scenario", help="file written by diagnose --save-scenario")
     replay.add_argument(
         "--algorithms",
+        "--diagnosers",
         nargs="+",
-        choices=VARIANTS,
+        choices=DIAGNOSER_NAMES,
         default=["tomo", "nd-edge", "nd-bgpigp"],
     )
     replay.set_defaults(func=_cmd_replay)
@@ -806,6 +859,7 @@ def main(argv=None) -> int:
         return args.func(args)
     except (
         ControlPlaneFeedError,
+        EmpathyError,
         FaultInjectionError,
         MonitorError,
         StreamError,

@@ -7,11 +7,16 @@ algorithm and checks that the inputs the variant needs were supplied.
 =============  ===============================================  =========
 variant        extra inputs required                            paper
 =============  ===============================================  =========
+``scfs``       —  (single-source trees over T- paths)           §2.1
 ``tomo``       —                                                §2.4
 ``nd-edge``    —  (uses T+ paths from the snapshot)             §3.1-3.2
 ``nd-bgpigp``  ``control`` (AS-X's IGP + BGP observations)      §3.3
 ``nd-lg``      ``lg_lookup`` (Looking Glass path callback)      §3.4
 =============  ===============================================  =========
+
+Every variant satisfies the :class:`repro.core.protocol.Diagnoser`
+protocol; sibling engines (``repro.empathy``) register alongside these
+names in :mod:`repro.diagnosers`.
 """
 
 from __future__ import annotations
@@ -25,12 +30,13 @@ from repro.core.nd_edge import nd_edge
 from repro.core.nd_lg import LgLookup, nd_lg
 from repro.core.pathset import MeasurementSnapshot
 from repro.core.result import DiagnosisResult
+from repro.core.scfs import scfs_diagnose
 from repro.core.tomo import tomo
 from repro.errors import DiagnosisError
 
 __all__ = ["NetDiagnoser", "VARIANTS"]
 
-VARIANTS = ("tomo", "nd-edge", "nd-bgpigp", "nd-lg")
+VARIANTS = ("scfs", "tomo", "nd-edge", "nd-bgpigp", "nd-lg")
 
 
 class NetDiagnoser:
@@ -68,6 +74,12 @@ class NetDiagnoser:
         self.use_partial_traces = use_partial_traces
         self.ignore_unidentified = ignore_unidentified
 
+    @property
+    def poolable(self) -> bool:
+        """Whether diagnosis may run in a worker process (nd-lg holds a
+        process-local Looking Glass session, so it must stay inline)."""
+        return self.variant != "nd-lg"
+
     def diagnose(
         self,
         snapshot: MeasurementSnapshot,
@@ -80,7 +92,9 @@ class NetDiagnoser:
                 "nothing to diagnose: every probed pair is reachable "
                 "(the troubleshooter is only invoked on unreachabilities)"
             )
-        if self.variant == "tomo":
+        if self.variant == "scfs":
+            result = scfs_diagnose(snapshot)
+        elif self.variant == "tomo":
             result = tomo(snapshot)
         elif self.variant == "nd-edge":
             result = nd_edge(

@@ -1,0 +1,66 @@
+"""The diagnoser registry: every engine constructible from one name.
+
+Figures, CLIs and the streaming replay all used to hand-build
+``diagnosers={label: NetDiagnoser(...)}`` dicts; this module is the single
+construction point.  A *name* is either a :data:`~repro.core.diagnoser`
+facade variant (``scfs``/``tomo``/``nd-edge``/``nd-bgpigp``/``nd-lg``),
+the empathy engine (``empathy``) or the hitting-set + empathy ensemble
+(``ensemble``).  Every constructed object satisfies the
+:class:`repro.core.protocol.Diagnoser` protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Union
+
+from repro.core.diagnoser import VARIANTS, NetDiagnoser
+from repro.core.protocol import Diagnoser
+from repro.empathy.diagnoser import EmpathyDiagnoser
+from repro.empathy.ensemble import EnsembleDiagnoser
+from repro.errors import EmpathyError
+
+__all__ = ["DIAGNOSER_NAMES", "make_diagnoser", "make_diagnosers"]
+
+#: Every name :func:`make_diagnoser` accepts, in presentation order.
+DIAGNOSER_NAMES = VARIANTS + ("empathy", "ensemble")
+
+
+def make_diagnoser(name: str, **options) -> Diagnoser:
+    """Construct one diagnoser by registry name.
+
+    ``options`` are forwarded to the engine's constructor (e.g.
+    ``ignore_unidentified=True`` for the facade variants, ``members=...``
+    for the ensemble).  Unknown names raise :class:`EmpathyError` so the
+    CLIs turn a typo into an exit-2 message instead of a traceback.
+    """
+    if name in VARIANTS:
+        return NetDiagnoser(name, **options)
+    if name == "empathy":
+        return EmpathyDiagnoser(**options)
+    if name == "ensemble":
+        return EnsembleDiagnoser(**options)
+    raise EmpathyError(
+        f"unknown diagnoser {name!r}; expected one of {DIAGNOSER_NAMES}"
+    )
+
+
+def make_diagnosers(
+    spec: Union[Iterable[str], Mapping[str, Optional[Mapping[str, object]]]],
+) -> Dict[str, Diagnoser]:
+    """Build a label -> diagnoser dict from names or a name -> options map.
+
+    Two spellings::
+
+        make_diagnosers(("tomo", "nd-edge"))
+        make_diagnosers({"nd-lg": None,
+                         "nd-bgpigp": {"ignore_unidentified": True}})
+
+    Labels double as registry names; iteration order is preserved (it is
+    the label order reports and journals fingerprint).
+    """
+    if isinstance(spec, Mapping):
+        return {
+            label: make_diagnoser(label, **(options or {}))
+            for label, options in spec.items()
+        }
+    return {name: make_diagnoser(name) for name in spec}

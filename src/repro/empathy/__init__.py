@@ -1,0 +1,43 @@
+"""Traceroute-empathy event mining (arXiv:1412.4074) over snapshots.
+
+The NetDiagnoser family localizes failures with hitting sets over changed
+paths; the empathy engine localizes the *same* events from a different
+principle — traceroutes that change together, in the same round, losing a
+shared path segment, were broken by the same cause.  It needs no
+control-plane feed and no Looking Glass, which makes it an independent
+oracle: :class:`EnsembleDiagnoser` runs both families per episode and
+flags where they disagree.
+
+Pipeline: :func:`compute_deltas` (per-pair T-/T+ diffs) →
+:func:`mine_events` (cluster empathic deltas, localize each cluster to
+the shared lost segment) → :class:`EmpathyDiagnoser` (standard
+:class:`~repro.core.result.DiagnosisResult` with per-event attribution).
+"""
+
+from repro.empathy.delta import TraceDelta, compute_deltas
+from repro.empathy.diagnoser import EmpathyDiagnoser
+from repro.empathy.ensemble import (
+    VERDICT_AGREE,
+    VERDICT_CONFLICT,
+    VERDICT_PARTIAL,
+    VERDICTS,
+    EnsembleDiagnoser,
+    EnsembleDisagreement,
+    compare_hypotheses,
+)
+from repro.empathy.mining import EmpathyEvent, mine_events
+
+__all__ = [
+    "TraceDelta",
+    "compute_deltas",
+    "EmpathyEvent",
+    "mine_events",
+    "EmpathyDiagnoser",
+    "EnsembleDiagnoser",
+    "EnsembleDisagreement",
+    "compare_hypotheses",
+    "VERDICT_AGREE",
+    "VERDICT_PARTIAL",
+    "VERDICT_CONFLICT",
+    "VERDICTS",
+]

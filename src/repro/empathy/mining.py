@@ -1,0 +1,113 @@
+"""Cluster empathic trace deltas into events and localize each one.
+
+Empathy relation: two deltas are empathic when their lost sets share an
+*identified* link (a UH link belongs to exactly one traceroute by
+construction, so it can never witness co-change).  Events are the
+transitive closure of the relation — computed with a union-find over the
+shared-link index instead of the quadratic pairwise intersection.
+
+Localization: an event's segment is the intersection of its members' lost
+sets — the path suffix every member lost, which for a single cause
+contains the broken link.  When a cluster chains (A~B and B~C but
+A∩B∩C = ∅, i.e. two simultaneous causes glued by a pair crossing both)
+the miner peels it greedily: the identified link with the widest support
+anchors a sub-event localized to its supporters' intersection, and the
+remainder is re-mined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.core.linkspace import IpLink, sort_key
+from repro.core.pathset import Pair
+from repro.empathy.delta import KIND_FAILED, TraceDelta
+
+__all__ = ["EmpathyEvent", "mine_events"]
+
+
+@dataclass(frozen=True)
+class EmpathyEvent:
+    """One mined event: the pairs that changed together and where.
+
+    ``segment`` is the shared lost path segment the event localizes to;
+    ``failures`` counts members whose probe went unreachable (the rest
+    rerouted around the cause).
+    """
+
+    pairs: Tuple[Pair, ...]
+    segment: FrozenSet[IpLink]
+    failures: int
+
+    @property
+    def support(self) -> int:
+        return len(self.pairs)
+
+
+def _make_event(members: Sequence[TraceDelta], segment: FrozenSet[IpLink]) -> EmpathyEvent:
+    return EmpathyEvent(
+        pairs=tuple(sorted(d.pair for d in members)),
+        segment=segment,
+        failures=sum(1 for d in members if d.kind == KIND_FAILED),
+    )
+
+
+def _components(deltas: Sequence[TraceDelta]) -> List[List[TraceDelta]]:
+    """Union-find over shared identified lost links."""
+    parent = list(range(len(deltas)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    owner: Dict[IpLink, int] = {}
+    for index, delta in enumerate(deltas):
+        for link in delta.lost:
+            if not link.identified:
+                continue
+            if link in owner:
+                a, b = find(owner[link]), find(index)
+                if a != b:
+                    parent[max(a, b)] = min(a, b)
+            else:
+                owner[link] = index
+    groups: Dict[int, List[TraceDelta]] = {}
+    for index, delta in enumerate(deltas):
+        groups.setdefault(find(index), []).append(delta)
+    # Deterministic order: components sorted by their smallest member pair.
+    return [groups[root] for root in sorted(groups, key=lambda r: min(d.pair for d in groups[r]))]
+
+
+def _localise(members: List[TraceDelta]) -> List[EmpathyEvent]:
+    """Localize one connected component, peeling chained clusters."""
+    segment = frozenset.intersection(*(d.lost for d in members))
+    if segment or len(members) == 1:
+        return [_make_event(members, segment or members[0].lost)]
+    # Chained component: anchor a sub-event on the widest-support link.
+    counts: Dict[IpLink, int] = {}
+    for delta in members:
+        for link in delta.lost:
+            if link.identified:
+                counts[link] = counts.get(link, 0) + 1
+    anchor = min(counts, key=lambda l: (-counts[l], sort_key(l)))
+    chosen = [d for d in members if anchor in d.lost]
+    rest = [d for d in members if anchor not in d.lost]
+    events = [
+        _make_event(chosen, frozenset.intersection(*(d.lost for d in chosen)))
+    ]
+    for component in _components(rest):
+        events.extend(_localise(component))
+    return events
+
+
+def mine_events(deltas: Sequence[TraceDelta]) -> Tuple[EmpathyEvent, ...]:
+    """Mine empathy events from per-pair deltas, deterministically ordered."""
+    usable = [d for d in deltas if d.lost]
+    events: List[EmpathyEvent] = []
+    for component in _components(usable):
+        events.extend(_localise(component))
+    events.sort(key=lambda e: e.pairs)
+    return tuple(events)

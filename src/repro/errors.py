@@ -21,6 +21,7 @@ __all__ = [
     "ControlPlaneFeedError",
     "JobTimeoutError",
     "ValidationError",
+    "EmpathyError",
     "StreamError",
     "EpisodeOverflowError",
     "SupervisionError",
@@ -63,6 +64,14 @@ class DiagnosisError(ReproError):
     """A diagnosis algorithm received inconsistent inputs (failure set with
     no candidate links, reachability matrix that disagrees with the path
     store, ...)."""
+
+
+class EmpathyError(ReproError):
+    """The empathy / ensemble machinery was misconfigured: an ensemble
+    with fewer than two member diagnosers, a cross-validation run with
+    nothing to cross-validate, an unknown diagnoser name handed to the
+    registry.  User-diagnosable: both CLIs print the message on stderr
+    and exit 2 instead of dumping a traceback."""
 
 
 class ScenarioError(ReproError):

@@ -17,6 +17,7 @@ import time
 
 from repro.errors import (
     ControlPlaneFeedError,
+    EmpathyError,
     StreamError,
     TopologyError,
     ValidationError,
@@ -103,6 +104,7 @@ def main(argv=None) -> int:
             result = FIGURES[figure_id](config)
         except (
             ControlPlaneFeedError,
+            EmpathyError,
             StreamError,
             TopologyError,
             ValidationError,

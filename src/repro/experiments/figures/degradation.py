@@ -22,7 +22,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Optional, Sequence, Tuple, Union
 
-from repro.core.diagnoser import NetDiagnoser
+from repro.diagnosers import make_diagnosers
 from repro.experiments.figures.base import FigureConfig, FigureResult, Series
 from repro.experiments.jobs import CoreAsx, ResearchTopoFactory, StubPlacement
 from repro.experiments.runner import RunnerStats, run_kind_batch
@@ -70,12 +70,12 @@ def run(
     ``validation="quarantine"`` (the CI smoke configuration) must
     complete every rate with zero unhandled exceptions.
     """
-    diagnosers = {
-        "tomo": NetDiagnoser("tomo"),
-        "nd-edge": NetDiagnoser("nd-edge"),
-        "nd-bgpigp": NetDiagnoser("nd-bgpigp", ignore_unidentified=True),
-        "nd-lg": NetDiagnoser("nd-lg"),
-    }
+    diagnosers = make_diagnosers(
+        {"tomo": None,
+         "nd-edge": None,
+         "nd-bgpigp": {"ignore_unidentified": True},
+         "nd-lg": None}
+    )
     curves = {
         f"{label}/{metric}": []
         for label in diagnosers

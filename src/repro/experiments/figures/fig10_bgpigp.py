@@ -12,7 +12,7 @@ The §5.3 position study (AS-X core vs stub) is exposed through the
 
 from __future__ import annotations
 
-from repro.core.diagnoser import NetDiagnoser
+from repro.diagnosers import make_diagnosers
 from repro.errors import ScenarioError
 from repro.experiments.figures.base import FigureConfig, FigureResult, Series
 from repro.experiments.jobs import (
@@ -42,10 +42,7 @@ def run(
     config: FigureConfig = FigureConfig(), asx_position: str = "core"
 ) -> FigureResult:
     """Regenerate Figure 10: ND-edge vs ND-bgpigp CDFs (3 link failures)."""
-    diagnosers = {
-        "nd-edge": NetDiagnoser("nd-edge"),
-        "nd-bgpigp": NetDiagnoser("nd-bgpigp"),
-    }
+    diagnosers = make_diagnosers(("nd-edge", "nd-bgpigp"))
     stats = RunnerStats()
     records = run_kind_batch(
         topo_factory=ResearchTopoFactory(topo_seed=config.topo_seed),

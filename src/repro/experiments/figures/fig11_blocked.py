@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Sequence, Tuple
 
-from repro.core.diagnoser import NetDiagnoser
+from repro.diagnosers import make_diagnosers
 from repro.experiments.figures.base import FigureConfig, FigureResult, Series
 from repro.experiments.jobs import CoreAsx, ResearchTopoFactory, StubPlacement
 from repro.experiments.runner import RunnerStats, run_kind_batch
@@ -31,10 +31,9 @@ def run(
     blocked_fractions: Sequence[float] = DEFAULT_BLOCKED_FRACTIONS,
 ) -> FigureResult:
     """Regenerate Figure 11: AS-level metrics vs blocked fraction."""
-    diagnosers = {
-        "nd-lg": NetDiagnoser("nd-lg"),
-        "nd-bgpigp": NetDiagnoser("nd-bgpigp", ignore_unidentified=True),
-    }
+    diagnosers = make_diagnosers(
+        {"nd-lg": None, "nd-bgpigp": {"ignore_unidentified": True}}
+    )
     curves = {
         f"{label}/{metric}": []
         for label in diagnosers

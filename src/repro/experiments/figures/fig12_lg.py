@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Sequence, Tuple
 
-from repro.core.diagnoser import NetDiagnoser
+from repro.diagnosers import make_diagnosers
 from repro.experiments.figures.base import FigureConfig, FigureResult, Series
 from repro.experiments.jobs import CoreAsx, ResearchTopoFactory, StubPlacement
 from repro.experiments.runner import RunnerStats, run_kind_batch
@@ -48,10 +48,10 @@ def run(
                 topo_factory=ResearchTopoFactory(topo_seed=config.topo_seed),
                 placement_fn=StubPlacement(config.n_sensors),
                 kinds=("link-1",),
-                diagnosers={
-                    "nd-lg": NetDiagnoser("nd-lg"),
-                    "nd-bgpigp": NetDiagnoser("nd-bgpigp", ignore_unidentified=True),
-                },
+                diagnosers=make_diagnosers(
+                    {"nd-lg": None,
+                     "nd-bgpigp": {"ignore_unidentified": True}}
+                ),
                 placements=config.placements,
                 failures_per_placement=config.failures_per_placement,
                 seed=config.seed,

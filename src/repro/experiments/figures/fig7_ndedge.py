@@ -8,7 +8,7 @@ reroute sets catch the reroutable failures — while Tomo stays low.
 
 from __future__ import annotations
 
-from repro.core.diagnoser import NetDiagnoser
+from repro.diagnosers import make_diagnosers
 from repro.experiments.figures.base import FigureConfig, FigureResult, Series
 from repro.experiments.jobs import ResearchTopoFactory, StubPlacement
 from repro.experiments.runner import RunnerStats, run_kind_batch
@@ -21,10 +21,7 @@ KINDS = ("link-3", "misconfig+link")
 
 def run(config: FigureConfig = FigureConfig()) -> FigureResult:
     """Regenerate Figure 7: Tomo vs ND-edge sensitivity CDFs."""
-    diagnosers = {
-        "tomo": NetDiagnoser("tomo"),
-        "nd-edge": NetDiagnoser("nd-edge"),
-    }
+    diagnosers = make_diagnosers(("tomo", "nd-edge"))
     stats = RunnerStats()
     records = run_kind_batch(
         topo_factory=ResearchTopoFactory(topo_seed=config.topo_seed),

@@ -9,7 +9,7 @@ paths eliminate the physical links around it.
 
 from __future__ import annotations
 
-from repro.core.diagnoser import NetDiagnoser
+from repro.diagnosers import make_diagnosers
 from repro.experiments.figures.base import FigureConfig, FigureResult, Series
 from repro.experiments.jobs import ResearchTopoFactory, StubPlacement
 from repro.experiments.runner import RunnerStats, run_kind_batch
@@ -27,7 +27,7 @@ def run(config: FigureConfig = FigureConfig()) -> FigureResult:
         topo_factory=ResearchTopoFactory(topo_seed=config.topo_seed),
         placement_fn=StubPlacement(config.n_sensors),
         kinds=KINDS,
-        diagnosers={"nd-edge": NetDiagnoser("nd-edge")},
+        diagnosers=make_diagnosers(("nd-edge",)),
         placements=config.placements,
         failures_per_placement=config.failures_per_placement,
         seed=config.seed,

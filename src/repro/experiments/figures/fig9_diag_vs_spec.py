@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Sequence, Tuple
 
-from repro.core.diagnoser import NetDiagnoser
+from repro.diagnosers import make_diagnosers
 from repro.experiments.figures.base import FigureConfig, FigureResult, Series
 from repro.experiments.jobs import ResearchTopoFactory, StubPlacement
 from repro.experiments.runner import RunnerStats, run_kind_batch
@@ -34,7 +34,7 @@ def run(
             topo_factory=ResearchTopoFactory(topo_seed=config.topo_seed),
             placement_fn=StubPlacement(n_sensors),
             kinds=("link-1",),
-            diagnosers={"nd-edge": NetDiagnoser("nd-edge")},
+            diagnosers=make_diagnosers(("nd-edge",)),
             placements=config.placements,
             failures_per_placement=config.failures_per_placement,
             seed=config.seed + n_sensors,

@@ -148,6 +148,14 @@ def render_runner_stats(stats: "RunnerStats") -> str:
             f"misordered={stats.feed_messages_misordered}  "
             f"lg stale answers={stats.lg_stale_answers}",
         ]
+    if stats.any_ensemble_seen():
+        disagreement = stats.ensemble_disagreement()
+        lines[-1:-1] = [
+            f"   ensemble: agree={stats.ensemble_agreements}  "
+            f"partial={stats.ensemble_partials}  "
+            f"conflict={stats.ensemble_conflicts}  "
+            f"(agreement-rate={disagreement.agreement_rate():.2f})",
+        ]
     if stats.any_validation_seen():
         lines[-1:-1] = [
             f"   validation: violations={stats.invariant_violations}  "
@@ -235,6 +243,17 @@ def render_stream_report(result: "StreamRunResult") -> str:
         f"deferred={engine['transitions_deferred']}  "
         f"reused={engine['reports_reused']}  "
         f"degraded diagnoses={engine['diagnoses_failed']}",
+        *(
+            [
+                f"   ensemble verdicts: agree={engine['ensemble_agree']}  "
+                f"partial={engine['ensemble_partial']}  "
+                f"conflict={engine['ensemble_conflict']}"
+            ]
+            if engine.get("ensemble_agree", 0)
+            + engine.get("ensemble_partial", 0)
+            + engine.get("ensemble_conflict", 0)
+            else []
+        ),
         f"   latency (ticks): p50={percentile(latencies, 0.50):.0f}  "
         f"p99={percentile(latencies, 0.99):.0f}  "
         f"max={latencies[-1] if latencies else 0:.0f}",

@@ -373,6 +373,11 @@ def run_scenario(
             result = diagnoser.diagnose(
                 snapshot, control=control, lg_lookup=lg_lookup
             )
+        if report is not None:
+            ensemble = result.details.get("ensemble") or {}
+            verdict = ensemble.get("verdict")
+            if verdict is not None:
+                report.record_ensemble_verdict(verdict)
         record.scores[label] = _score(
             result, snapshot.asn_of, visible_truth, truth_ases, universe_ases
         )
@@ -541,6 +546,9 @@ class PlacementStats:
     lg_paths_quarantined: int = 0
     sensors_excluded: int = 0
     rediagnoses: int = 0
+    ensemble_agreements: int = 0
+    ensemble_partials: int = 0
+    ensemble_conflicts: int = 0
     setup_seconds: float = 0.0
     scenario_seconds: float = 0.0
 
@@ -636,6 +644,9 @@ class RunnerStats:
     lg_paths_quarantined: int = 0
     sensors_excluded: int = 0
     rediagnoses: int = 0
+    ensemble_agreements: int = 0
+    ensemble_partials: int = 0
+    ensemble_conflicts: int = 0
     jobs_timed_out: int = 0
     jobs_crashed: int = 0
     jobs_retried: int = 0
@@ -705,6 +716,9 @@ class RunnerStats:
         "lg_paths_quarantined",
         "sensors_excluded",
         "rediagnoses",
+        "ensemble_agreements",
+        "ensemble_partials",
+        "ensemble_conflicts",
         "setup_seconds",
         "scenario_seconds",
     )
@@ -737,6 +751,25 @@ class RunnerStats:
         return any(
             getattr(self, name)
             for name in DegradationReport._COUNTER_FIELDS
+            if name not in DegradationReport._ENSEMBLE_FIELDS
+        )
+
+    def any_ensemble_seen(self) -> bool:
+        """True when any ensemble diagnosis graded its members."""
+        return bool(
+            self.ensemble_agreements
+            + self.ensemble_partials
+            + self.ensemble_conflicts
+        )
+
+    def ensemble_disagreement(self):
+        """The typed agree/partial/conflict tally of this batch."""
+        from repro.empathy.ensemble import EnsembleDisagreement
+
+        return EnsembleDisagreement(
+            agree=self.ensemble_agreements,
+            partial=self.ensemble_partials,
+            conflict=self.ensemble_conflicts,
         )
 
     def any_corruption_seen(self) -> bool:

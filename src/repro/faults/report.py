@@ -62,6 +62,10 @@ class DegradationReport:
     lg_paths_quarantined: int = 0
     sensors_excluded: int = 0
     rediagnoses: int = 0
+    # -- ensemble verdicts (hitting-set vs empathy agreement, not faults)
+    ensemble_agreements: int = 0
+    ensemble_partials: int = 0
+    ensemble_conflicts: int = 0
     diagnoser_errors: Dict[str, int] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
 
@@ -99,13 +103,40 @@ class DegradationReport:
         "lg_paths_quarantined",
         "sensors_excluded",
         "rediagnoses",
+        "ensemble_agreements",
+        "ensemble_partials",
+        "ensemble_conflicts",
+    )
+
+    # Ensemble verdict tallies ride the same merge/as_dict machinery but
+    # are *observations*, not degradation: an agreeing ensemble must not
+    # flip is_degraded().
+    _ENSEMBLE_FIELDS = (
+        "ensemble_agreements",
+        "ensemble_partials",
+        "ensemble_conflicts",
     )
 
     def is_degraded(self) -> bool:
         """True when any fault actually fired on this run."""
         return any(
-            getattr(self, name) for name in self._COUNTER_FIELDS
+            getattr(self, name)
+            for name in self._COUNTER_FIELDS
+            if name not in self._ENSEMBLE_FIELDS
         ) or bool(self.diagnoser_errors)
+
+    def record_ensemble_verdict(self, verdict: str) -> None:
+        """One ensemble diagnosis graded its members' agreement."""
+        field_name = {
+            "agree": "ensemble_agreements",
+            "partial": "ensemble_partials",
+            "conflict": "ensemble_conflicts",
+        }.get(verdict)
+        if field_name is None:
+            from repro.errors import EmpathyError
+
+            raise EmpathyError(f"unknown ensemble verdict {verdict!r}")
+        setattr(self, field_name, getattr(self, field_name) + 1)
 
     def note(self, message: str) -> None:
         """Record a human-readable degradation event (deduplicated)."""

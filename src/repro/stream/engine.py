@@ -38,8 +38,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.control_plane import ControlPlaneView
-from repro.core.diagnoser import NetDiagnoser
+from repro.core.protocol import Diagnoser
 from repro.core.pathset import EPOCH_POST, EPOCH_PRE, MeasurementSnapshot
+from repro.empathy.ensemble import EnsembleDisagreement
 from repro.errors import EpisodeOverflowError, StreamError
 from repro.faults import DegradationReport
 from repro.stream.episodes import (
@@ -92,7 +93,10 @@ class EpisodeDiagnosis:
 
     ``error`` carries the exception type name when the diagnoser could
     not cope with the window's partial inputs (best-effort empty
-    hypothesis, same as the batch runner's degraded path).
+    hypothesis, same as the batch runner's degraded path).  ``verdict``
+    is the ensemble agreement grade (``agree``/``partial``/``conflict``)
+    when the diagnoser was an :class:`~repro.empathy.EnsembleDiagnoser`,
+    ``None`` otherwise.
     """
 
     algorithm: str
@@ -100,6 +104,7 @@ class EpisodeDiagnosis:
     hypothesis_size: int
     fully_explained: bool
     error: Optional[str] = None
+    verdict: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -140,11 +145,13 @@ class _PendingWork:
 
 
 def _summarise(result) -> EpisodeDiagnosis:
+    ensemble = result.details.get("ensemble") or {}
     return EpisodeDiagnosis(
         algorithm=result.algorithm,
         hypothesis=frozenset(result.hypothesis),
         hypothesis_size=result.hypothesis_size(),
         fully_explained=result.fully_explained,
+        verdict=ensemble.get("verdict"),
     )
 
 
@@ -175,8 +182,8 @@ class StreamEngine:
     """Continuous diagnosis over an event stream.
 
     Parameters mirror the batch runner where a counterpart exists:
-    ``diagnosers`` is the same label→\
-    :class:`~repro.core.diagnoser.NetDiagnoser` mapping, ``asx`` the
+    ``diagnosers`` is the same label →
+    :class:`~repro.core.protocol.Diagnoser` mapping, ``asx`` the
     cooperating ISP, ``lg_lookup`` the Looking Glass callback for
     ``nd-lg``, ``policy`` a :mod:`repro.validate` policy name.
     """
@@ -184,7 +191,7 @@ class StreamEngine:
     def __init__(
         self,
         asn_of: Callable[[str], Optional[int]],
-        diagnosers: Mapping[str, NetDiagnoser],
+        diagnosers: Mapping[str, Diagnoser],
         asx: Optional[int] = None,
         lg_lookup: Optional[Callable] = None,
         window_width: int = 4,
@@ -236,6 +243,7 @@ class StreamEngine:
         self.transitions_deferred = 0
         self.reports_reused = 0
         self.diagnoses_failed = 0
+        self.ensemble_verdicts = EnsembleDisagreement()
         self.latencies: List[int] = []
         self.seconds = {
             "ingest": 0.0,
@@ -475,6 +483,8 @@ class StreamEngine:
                         )
                     if verdict.error is not None:
                         self.diagnoses_failed += 1
+                    if verdict.verdict is not None:
+                        self.ensemble_verdicts.record(verdict.verdict)
                     diagnoses.append(verdict)
             reports[index] = EpisodeReport(
                 report_index=index,
@@ -490,17 +500,18 @@ class StreamEngine:
     def _pool_allowed(self, label: str, transition: EpisodeTransition) -> bool:
         """May this diagnoser's work for this transition use the pool?
 
-        ``nd-lg`` closures are never picklable; the supervised engine
-        further excludes variants whose circuit breaker is not closed
-        and poison-injected work (those must run inline, where the
-        breaker observes the outcome deterministically).
+        ``nd-lg`` closures are never picklable (``poolable`` is False);
+        the supervised engine further excludes variants whose circuit
+        breaker is not closed and poison-injected work (those must run
+        inline, where the breaker observes the outcome
+        deterministically).
         """
-        return self.diagnosers[label].variant != "nd-lg"
+        return bool(getattr(self.diagnosers[label], "poolable", True))
 
     def _diagnose_inline(
         self,
         label: str,
-        diagnoser: NetDiagnoser,
+        diagnoser: Diagnoser,
         snapshot: MeasurementSnapshot,
         control: Optional[ControlPlaneView],
         transition: Optional[EpisodeTransition] = None,
@@ -533,6 +544,9 @@ class StreamEngine:
             "reports_emitted": len(self.reports),
             "reports_reused": self.reports_reused,
             "diagnoses_failed": self.diagnoses_failed,
+            "ensemble_agree": self.ensemble_verdicts.agree,
+            "ensemble_partial": self.ensemble_verdicts.partial,
+            "ensemble_conflict": self.ensemble_verdicts.conflict,
         }
 
     # The accessor quartet below is the engine protocol the replay and

@@ -116,7 +116,7 @@ class TestDiagnoserConfig:
     def test_variants_tuple_is_stable_api(self):
         from repro.core.diagnoser import VARIANTS
 
-        assert VARIANTS == ("tomo", "nd-edge", "nd-bgpigp", "nd-lg")
+        assert VARIANTS == ("scfs", "tomo", "nd-edge", "nd-bgpigp", "nd-lg")
 
 
 class TestVersionExport:

@@ -67,3 +67,55 @@ class TestScfs:
             {("root", "leaf")}
         )
         assert scfs({"leaf": "root"}, "root", {"leaf": True}) == frozenset()
+
+
+class TestScfsDiagnose:
+    """The snapshot adapter and the facade's ``scfs`` variant."""
+
+    @pytest.fixture
+    def b1b2_snapshot(self, fig2, fig2_sim, nominal):
+        from repro.measurement.collector import take_snapshot
+        from repro.measurement.sensors import deploy_sensors
+        from repro.netsim.events import LinkFailureEvent
+
+        sensors = deploy_sensors(
+            fig2.net, [fig2.sensor_routers[s] for s in ("s1", "s2", "s3")]
+        )
+        lid = fig2.link_between("b1", "b2").lid
+        after = fig2_sim.apply(LinkFailureEvent((lid,)))
+        return take_snapshot(fig2_sim, sensors, nominal, after)
+
+    def test_facade_dispatches_scfs(self, b1b2_snapshot):
+        from repro.core.diagnoser import VARIANTS, NetDiagnoser
+
+        assert "scfs" in VARIANTS
+        result = NetDiagnoser("scfs").diagnose(b1b2_snapshot)
+        assert result.algorithm == "scfs"
+        assert result.hypothesis  # the cut produced a non-empty blame set
+
+    def test_matches_direct_adapter_call(self, b1b2_snapshot):
+        from repro.core.diagnoser import NetDiagnoser
+        from repro.core.scfs import scfs_diagnose
+
+        via_facade = NetDiagnoser("scfs").diagnose(b1b2_snapshot)
+        direct = scfs_diagnose(b1b2_snapshot)
+        assert via_facade.hypothesis == direct.hypothesis
+        # The facade may annotate extra keys (e.g. the vectorized-substrate
+        # marker); the adapter's own details must pass through unchanged.
+        for key, value in direct.details.items():
+            assert via_facade.details[key] == value
+
+    def test_details_surface_tree_inconsistencies(self, b1b2_snapshot):
+        from repro.core.scfs import scfs_diagnose
+
+        details = scfs_diagnose(b1b2_snapshot).details
+        assert details["sources"] >= 1
+        assert details["truncated_paths"] >= 0
+        assert details["shadowed_leaves"] >= 0
+
+    def test_scfs_variant_is_poolable(self):
+        from repro.core.diagnoser import NetDiagnoser
+
+        engine = NetDiagnoser("scfs")
+        assert engine.poolable
+        assert not NetDiagnoser("nd-lg").poolable

@@ -1,0 +1,102 @@
+"""The crossval experiment and the PR's acceptance thresholds.
+
+The headline numbers asserted here are the issue's acceptance criteria:
+on single-link failures over the research-165 population the empathy
+engine must reach recall >= 0.9, and hitting-set vs empathy must agree
+(at least overlap) on >= 0.8 of scenarios.
+"""
+
+import pytest
+
+from repro.errors import EmpathyError
+from repro.experiments.crossval import (
+    CrossvalConfig,
+    CrossvalResult,
+    ScenarioOutcome,
+    run_crossval,
+)
+
+
+@pytest.fixture(scope="module")
+def default_sweep():
+    """One full default sweep (research-165, 2 placements), shared."""
+    return run_crossval(CrossvalConfig())
+
+
+class TestAcceptance:
+    def test_empathy_recall_on_single_link_failures(self, default_sweep):
+        assert default_sweep.mean_recall("empathy", "link-1") >= 0.9
+
+    def test_hitting_set_vs_empathy_agreement(self, default_sweep):
+        assert default_sweep.agreement_rate("nd-edge", "empathy") >= 0.8
+
+    def test_every_kind_produced_scenarios(self, default_sweep):
+        for kind in default_sweep.config.kinds:
+            assert default_sweep._select("empathy", kind)
+            assert default_sweep._select("nd-edge", kind)
+
+    def test_outcomes_cover_both_diagnosers_equally(self, default_sweep):
+        per_label = {
+            label: len(default_sweep._select(label))
+            for label in default_sweep.config.diagnosers
+        }
+        assert len(set(per_label.values())) == 1
+        assert default_sweep.scenarios_run > 0
+
+    def test_costs_are_measured(self, default_sweep):
+        assert default_sweep.mean_cost_ms("empathy") > 0.0
+        assert default_sweep.mean_cost_ms("nd-edge") > 0.0
+
+
+class TestCrossvalResult:
+    def test_render_mentions_metrics_and_matrix(self, default_sweep):
+        text = default_sweep.render()
+        assert "crossval: per-kind diagnoser metrics" in text
+        assert "agreement matrix" in text
+        assert "nd-edge|empathy:" in text
+
+    def test_agreement_rate_accepts_either_key_order(self, default_sweep):
+        assert default_sweep.agreement_rate(
+            "empathy", "nd-edge"
+        ) == default_sweep.agreement_rate("nd-edge", "empathy")
+
+    def test_unknown_pair_raises_typed_error(self):
+        result = CrossvalResult(config=CrossvalConfig())
+        with pytest.raises(EmpathyError):
+            result.agreement_rate("nd-edge", "empathy")
+
+    def test_means_of_empty_selection_are_zero(self):
+        result = CrossvalResult(config=CrossvalConfig())
+        assert result.mean_recall("empathy") == 0.0
+        assert result.mean_precision("empathy") == 0.0
+
+    def test_outcome_is_a_frozen_record(self):
+        outcome = ScenarioOutcome("link-1", "empathy", 1.0, 1.0, 0.5, 2)
+        with pytest.raises(AttributeError):
+            outcome.recall = 0.0
+
+
+class TestCrossvalValidation:
+    def test_single_diagnoser_rejected(self):
+        with pytest.raises(EmpathyError):
+            run_crossval(CrossvalConfig(diagnosers=("nd-edge",)))
+
+    def test_nd_lg_rejected(self):
+        with pytest.raises(EmpathyError):
+            run_crossval(CrossvalConfig(diagnosers=("nd-edge", "nd-lg")))
+
+    def test_determinism_same_seed_same_outcomes(self, default_sweep):
+        def scores(result):
+            # cost_ms is wall-clock and legitimately varies run to run.
+            return [
+                (o.kind, o.label, o.precision, o.recall, o.hypothesis_size)
+                for o in result.outcomes
+            ]
+
+        again = run_crossval(CrossvalConfig())
+        assert scores(again) == scores(default_sweep)
+        assert {
+            key: tally.as_dict() for key, tally in again.matrix.items()
+        } == {
+            key: tally.as_dict() for key, tally in default_sweep.matrix.items()
+        }

@@ -1,0 +1,86 @@
+"""Per-pair trace deltas on the paper's Figure 2 network."""
+
+import pytest
+
+from repro.empathy.delta import KIND_FAILED, KIND_REROUTED, TraceDelta, compute_deltas
+
+
+@pytest.fixture
+def b1b2_snapshot(fig2, fig2_sim, nominal):
+    """Snapshot of the b1-b2 link failure with all three sensors."""
+    from repro.measurement.collector import take_snapshot
+    from repro.measurement.sensors import deploy_sensors
+    from repro.netsim.events import LinkFailureEvent
+
+    sensors = deploy_sensors(
+        fig2.net, [fig2.sensor_routers[s] for s in ("s1", "s2", "s3")]
+    )
+    lid = fig2.link_between("b1", "b2").lid
+    after = fig2_sim.apply(LinkFailureEvent((lid,)))
+    return take_snapshot(fig2_sim, sensors, nominal, after)
+
+
+class TestComputeDeltas:
+    def test_every_changed_pair_gets_exactly_one_delta(self, b1b2_snapshot):
+        deltas = compute_deltas(b1b2_snapshot)
+        changed = set(b1b2_snapshot.failed_pairs()) | set(
+            b1b2_snapshot.rerouted_pairs()
+        )
+        assert {d.pair for d in deltas} == changed
+        assert len(deltas) == len(changed)
+
+    def test_kinds_follow_snapshot_classification(self, b1b2_snapshot):
+        failed = set(b1b2_snapshot.failed_pairs())
+        for delta in compute_deltas(b1b2_snapshot):
+            expected = KIND_FAILED if delta.pair in failed else KIND_REROUTED
+            assert delta.kind == expected
+
+    def test_failed_pair_lost_suffix_contains_the_failed_link(
+        self, fig2, b1b2_snapshot
+    ):
+        """The lost set of every failed pair must contain the broken
+        physical link — the localization guarantee the miner builds on."""
+        from repro.core.linkspace import physical_link
+
+        link = fig2.link_between("b1", "b2")
+        broken = physical_link(
+            fig2.net.router(link.a).address, fig2.net.router(link.b).address
+        )
+        failed = [
+            d for d in compute_deltas(b1b2_snapshot) if d.kind == KIND_FAILED
+        ]
+        assert failed  # b1-b2 cuts at least one pair in Figure 2
+        for delta in failed:
+            physical = {
+                l.physical() for l in delta.lost if l.identified
+            }
+            assert broken in physical
+
+    def test_divergence_index_at_least_one(self, b1b2_snapshot):
+        # Both traces start at the source sensor, so the common prefix is
+        # never empty.
+        for delta in compute_deltas(b1b2_snapshot):
+            assert delta.divergence_index >= 1
+
+    def test_deltas_are_in_pair_order_and_frozen(self, b1b2_snapshot):
+        deltas = compute_deltas(b1b2_snapshot)
+        assert [d.pair for d in deltas] == sorted(d.pair for d in deltas)
+        with pytest.raises(AttributeError):
+            deltas[0].kind = "other"
+
+    def test_changed_property(self):
+        from repro.core.linkspace import ip_link
+
+        l = ip_link("10.0.0.1", "10.0.0.2")
+        assert TraceDelta(("a", "b"), KIND_FAILED, frozenset({l}), frozenset(), 1).changed
+        assert not TraceDelta(("a", "b"), KIND_REROUTED, frozenset(), frozenset(), 1).changed
+
+    def test_quiet_snapshot_yields_no_deltas(self, fig2, fig2_sim, nominal):
+        from repro.measurement.collector import take_snapshot
+        from repro.measurement.sensors import deploy_sensors
+
+        sensors = deploy_sensors(
+            fig2.net, [fig2.sensor_routers[s] for s in ("s1", "s2")]
+        )
+        snapshot = take_snapshot(fig2_sim, sensors, nominal, nominal)
+        assert compute_deltas(snapshot) == ()

@@ -1,0 +1,98 @@
+"""Empathy-event mining over synthetic trace deltas."""
+
+from repro.core.linkspace import UhNode, ip_link
+from repro.empathy.delta import KIND_FAILED, KIND_REROUTED, TraceDelta
+from repro.empathy.mining import EmpathyEvent, mine_events
+
+L1 = ip_link("10.0.0.1", "10.0.0.2")
+L2 = ip_link("10.0.0.3", "10.0.0.4")
+L3 = ip_link("10.0.0.5", "10.0.0.6")
+
+
+def delta(pair, lost, kind=KIND_FAILED, gained=frozenset()):
+    return TraceDelta(
+        pair=pair,
+        kind=kind,
+        lost=frozenset(lost),
+        gained=frozenset(gained),
+        divergence_index=1,
+    )
+
+
+class TestMineEvents:
+    def test_shared_identified_link_merges_into_one_event(self):
+        events = mine_events(
+            [delta(("a", "x"), {L1, L2}), delta(("b", "y"), {L1, L3})]
+        )
+        assert len(events) == 1
+        assert events[0].pairs == (("a", "x"), ("b", "y"))
+        # Localized to the shared segment: the common lost link.
+        assert events[0].segment == frozenset({L1})
+        assert events[0].failures == 2
+        assert events[0].support == 2
+
+    def test_disjoint_lost_sets_stay_separate_events(self):
+        events = mine_events(
+            [delta(("a", "x"), {L1}), delta(("b", "y"), {L2})]
+        )
+        assert len(events) == 2
+        assert [e.segment for e in events] == [frozenset({L1}), frozenset({L2})]
+
+    def test_unidentified_links_cannot_witness_empathy(self):
+        """A UH link belongs to one trace by construction; even a forged
+        shared instance must not glue two deltas into one event."""
+        uh = ip_link("10.0.0.1", UhNode("a", "x", "post", 2))
+        events = mine_events(
+            [delta(("a", "x"), {uh}), delta(("b", "y"), {uh})]
+        )
+        assert len(events) == 2
+        # Singleton events fall back to their own lost set.
+        assert all(e.segment == frozenset({uh}) for e in events)
+
+    def test_chained_cluster_is_peeled_into_two_events(self):
+        """A~B via L1 and B~C via L2 with empty triple intersection: the
+        greedy peel anchors on the widest-support link (sort_key breaks
+        the tie towards L1) and re-mines the remainder."""
+        events = mine_events(
+            [
+                delta(("a", "x"), {L1}),
+                delta(("b", "y"), {L1, L2}),
+                delta(("c", "z"), {L2}),
+            ]
+        )
+        assert len(events) == 2
+        by_pairs = {e.pairs: e.segment for e in events}
+        assert by_pairs[(("a", "x"), ("b", "y"))] == frozenset({L1})
+        assert by_pairs[(("c", "z"),)] == frozenset({L2})
+
+    def test_reroute_members_counted_separately_from_failures(self):
+        events = mine_events(
+            [
+                delta(("a", "x"), {L1}),
+                delta(("b", "y"), {L1}, kind=KIND_REROUTED),
+            ]
+        )
+        assert len(events) == 1
+        assert events[0].failures == 1
+        assert events[0].support == 2
+
+    def test_empty_lost_deltas_are_ignored(self):
+        events = mine_events(
+            [
+                delta(("a", "x"), set(), kind=KIND_REROUTED, gained={L1}),
+                delta(("b", "y"), {L2}),
+            ]
+        )
+        assert len(events) == 1
+        assert events[0].pairs == (("b", "y"),)
+
+    def test_deterministic_order_regardless_of_input_order(self):
+        forward = [delta(("a", "x"), {L1}), delta(("b", "y"), {L2})]
+        assert mine_events(forward) == mine_events(list(reversed(forward)))
+
+    def test_no_deltas_no_events(self):
+        assert mine_events([]) == ()
+
+    def test_event_is_hashable_value_object(self):
+        event = EmpathyEvent(pairs=(("a", "x"),), segment=frozenset({L1}), failures=1)
+        assert event in {event}

@@ -195,3 +195,65 @@ class TestStatsAccounting:
         assert total.scenario_seconds == 5.0
         assert total.wall_seconds == 0.0
         assert len(total.per_placement) == 2
+
+
+class TestEnsembleAccounting:
+    """Ensemble verdict tallies on the degradation/runner stats path."""
+
+    def test_degradation_report_records_verdicts_without_degrading(self):
+        from repro.faults.report import DegradationReport
+
+        report = DegradationReport()
+        report.record_ensemble_verdict("agree")
+        report.record_ensemble_verdict("partial")
+        report.record_ensemble_verdict("conflict")
+        assert report.ensemble_agreements == 1
+        assert report.ensemble_partials == 1
+        assert report.ensemble_conflicts == 1
+        # Observations, not faults: an agreeing ensemble is not degraded.
+        assert not report.is_degraded()
+
+    def test_unknown_verdict_raises_typed_error(self):
+        from repro.errors import EmpathyError
+        from repro.faults.report import DegradationReport
+
+        with pytest.raises(EmpathyError):
+            DegradationReport().record_ensemble_verdict("shrug")
+
+    def test_runner_stats_fold_and_disagreement_view(self):
+        from repro.experiments.runner import PlacementStats, RunnerStats
+        from repro.faults.report import DegradationReport
+
+        report = DegradationReport()
+        report.record_ensemble_verdict("agree")
+        report.record_ensemble_verdict("conflict")
+        placement = PlacementStats(placement_index=0)
+        placement.record_degradation(report)
+        stats = RunnerStats()
+        stats.absorb(placement)
+        assert stats.any_ensemble_seen()
+        assert not stats.any_faults_seen()
+        tally = stats.ensemble_disagreement()
+        assert tally.as_dict() == {"agree": 1, "partial": 0, "conflict": 1}
+        assert tally.agreement_rate() == pytest.approx(0.5)
+
+    def test_render_surfaces_the_ensemble_line(self):
+        from repro.experiments.report import render_runner_stats
+        from repro.experiments.runner import RunnerStats
+        from repro.faults.report import DegradationReport
+
+        stats = RunnerStats()
+        quiet = render_runner_stats(stats)
+        assert "ensemble:" not in quiet
+
+        from repro.experiments.runner import PlacementStats
+
+        report = DegradationReport()
+        report.record_ensemble_verdict("agree")
+        placement = PlacementStats(placement_index=0)
+        placement.record_degradation(report)
+        stats.absorb(placement)
+        text = render_runner_stats(stats)
+        assert "-- runner stats" in text
+        assert "ensemble: agree=1  partial=0  conflict=0" in text
+        assert "agreement-rate=1.00" in text

@@ -117,4 +117,4 @@ class TestReadmeCommandsAreReal:
             else:
                 assert argv[0] in {"topology", "diagnose", "replay",
                                    "scaling", "degradation", "stream",
-                                   "monitor"}, line
+                                   "monitor", "crossval"}, line
